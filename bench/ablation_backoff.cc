@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation: the paper notes that "backoff serves to greatly reduce
+ * contention" for the TTS lock. This bench sweeps the bounded
+ * exponential backoff cap under high contention (p=64, c=64) for each
+ * policy and reports the average cycles per lock-protected update.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/counter_apps.hh"
+
+using namespace dsmbench;
+
+int
+main()
+{
+    std::printf("Ablation: TTS-lock counter, c=64, backoff cap sweep\n");
+    const Tick caps[] = {16, 64, 256, 1024, 4096};
+
+    std::vector<std::string> cols;
+    for (Tick cap : caps)
+        cols.push_back(csprintf("cap=%llu",
+                                static_cast<unsigned long long>(cap)));
+    printHeader("", cols);
+
+    for (SyncPolicy pol :
+         {SyncPolicy::UNC, SyncPolicy::INV, SyncPolicy::UPD}) {
+        for (Primitive prim :
+             {Primitive::FAP, Primitive::LLSC, Primitive::CAS}) {
+            std::vector<double> vals;
+            for (Tick cap : caps) {
+                Config cfg = paperConfig(pol);
+                System sys(cfg);
+                CounterAppConfig app;
+                app.kind = CounterKind::TTS;
+                app.prim = prim;
+                app.contention = 64;
+                app.phases = 4;
+                app.backoff_base = 16;
+                app.backoff_cap = cap;
+                CounterAppResult r = runCounterApp(sys, app);
+                if (!r.completed || !r.correct)
+                    dsm_fatal("ablation run failed (%s %s cap=%llu)",
+                              toString(pol), toString(prim),
+                              static_cast<unsigned long long>(cap));
+                vals.push_back(r.avg_cycles_per_update);
+            }
+            printRow(std::string(toString(pol)) + " " + toString(prim),
+                     vals);
+        }
+    }
+    return 0;
+}

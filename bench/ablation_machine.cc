@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Ablation: sensitivity of the headline comparison (UNC FAP vs INV
+ * CAS+lx vs UPD CAS on the contended lock-free counter) to machine
+ * parameters -- memory service time, network hop latency, and machine
+ * size. The paper's qualitative ordering should be robust across these.
+ */
+
+#include <cstdio>
+
+#include "fig_counter_common.hh"
+
+using namespace dsmbench;
+
+namespace {
+
+double
+point(Config cfg, Primitive prim, int contention)
+{
+    System sys(cfg);
+    CounterAppConfig app;
+    app.kind = CounterKind::LOCK_FREE;
+    app.prim = prim;
+    app.contention = contention;
+    app.phases = phasesFor(contention);
+    CounterAppResult r = runCounterApp(sys, app);
+    if (!r.completed || !r.correct)
+        dsm_fatal("ablation point failed");
+    return r.avg_cycles_per_update;
+}
+
+Config
+implConfig(SyncPolicy pol, bool lx)
+{
+    Config cfg = paperConfig(pol);
+    cfg.sync.use_load_exclusive = lx;
+    return cfg;
+}
+
+void
+sweepRow(const char *name,
+         const std::function<void(Config &)> &tweak)
+{
+    struct Impl
+    {
+        const char *label;
+        SyncPolicy pol;
+        Primitive prim;
+        bool lx;
+    };
+    const Impl impls[] = {
+        {"UNC FAP", SyncPolicy::UNC, Primitive::FAP, false},
+        {"INV CAS+lx", SyncPolicy::INV, Primitive::CAS, true},
+        {"INV LLSC", SyncPolicy::INV, Primitive::LLSC, false},
+        {"UPD CAS", SyncPolicy::UPD, Primitive::CAS, false},
+    };
+    std::printf("\n%s\n", name);
+    for (const Impl &im : impls) {
+        Config cfg = implConfig(im.pol, im.lx);
+        tweak(cfg);
+        int procs = cfg.machine.num_procs;
+        int c_low = procs < 16 ? procs : 16;
+        int c_high = procs < 64 ? procs : 64;
+        std::printf("  %-12s c=%-2d: %10.1f   c=%-2d: %10.1f\n",
+                    im.label, c_low, point(cfg, im.prim, c_low), c_high,
+                    point(cfg, im.prim, c_high));
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: machine-parameter sensitivity of the "
+                "contended lock-free counter\n");
+
+    sweepRow("baseline (mem=20, hop=2, p=64)", [](Config &) {});
+    sweepRow("slow memory (mem=40)", [](Config &c) {
+        c.machine.mem_service_time = 40;
+    });
+    sweepRow("fast memory (mem=10)", [](Config &c) {
+        c.machine.mem_service_time = 10;
+    });
+    sweepRow("slow network (hop=4)", [](Config &c) {
+        c.machine.hop_latency = 4;
+    });
+    sweepRow("small machine (p=16, 4x4)", [](Config &c) {
+        c.machine.num_procs = 16;
+        c.machine.mesh_x = 4;
+        c.machine.mesh_y = 4;
+    });
+    return 0;
+}

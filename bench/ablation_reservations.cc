@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Ablation for Section 3.1's limited-reservation option: a contended
+ * LL/SC lock-free counter with the in-memory reservation limit swept
+ * from unlimited (full bit-vector) down to 1. Beyond-limit
+ * store_conditionals fail locally, trading extra retries for reduced
+ * network traffic -- the paper suggests this "can help reduce the
+ * effect of high contention on performance".
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/counter_apps.hh"
+
+using namespace dsmbench;
+
+int
+main()
+{
+    std::printf("Ablation: LL/SC lock-free counter, in-memory "
+                "reservation limit sweep, p=64\n\n");
+    const int limits[] = {0, 16, 4, 1}; // 0 = unlimited bit-vector
+
+    std::printf("%-4s %-10s %14s %14s %16s %14s\n", "pol", "limit",
+                "c=8", "c=64", "sc local fails", "msgs(c=64)");
+    for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
+        for (int limit : limits) {
+            double cyc8 = 0, cyc64 = 0;
+            std::uint64_t local_fails = 0, msgs = 0;
+            for (int c : {8, 64}) {
+                Config cfg = paperConfig(pol);
+                cfg.machine.max_memory_reservations = limit;
+                System sys(cfg);
+                CounterAppConfig app;
+                app.kind = CounterKind::LOCK_FREE;
+                app.prim = Primitive::LLSC;
+                app.contention = c;
+                app.phases = c > 1 ? (256 / c < 6 ? 6 : 256 / c) : 96;
+                CounterAppResult r = runCounterApp(sys, app);
+                if (!r.completed || !r.correct)
+                    dsm_fatal("reservation ablation failed (limit=%d)",
+                              limit);
+                if (c == 8) {
+                    cyc8 = r.avg_cycles_per_update;
+                } else {
+                    cyc64 = r.avg_cycles_per_update;
+                    local_fails = sys.stats().sc_local_failures;
+                    msgs = sys.mesh().stats().messages;
+                }
+            }
+            char label[32];
+            std::snprintf(label, sizeof label, "%s",
+                          limit == 0 ? "bitvec" : "");
+            if (limit != 0)
+                std::snprintf(label, sizeof label, "K=%d", limit);
+            std::printf("%-4s %-10s %14.1f %14.1f %16llu %14llu\n",
+                        toString(pol), label, cyc8, cyc64,
+                        static_cast<unsigned long long>(local_fails),
+                        static_cast<unsigned long long>(msgs));
+        }
+    }
+    return 0;
+}

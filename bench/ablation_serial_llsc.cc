@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ablation for Section 3.1's preferred reservation scheme: MCS-lock
+ * counter throughput with conventional in-memory LL/SC versus
+ * serial-number LL/SC (whose bare store_conditional saves one memory
+ * access per uncontended release -- the paper's motivating example).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sync/mcs_lock.hh"
+
+using namespace dsmbench;
+
+namespace {
+
+struct Point
+{
+    double cycles_per_update;
+    std::uint64_t messages;
+};
+
+Point
+runMcsCounter(SyncPolicy pol, bool serial, int contention)
+{
+    Config cfg = paperConfig(pol);
+    System sys(cfg);
+    McsLock lock(sys, Primitive::LLSC, serial);
+    Addr counter = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    SyncBarrier barrier(sys, sys.numProcs());
+    const int phases = contention > 1 ? (256 / contention < 6
+                                             ? 6
+                                             : 256 / contention)
+                                      : 96;
+    std::uint64_t updates = 0;
+    Tick t0 = sys.now();
+    for (NodeId n = 0; n < sys.numProcs(); ++n) {
+        sys.spawn([](Proc &p, McsLock &l, Addr c, SyncBarrier &b,
+                     int nphases, int cont, std::uint64_t *ups) -> Task {
+            int procs = p.sys().numProcs();
+            for (int ph = 0; ph < nphases; ++ph) {
+                bool active = cont <= 1 ? ph % procs == p.id()
+                                        : p.id() < cont;
+                if (active) {
+                    co_await l.acquire(p);
+                    Word v = (co_await p.load(c)).value;
+                    co_await p.store(c, v + 1);
+                    co_await l.release(p);
+                    ++*ups;
+                }
+                co_await b.arrive();
+            }
+        }(sys.proc(n), lock, counter, barrier, phases, contention,
+          &updates));
+    }
+    RunResult r = sys.run();
+    if (!r.completed)
+        dsm_fatal("serial-llsc ablation deadlocked");
+    if (sys.debugRead(counter) != updates)
+        dsm_fatal("serial-llsc ablation lost updates");
+    Point pt;
+    pt.cycles_per_update = static_cast<double>(sys.now() - t0) /
+                           static_cast<double>(updates);
+    pt.messages = sys.mesh().stats().messages;
+    return pt;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Ablation: MCS-lock counter, in-memory LL/SC vs "
+                "serial-number LL/SC\n(bare-SC release, Section 3.1), "
+                "p=64\n\n");
+    std::printf("%-4s %-18s %12s %12s %12s %12s\n", "pol", "variant",
+                "c=1", "c=8", "c=64", "msgs(c=1)");
+    for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
+        for (bool serial : {false, true}) {
+            Point p1 = runMcsCounter(pol, serial, 1);
+            Point p8 = runMcsCounter(pol, serial, 8);
+            Point p64 = runMcsCounter(pol, serial, 64);
+            std::printf("%-4s %-18s %12.1f %12.1f %12.1f %12llu\n",
+                        toString(pol),
+                        serial ? "LLSC+serial" : "LLSC",
+                        p1.cycles_per_update, p8.cycles_per_update,
+                        p64.cycles_per_update,
+                        static_cast<unsigned long long>(p1.messages));
+        }
+    }
+    std::printf("\nThe serial variant's release is a single bare SC: "
+                "fewer messages and\nlower latency per uncontended "
+                "acquire/release pair.\n");
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries: the
+ * implementation matrix of Section 3 (policy x primitive x variant x
+ * auxiliary instructions) and plain-text table printing.
+ */
+
+#ifndef DSM_BENCH_BENCH_UTIL_HH
+#define DSM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cpu/system.hh"
+
+namespace dsmbench {
+
+using namespace dsm;
+
+/** The paper's simulated machine: 64 nodes on an 8x8 mesh. */
+inline Config
+paperConfig(SyncPolicy pol = SyncPolicy::INV)
+{
+    Config cfg;
+    cfg.machine.num_procs = 64;
+    cfg.machine.mesh_x = 8;
+    cfg.machine.mesh_y = 8;
+    cfg.sync.policy = pol;
+    return cfg;
+}
+
+/** One implementation under study: a (primitive, SyncConfig) pair. */
+struct ImplCase
+{
+    std::string label;  ///< e.g. "INV CAS+lx" or "UNC FAP"
+    Primitive prim;
+    SyncConfig sync;
+};
+
+/**
+ * The full set of implementations shown in Figures 3-5, grouped as in
+ * the paper: UNC bars, then INV bars without/with drop_copy (CAS in the
+ * INV, INVd, INVs, and INV+load_exclusive variants), then UPD bars
+ * without/with drop_copy.
+ */
+inline std::vector<ImplCase>
+figureImplementations()
+{
+    std::vector<ImplCase> v;
+    auto add = [&v](SyncPolicy pol, Primitive prim, CasVariant var,
+                    bool lx, bool dc) {
+        SyncConfig sc;
+        sc.policy = pol;
+        sc.cas_variant = var;
+        sc.use_load_exclusive = lx;
+        sc.use_drop_copy = dc;
+        std::string label = std::string(toString(pol)) + " ";
+        if (pol == SyncPolicy::INV && var != CasVariant::PLAIN)
+            label = std::string(toString(var)) + " ";
+        label += toString(prim);
+        if (lx)
+            label += "+lx";
+        if (dc)
+            label += "+dc";
+        v.push_back({label, prim, sc});
+    };
+
+    // UNC: no caching, so no drop_copy / load_exclusive variants.
+    add(SyncPolicy::UNC, Primitive::FAP, CasVariant::PLAIN, false, false);
+    add(SyncPolicy::UNC, Primitive::LLSC, CasVariant::PLAIN, false, false);
+    add(SyncPolicy::UNC, Primitive::CAS, CasVariant::PLAIN, false, false);
+
+    for (bool dc : {false, true}) {
+        add(SyncPolicy::INV, Primitive::FAP, CasVariant::PLAIN, false, dc);
+        add(SyncPolicy::INV, Primitive::LLSC, CasVariant::PLAIN, false,
+            dc);
+        add(SyncPolicy::INV, Primitive::CAS, CasVariant::PLAIN, false, dc);
+        add(SyncPolicy::INV, Primitive::CAS, CasVariant::DENY, false, dc);
+        add(SyncPolicy::INV, Primitive::CAS, CasVariant::SHARE, false, dc);
+        add(SyncPolicy::INV, Primitive::CAS, CasVariant::PLAIN, true, dc);
+    }
+    for (bool dc : {false, true}) {
+        add(SyncPolicy::UPD, Primitive::FAP, CasVariant::PLAIN, false, dc);
+        add(SyncPolicy::UPD, Primitive::LLSC, CasVariant::PLAIN, false,
+            dc);
+        add(SyncPolicy::UPD, Primitive::CAS, CasVariant::PLAIN, false, dc);
+    }
+    return v;
+}
+
+/** The reduced (policy x primitive) matrix used for Figure 6. */
+inline std::vector<ImplCase>
+applicationImplementations()
+{
+    std::vector<ImplCase> v;
+    for (SyncPolicy pol :
+         {SyncPolicy::UNC, SyncPolicy::INV, SyncPolicy::UPD}) {
+        for (Primitive prim :
+             {Primitive::FAP, Primitive::LLSC, Primitive::CAS}) {
+            SyncConfig sc;
+            sc.policy = pol;
+            std::string label =
+                std::string(toString(pol)) + " " + toString(prim);
+            v.push_back({label, prim, sc});
+        }
+    }
+    return v;
+}
+
+/** Print a header row for a sweep table. */
+inline void
+printHeader(const char *title, const std::vector<std::string> &columns)
+{
+    std::printf("\n%s\n", title);
+    std::printf("%-16s", "impl");
+    for (const std::string &c : columns)
+        std::printf(" %10s", c.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < 16 + 11 * columns.size(); ++i)
+        std::printf("-");
+    std::printf("\n");
+}
+
+/** Print one row of numbers. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-16s", label.c_str());
+    for (double v : values)
+        std::printf(" %10.1f", v);
+    std::printf("\n");
+}
+
+} // namespace dsmbench
+
+#endif // DSM_BENCH_BENCH_UTIL_HH

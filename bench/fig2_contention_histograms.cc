@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Regenerates Figure 2 (contention histograms for LocusRoute, Cholesky,
+ * and Transitive Closure under each coherence policy) and the Section
+ * 4.2 write-run-length measurements.
+ *
+ * LocusRoute and Cholesky run as the documented stand-in workloads (see
+ * DESIGN.md); Transitive Closure is the Figure 1 program.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/task_queue_apps.hh"
+#include "workloads/transitive_closure.hh"
+
+using namespace dsmbench;
+
+namespace {
+
+void
+printHistogram(const char *app, const char *policy, System &sys,
+               double write_run)
+{
+    sys.sharing().finalize();
+    const Histogram &h = sys.sharing().contention();
+    std::printf("%-18s %-4s  write-run=%.2f  accesses=%llu\n", app,
+                policy, write_run,
+                static_cast<unsigned long long>(h.samples()));
+    std::printf("  level:");
+    const int levels[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
+    for (int l : levels)
+        std::printf(" %6d", l);
+    std::printf("\n  pct:  ");
+    // Bucket boundaries: percentage of accesses with contention in
+    // (prev, level].
+    int prev = 0;
+    for (int l : levels) {
+        double pct = 0;
+        for (int v = prev + 1; v <= l; ++v)
+            pct += 100.0 * h.fraction(static_cast<std::uint64_t>(v));
+        std::printf(" %6.2f", pct);
+        prev = l;
+    }
+    std::printf("\n\n");
+}
+
+TaskQueueConfig
+locusConfig(Primitive prim)
+{
+    // Work sized so that the central lock is mostly idle (the paper's
+    // measured LocusRoute pattern: no contention common, write runs
+    // 1.70-1.83).
+    TaskQueueConfig cfg;
+    cfg.prim = prim;
+    cfg.num_tasks = 512;
+    cfg.work_min = 80000;
+    cfg.work_max = 240000;
+    cfg.cs_words = 2;
+    return cfg;
+}
+
+TaskQueueConfig
+choleskyConfig(Primitive prim)
+{
+    // Somewhat higher lock traffic than LocusRoute (write runs
+    // 1.59-1.62, still mostly uncontended).
+    TaskQueueConfig cfg;
+    cfg.prim = prim;
+    cfg.num_tasks = 512;
+    cfg.work_min = 30000;
+    cfg.work_max = 90000;
+    cfg.cs_words = 3;
+    cfg.num_locks = 12;
+    cfg.backoff_cap = 4096;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 2: histograms of the level of contention "
+                "(p=64)\n");
+    std::printf("Section 4.2 targets: LocusRoute write-run 1.70-1.83, "
+                "Cholesky 1.59-1.62,\nTransitive Closure slightly above "
+                "1.00 with very high contention.\n\n");
+
+    for (SyncPolicy pol :
+         {SyncPolicy::INV, SyncPolicy::UNC, SyncPolicy::UPD}) {
+        {
+            System sys(paperConfig(pol));
+            TaskQueueResult r = runLocusLike(sys, locusConfig(
+                                                      Primitive::FAP));
+            if (!r.correct)
+                dsm_fatal("LocusRoute-like run failed");
+            printHistogram("LocusRoute-like", toString(pol), sys,
+                           r.avg_write_run);
+        }
+        {
+            System sys(paperConfig(pol));
+            TaskQueueResult r = runCholeskyLike(sys, choleskyConfig(
+                                                         Primitive::FAP));
+            if (!r.correct)
+                dsm_fatal("Cholesky-like run failed");
+            printHistogram("Cholesky-like", toString(pol), sys,
+                           r.avg_write_run);
+        }
+        {
+            System sys(paperConfig(pol));
+            TcConfig tc;
+            tc.size = 48;
+            tc.prim = Primitive::FAP;
+            tc.edge_pct = 8;
+            TcResult r = runTransitiveClosure(sys, tc);
+            if (!r.correct)
+                dsm_fatal("Transitive Closure run failed");
+            sys.sharing().finalize();
+            printHistogram("TransitiveClosure", toString(pol), sys,
+                           sys.sharing().averageWriteRun());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Regenerates Figure 3: average time per counter update for the
+ * lock-free counter application (LL/SC and CAS simulate fetch_and_Phi).
+ */
+
+#include "fig_counter_common.hh"
+
+int
+main()
+{
+    dsmbench::runFigure("Figure 3", dsm::CounterKind::LOCK_FREE);
+    return 0;
+}

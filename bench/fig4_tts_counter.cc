@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates Figure 4: average time per counter update for the counter
+ * protected by a test-and-test-and-set lock with bounded exponential
+ * backoff.
+ */
+
+#include "fig_counter_common.hh"
+
+int
+main()
+{
+    dsmbench::runFigure("Figure 4", dsm::CounterKind::TTS);
+    return 0;
+}

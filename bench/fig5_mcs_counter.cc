@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Regenerates Figure 5: average time per counter update for the counter
+ * protected by an MCS queue lock (LL/SC simulates compare_and_swap;
+ * the FAP variant uses the swap-only MCS release).
+ */
+
+#include "fig_counter_common.hh"
+
+int
+main()
+{
+    dsmbench::runFigure("Figure 5", dsm::CounterKind::MCS);
+    return 0;
+}

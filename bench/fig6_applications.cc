@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Regenerates Figure 6: total elapsed time for the parallel part of
+ * LocusRoute(-like), Cholesky(-like), and Transitive Closure with
+ * different implementations of atomic primitives (policy x primitive).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "workloads/task_queue_apps.hh"
+#include "workloads/transitive_closure.hh"
+
+using namespace dsmbench;
+
+namespace {
+
+double
+runLocus(const ImplCase &impl)
+{
+    Config cfg = paperConfig(impl.sync.policy);
+    cfg.sync = impl.sync;
+    System sys(cfg);
+    TaskQueueConfig app;
+    app.prim = impl.prim;
+    app.num_tasks = 384;
+    app.work_min = 80000;
+    app.work_max = 240000;
+    TaskQueueResult r = runLocusLike(sys, app);
+    if (!r.completed || !r.correct)
+        dsm_fatal("locus-like failed under %s", impl.label.c_str());
+    return static_cast<double>(r.elapsed);
+}
+
+double
+runCholesky(const ImplCase &impl)
+{
+    Config cfg = paperConfig(impl.sync.policy);
+    cfg.sync = impl.sync;
+    System sys(cfg);
+    TaskQueueConfig app;
+    app.prim = impl.prim;
+    app.num_tasks = 384;
+    app.work_min = 30000;
+    app.work_max = 90000;
+    app.cs_words = 3;
+    app.backoff_cap = 4096;
+    TaskQueueResult r = runCholeskyLike(sys, app);
+    if (!r.completed || !r.correct)
+        dsm_fatal("cholesky-like failed under %s", impl.label.c_str());
+    return static_cast<double>(r.elapsed);
+}
+
+double
+runTc(const ImplCase &impl)
+{
+    Config cfg = paperConfig(impl.sync.policy);
+    cfg.sync = impl.sync;
+    System sys(cfg);
+    TcConfig app;
+    app.size = 48;
+    app.prim = impl.prim;
+    app.edge_pct = 8;
+    TcResult r = runTransitiveClosure(sys, app);
+    if (!r.completed || !r.correct)
+        dsm_fatal("transitive closure failed under %s",
+                  impl.label.c_str());
+    return static_cast<double>(r.elapsed);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 6: total elapsed cycles for the parallel part "
+                "of each application\n(p=64; LocusRoute and Cholesky as "
+                "documented stand-ins)\n");
+
+    std::vector<std::string> cols = {"LocusRoute", "Cholesky",
+                                     "TransClosure"};
+    printHeader("", cols);
+    for (const ImplCase &impl : applicationImplementations()) {
+        std::vector<double> vals;
+        vals.push_back(runLocus(impl));
+        vals.push_back(runCholesky(impl));
+        vals.push_back(runTc(impl));
+        printRow(impl.label, vals);
+    }
+    return 0;
+}

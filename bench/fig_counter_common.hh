@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared sweep driver for Figures 3, 4, and 5: average time per counter
+ * update for one of the synthetic counter applications, across the full
+ * implementation matrix, for the paper's no-contention write-run sweep
+ * (p=64, c=1, a in {1, 1.5, 2, 3, 10}) and contention sweep
+ * (p=64, c in {2, 4, 8, 16, 64}).
+ */
+
+#ifndef DSM_BENCH_FIG_COUNTER_COMMON_HH
+#define DSM_BENCH_FIG_COUNTER_COMMON_HH
+
+#include "bench_util.hh"
+#include "workloads/counter_apps.hh"
+
+namespace dsmbench {
+
+/** Phases scale down with contention to bound simulation time. */
+inline int
+phasesFor(int contention)
+{
+    if (contention <= 1)
+        return 128;
+    int p = 256 / contention;
+    return p < 6 ? 6 : p;
+}
+
+inline double
+runPoint(const ImplCase &impl, CounterKind kind, int contention,
+         double write_run)
+{
+    Config cfg = paperConfig(impl.sync.policy);
+    cfg.sync = impl.sync;
+    System sys(cfg);
+    CounterAppConfig app;
+    app.kind = kind;
+    app.prim = impl.prim;
+    app.contention = contention;
+    app.write_run = write_run;
+    app.phases = phasesFor(contention);
+    CounterAppResult r = runCounterApp(sys, app);
+    if (!r.completed)
+        dsm_fatal("%s deadlocked (c=%d a=%.1f)", impl.label.c_str(),
+                  contention, write_run);
+    if (!r.correct)
+        dsm_fatal("%s produced a wrong count (c=%d a=%.1f)",
+                  impl.label.c_str(), contention, write_run);
+    return r.avg_cycles_per_update;
+}
+
+inline void
+runFigure(const char *figure, CounterKind kind)
+{
+    std::printf("%s: average cycles per counter update, %s counter, "
+                "p=64\n", figure, toString(kind));
+    std::printf("(rows: implementations of Section 3; left columns: "
+                "no contention,\n write-run sweep; right columns: "
+                "contention sweep)\n");
+
+    const double write_runs[] = {1.0, 1.5, 2.0, 3.0, 10.0};
+    const int contentions[] = {2, 4, 8, 16, 64};
+
+    std::vector<std::string> cols;
+    for (double a : write_runs)
+        cols.push_back(csprintf(
+            a == static_cast<int>(a) ? "a=%.0f" : "a=%.1f", a));
+    for (int c : contentions)
+        cols.push_back(csprintf("c=%d", c));
+    printHeader("", cols);
+
+    for (const ImplCase &impl : figureImplementations()) {
+        std::vector<double> vals;
+        for (double a : write_runs)
+            vals.push_back(runPoint(impl, kind, 1, a));
+        for (int c : contentions)
+            vals.push_back(runPoint(impl, kind, c, 1.0));
+        printRow(impl.label, vals);
+    }
+}
+
+} // namespace dsmbench
+
+#endif // DSM_BENCH_FIG_COUNTER_COMMON_HH

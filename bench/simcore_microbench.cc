@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Host-performance microbenchmarks (google-benchmark) of the simulation
+ * core: raw event-queue throughput and end-to-end simulated-events/sec
+ * for a representative coherence workload. These measure the simulator
+ * itself, not the simulated machine.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cpu/system.hh"
+#include "sync/lockfree_counter.hh"
+
+using namespace dsm;
+
+namespace {
+
+void
+BM_EventQueueSchedule(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1024; ++i)
+            eq.schedule(static_cast<Tick>(i % 64), [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+Config
+benchConfig(int procs)
+{
+    Config cfg;
+    cfg.machine.num_procs = procs;
+    cfg.machine.mesh_x = procs == 64 ? 8 : 4;
+    cfg.machine.mesh_y = procs == 64 ? 8 : procs / 4;
+    return cfg;
+}
+
+void
+BM_ContendedFetchAdd(benchmark::State &state)
+{
+    int procs = static_cast<int>(state.range(0));
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        System sys(benchConfig(procs));
+        LockFreeCounter counter(sys, Primitive::FAP);
+        for (NodeId n = 0; n < procs; ++n) {
+            sys.spawn([](Proc &p, LockFreeCounter &c) -> Task {
+                for (int i = 0; i < 20; ++i)
+                    co_await c.fetchInc(p);
+            }(sys.proc(n), counter));
+        }
+        RunResult r = sys.run();
+        events += r.events;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(events));
+    state.SetLabel("simulated events/sec");
+}
+BENCHMARK(BM_ContendedFetchAdd)->Arg(16)->Arg(64);
+
+void
+BM_MeshMessageThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        MachineConfig mc;
+        Mesh mesh(eq, mc);
+        std::uint64_t delivered = 0;
+        for (NodeId n = 0; n < mc.num_procs; ++n)
+            mesh.setHandler(n, [&delivered](const Msg &) {
+                ++delivered;
+            });
+        for (int i = 0; i < 2048; ++i) {
+            Msg m;
+            m.type = MsgType::GET_S;
+            m.src = i % 64;
+            m.dst = (i * 7) % 64;
+            mesh.send(m);
+        }
+        eq.run();
+        benchmark::DoNotOptimize(delivered);
+    }
+    state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_MeshMessageThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Awaitable sub-coroutine type used to compose synchronization
+ * algorithms: a workload Task can `co_await lock.acquire(p)` where
+ * acquire() is itself a coroutine issuing Proc operations.
+ *
+ * CoTask is lazy: the body starts when awaited, and completion resumes
+ * the awaiting coroutine by symmetric transfer.
+ */
+
+#ifndef DSM_CPU_CO_TASK_HH
+#define DSM_CPU_CO_TASK_HH
+
+#include <coroutine>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+/** Awaitable coroutine returning a T (or void). */
+template <typename T = void>
+class CoTask
+{
+  public:
+    struct promise_type
+    {
+        T value{};
+        std::coroutine_handle<> continuation;
+
+        CoTask
+        get_return_object()
+        {
+            return CoTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                return h.promise().continuation
+                           ? h.promise().continuation
+                           : std::noop_coroutine();
+            }
+
+            void await_resume() const noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+
+        void return_value(T v) { value = std::move(v); }
+
+        void
+        unhandled_exception()
+        {
+            dsm_panic("unhandled exception in a CoTask coroutine");
+        }
+    };
+
+    CoTask() = default;
+    explicit CoTask(std::coroutine_handle<promise_type> h) : _h(h) {}
+    CoTask(CoTask &&o) noexcept : _h(std::exchange(o._h, nullptr)) {}
+
+    CoTask &
+    operator=(CoTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _h = std::exchange(o._h, nullptr);
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+    ~CoTask() { destroy(); }
+
+    /** Awaiter: start the body; resume the awaiter when it returns. */
+    auto
+    operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> h;
+
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            T await_resume() { return std::move(h.promise().value); }
+        };
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> _h;
+};
+
+/** Specialization for coroutines that produce no value. */
+template <>
+class CoTask<void>
+{
+  public:
+    struct promise_type
+    {
+        std::coroutine_handle<> continuation;
+
+        CoTask
+        get_return_object()
+        {
+            return CoTask(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+
+        struct FinalAwaiter
+        {
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<promise_type> h) noexcept
+            {
+                return h.promise().continuation
+                           ? h.promise().continuation
+                           : std::noop_coroutine();
+            }
+
+            void await_resume() const noexcept {}
+        };
+
+        FinalAwaiter final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+
+        void
+        unhandled_exception()
+        {
+            dsm_panic("unhandled exception in a CoTask coroutine");
+        }
+    };
+
+    CoTask() = default;
+    explicit CoTask(std::coroutine_handle<promise_type> h) : _h(h) {}
+    CoTask(CoTask &&o) noexcept : _h(std::exchange(o._h, nullptr)) {}
+
+    CoTask &
+    operator=(CoTask &&o) noexcept
+    {
+        if (this != &o) {
+            destroy();
+            _h = std::exchange(o._h, nullptr);
+        }
+        return *this;
+    }
+
+    CoTask(const CoTask &) = delete;
+    CoTask &operator=(const CoTask &) = delete;
+    ~CoTask() { destroy(); }
+
+    auto
+    operator co_await() && noexcept
+    {
+        struct Awaiter
+        {
+            std::coroutine_handle<promise_type> h;
+
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                h.promise().continuation = cont;
+                return h;
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{_h};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> _h;
+};
+
+} // namespace dsm
+
+#endif // DSM_CPU_CO_TASK_HH

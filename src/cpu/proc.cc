@@ -1,0 +1,75 @@
+#include "cpu/proc.hh"
+
+#include "cpu/system.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+Proc::Proc(System &sys, NodeId id) : _sys(sys), _id(id) {}
+
+void
+Proc::issue(AtomicOp op, Addr a, Word v, Word exp, Controller::DoneFn done)
+{
+    ++_ops_issued;
+    bool is_sync = _sys.isSync(a) && op != AtomicOp::DROP_COPY;
+    // Contention (Figure 2) counts processors concurrently *attempting
+    // an atomic access*; ordinary loads (e.g. test-and-test-and-set
+    // spinning on a cached copy) are not attempts. Write-run tracking
+    // counts every access: reads by other processors end a run.
+    bool is_attempt = is_sync && (isAtomic(op) || op == AtomicOp::LL ||
+                                  op == AtomicOp::LLS);
+    if (is_attempt)
+        _sys.sharing().beginAttempt(a, _id);
+
+    NodeId id = _id;
+    Addr addr = a;
+    AtomicOp the_op = op;
+    System *sys = &_sys;
+    _sys.ctrl(_id).cpuRequest(
+        op, a, v, exp,
+        [sys, id, addr, the_op, is_sync, is_attempt,
+         done = std::move(done)](OpResult r) {
+            if (is_attempt)
+                sys->sharing().endAttempt(addr, id);
+            if (is_sync) {
+                bool is_write = false;
+                switch (the_op) {
+                  case AtomicOp::STORE:
+                  case AtomicOp::TAS:
+                  case AtomicOp::FAA:
+                  case AtomicOp::FAS:
+                  case AtomicOp::FAO:
+                    is_write = true;
+                    break;
+                  case AtomicOp::CAS:
+                  case AtomicOp::SC:
+                  case AtomicOp::SCS:
+                    is_write = r.success;
+                    break;
+                  default:
+                    break;
+                }
+                sys->sharing().recordAccess(addr, id, is_write);
+            }
+            done(r);
+        });
+}
+
+void
+Proc::Op::await_suspend(std::coroutine_handle<> h)
+{
+    proc.issue(op, addr, value, expected,
+               [this, h](OpResult r) {
+                   result = r;
+                   h.resume();
+               });
+}
+
+void
+Proc::Delay::await_suspend(std::coroutine_handle<> h)
+{
+    Tick d = cycles > 0 ? cycles : 1;
+    proc._sys.eq().scheduleIn(d, [h] { h.resume(); });
+}
+
+} // namespace dsm

@@ -1,0 +1,201 @@
+#include "cpu/system.hh"
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+System::System(const Config &cfg)
+    : _cfg(cfg),
+      _eq(),
+      _mesh(_eq, _cfg.machine),
+      _rng(cfg.machine.seed)
+{
+    _cfg.machine.validate();
+    int n = _cfg.machine.num_procs;
+    _mems.reserve(n);
+    _dirs.resize(n);
+    for (int i = 0; i < n; ++i)
+        _mems.emplace_back(_cfg.machine.mem_service_time);
+    for (int i = 0; i < n; ++i) {
+        _ctrls.push_back(std::make_unique<Controller>(*this, i));
+        _procs.push_back(std::make_unique<Proc>(*this, i));
+    }
+    for (int i = 0; i < n; ++i) {
+        Controller *c = _ctrls[i].get();
+        _mesh.setHandler(i, [c](const Msg &m) { c->handleMsg(m); });
+    }
+    if (_cfg.machine.spurious_resv_period > 0)
+        scheduleSpuriousInvalidation();
+}
+
+void
+System::scheduleSpuriousInvalidation()
+{
+    _eq.scheduleIn(_cfg.machine.spurious_resv_period, [this] {
+        for (auto &c : _ctrls)
+            c->cache().clearReservation();
+        // Keep firing only while work remains; otherwise the event
+        // queue could never drain.
+        if (tasksPending() > 0)
+            scheduleSpuriousInvalidation();
+    });
+}
+
+Addr
+System::alloc(std::size_t bytes, std::size_t align)
+{
+    dsm_assert(align > 0 && (align & (align - 1)) == 0,
+               "alignment must be a power of two");
+    Addr a = (_next_alloc + align - 1) & ~static_cast<Addr>(align - 1);
+    _next_alloc = a + bytes;
+    return a;
+}
+
+Addr
+System::allocSync()
+{
+    Addr a = alloc(BLOCK_BYTES, BLOCK_BYTES);
+    markSync(a);
+    return a;
+}
+
+Addr
+System::allocAt(NodeId home, std::size_t bytes)
+{
+    dsm_assert(home >= 0 && home < numProcs(), "bad home node %d", home);
+    // Advance to the next block whose home is the requested node.
+    Addr a = (_next_alloc + BLOCK_BYTES - 1) &
+             ~static_cast<Addr>(BLOCK_BYTES - 1);
+    while (homeOf(a) != home)
+        a += BLOCK_BYTES;
+    _next_alloc = a + bytes;
+    return a;
+}
+
+Addr
+System::allocSyncAt(NodeId home)
+{
+    Addr a = allocAt(home, BLOCK_BYTES);
+    markSync(a);
+    return a;
+}
+
+Word
+System::debugRead(Addr a) const
+{
+    for (const auto &c : _ctrls) {
+        const CacheLine *line = c->cache().peek(a);
+        if (line != nullptr && line->state == LineState::EXCLUSIVE)
+            return line->readWord(a);
+    }
+    return _store.readWord(a);
+}
+
+void
+System::spawn(Task t)
+{
+    dsm_assert(!t.done(), "spawning a completed task");
+    std::coroutine_handle<> h = t.handle();
+    _tasks.push_back(std::move(t));
+    _eq.schedule(_eq.now(), [h] { h.resume(); });
+}
+
+int
+System::tasksPending() const
+{
+    int n = 0;
+    for (const Task &t : _tasks)
+        if (!t.done())
+            ++n;
+    return n;
+}
+
+void
+System::reapTasks()
+{
+    std::erase_if(_tasks, [](const Task &t) { return t.done(); });
+}
+
+std::string
+System::report() const
+{
+    std::string out;
+    out += csprintf("machine: %d procs (%dx%d mesh), %u-set %u-way "
+                    "caches, mem=%llu cy, hop=%llu cy\n",
+                    _cfg.machine.num_procs, _cfg.machine.mesh_x,
+                    _cfg.machine.mesh_y, _cfg.machine.cache_sets,
+                    _cfg.machine.cache_ways,
+                    (unsigned long long)_cfg.machine.mem_service_time,
+                    (unsigned long long)_cfg.machine.hop_latency);
+    out += csprintf("sync implementation: %s (policy %s)\n",
+                    _cfg.sync.label().c_str(),
+                    toString(_cfg.sync.policy));
+    out += csprintf("time: %llu cycles, %llu events\n",
+                    (unsigned long long)_eq.now(),
+                    (unsigned long long)_eq.eventsExecuted());
+
+    const MeshStats &ms = _mesh.stats();
+    out += csprintf("network: %llu messages (%llu flits, %.1f avg hops)"
+                    ", %llu local deliveries\n",
+                    (unsigned long long)ms.messages,
+                    (unsigned long long)ms.flits,
+                    ms.messages ? static_cast<double>(ms.hop_sum) /
+                                      static_cast<double>(ms.messages)
+                                : 0.0,
+                    (unsigned long long)ms.local);
+
+    std::uint64_t mem_acc = 0, mem_queue = 0;
+    for (const MemModule &m : _mems) {
+        mem_acc += m.accesses();
+        mem_queue += m.queueCycles();
+    }
+    out += csprintf("memory: %llu accesses, %llu queueing cycles\n",
+                    (unsigned long long)mem_acc,
+                    (unsigned long long)mem_queue);
+
+    std::uint64_t hits = 0, misses = 0, evictions = 0, invs = 0;
+    for (const auto &c : _ctrls) {
+        const CacheStats &cs = c->cache().stats();
+        hits += cs.hits;
+        misses += cs.misses;
+        evictions += cs.evictions;
+        invs += cs.invalidations_received;
+    }
+    out += csprintf("caches: %llu hits, %llu misses, %llu evictions, "
+                    "%llu invalidations received\n",
+                    (unsigned long long)hits, (unsigned long long)misses,
+                    (unsigned long long)evictions,
+                    (unsigned long long)invs);
+    out += _stats.report();
+    return out;
+}
+
+RunResult
+System::run(Tick max_ticks)
+{
+    RunResult r;
+    Tick deadline = _eq.now() + max_ticks;
+    while (tasksPending() > 0) {
+        if (_eq.empty()) {
+            r.deadlocked = true;
+            break;
+        }
+        if (_eq.now() > deadline)
+            break;
+        // Step in small chunks so the (O(tasks)) pending check does not
+        // dominate event processing.
+        for (int i = 0; i < 64 && !_eq.empty(); ++i)
+            _eq.step();
+    }
+    r.completed = tasksPending() == 0;
+    if (r.completed) {
+        // Quiesce: drain in-flight protocol traffic (write-backs,
+        // acknowledgements) so memory reaches its final state.
+        _eq.run();
+    }
+    r.end_tick = _eq.now();
+    r.events = _eq.eventsExecuted();
+    return r;
+}
+
+} // namespace dsm

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Top-level simulated machine: the event queue, interconnect, per-node
+ * memory modules/directories/controllers/processors, the shared address
+ * space, and the sync-region registry that assigns the studied coherence
+ * policy to atomically accessed data (Section 3: the base protocol for
+ * all other data is write-invalidate).
+ */
+
+#ifndef DSM_CPU_SYSTEM_HH
+#define DSM_CPU_SYSTEM_HH
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "cpu/proc.hh"
+#include "cpu/sync_barrier.hh"
+#include "cpu/task.hh"
+#include "mem/backing_store.hh"
+#include "mem/directory.hh"
+#include "mem/mem_module.hh"
+#include "net/mesh.hh"
+#include "proto/controller.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/sharing_tracker.hh"
+#include "stats/stat_set.hh"
+
+namespace dsm {
+
+/** Outcome of System::run(). */
+struct RunResult
+{
+    bool completed = false;  ///< all spawned tasks finished
+    bool deadlocked = false; ///< events drained with tasks pending
+    Tick end_tick = 0;
+    std::uint64_t events = 0;
+};
+
+/** The whole simulated multiprocessor. */
+class System
+{
+  public:
+    explicit System(const Config &cfg);
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    /** @name Component access. @{ */
+    const Config &cfg() const { return _cfg; }
+    EventQueue &eq() { return _eq; }
+    Mesh &mesh() { return _mesh; }
+    BackingStore &store() { return _store; }
+    MemModule &mem(NodeId n) { return _mems[n]; }
+    Directory &dir(NodeId n) { return _dirs[n]; }
+    Controller &ctrl(NodeId n) { return *_ctrls[n]; }
+    Proc &proc(NodeId n) { return *_procs[n]; }
+    SysStats &stats() { return _stats; }
+    SharingTracker &sharing() { return _sharing; }
+    Rng &rng() { return _rng; }
+    int numProcs() const { return _cfg.machine.num_procs; }
+    Tick now() const { return _eq.now(); }
+    /** @} */
+
+    /** Home node of the block containing @p a (block-interleaved). */
+    NodeId
+    homeOf(Addr a) const
+    {
+        return static_cast<NodeId>((a / BLOCK_BYTES) %
+                                   static_cast<Addr>(numProcs()));
+    }
+
+    /** True if @p a lies in a registered synchronization block. */
+    bool
+    isSync(Addr a) const
+    {
+        return _sync_blocks.count(blockBase(a)) != 0;
+    }
+
+    /**
+     * Coherence policy applied to accesses to @p a: the configured sync
+     * policy for registered sync blocks, INV (the base write-invalidate
+     * protocol) for everything else.
+     */
+    SyncPolicy
+    policyOf(Addr a) const
+    {
+        return isSync(a) ? _cfg.sync.policy : SyncPolicy::INV;
+    }
+
+    /** @name Address-space management. @{ */
+
+    /** Allocate ordinary shared memory. */
+    Addr alloc(std::size_t bytes, std::size_t align = WORD_BYTES);
+
+    /**
+     * Allocate one block-aligned, block-padded synchronization variable
+     * and register its block under the configured sync policy.
+     * @return the address of the variable's first word.
+     */
+    Addr allocSync();
+
+    /** allocSync(), placing the block's home at node @p home. */
+    Addr allocSyncAt(NodeId home);
+
+    /** alloc(), placing the first block's home at node @p home. */
+    Addr allocAt(NodeId home, std::size_t bytes);
+
+    /** Register an existing block as synchronization data. */
+    void markSync(Addr a) { _sync_blocks.insert(blockBase(a)); }
+
+    /** Initialize memory contents before (or between) runs. */
+    void writeInit(Addr a, Word v) { _store.writeWord(a, v); }
+
+    /**
+     * Debug read of the globally most up-to-date value of word @p a:
+     * the exclusive owner's cached copy if one exists, else memory.
+     * For tests and result extraction only; has no timing effect.
+     */
+    Word debugRead(Addr a) const;
+
+    /** @} */
+
+    /** @name Thread management. @{ */
+
+    /** Register a workload coroutine; it starts when run() is called. */
+    void spawn(Task t);
+
+    /** Number of spawned tasks that have not yet completed. */
+    int tasksPending() const;
+
+    /**
+     * Run until every spawned task completes, the event queue drains,
+     * or @p max_ticks of simulated time elapse.
+     */
+    RunResult run(Tick max_ticks = 2'000'000'000ULL);
+
+    /** Discard completed tasks (e.g. between measurement phases). */
+    void reapTasks();
+
+    /** @} */
+
+    /**
+     * Multi-line human-readable summary of the configuration and of
+     * every statistics domain: network, memory modules, caches, and
+     * protocol counters.
+     */
+    std::string report() const;
+
+  private:
+    /** Periodic reservation clearing (MachineConfig::spurious_resv_period). */
+    void scheduleSpuriousInvalidation();
+
+    Config _cfg;
+    EventQueue _eq;
+    Mesh _mesh;
+    BackingStore _store;
+    std::vector<MemModule> _mems;
+    std::vector<Directory> _dirs;
+    std::vector<std::unique_ptr<Controller>> _ctrls;
+    std::vector<std::unique_ptr<Proc>> _procs;
+    SysStats _stats;
+    SharingTracker _sharing;
+    Rng _rng;
+
+    std::vector<Task> _tasks;
+    Addr _next_alloc = BLOCK_BYTES; ///< address 0 reserved
+
+    /** Registered sync blocks (block base addresses). */
+    std::unordered_set<Addr> _sync_blocks;
+};
+
+} // namespace dsm
+
+#endif // DSM_CPU_SYSTEM_HH

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal C++20 coroutine task type for workload threads.
+ *
+ * A workload "thread" is a coroutine returning Task. It starts suspended;
+ * System::spawn() schedules the first resume at simulation start. The
+ * coroutine suspends inside the Proc awaitables (memory operations,
+ * compute delays, barriers) and is resumed by the model at the operation's
+ * completion tick. This plays the role MINT's execution-driven front end
+ * plays in the paper: it produces each processor's reference stream.
+ */
+
+#ifndef DSM_CPU_TASK_HH
+#define DSM_CPU_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+/** Move-only handle owning one workload coroutine. */
+class Task
+{
+  public:
+    struct promise_type
+    {
+        Task
+        get_return_object()
+        {
+            return Task(
+                std::coroutine_handle<promise_type>::from_promise(*this));
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() noexcept {}
+
+        void
+        unhandled_exception()
+        {
+            dsm_panic("unhandled exception escaped a workload coroutine");
+        }
+    };
+
+    Task() = default;
+
+    explicit Task(std::coroutine_handle<promise_type> h) : _h(h) {}
+
+    Task(Task &&other) noexcept : _h(std::exchange(other._h, nullptr)) {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            _h = std::exchange(other._h, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    /** True once the coroutine has run to completion. */
+    bool done() const { return !_h || _h.done(); }
+
+    /** The raw handle (used by System::spawn for the initial resume). */
+    std::coroutine_handle<> handle() const { return _h; }
+
+  private:
+    void
+    destroy()
+    {
+        if (_h) {
+            _h.destroy();
+            _h = nullptr;
+        }
+    }
+
+    std::coroutine_handle<promise_type> _h;
+};
+
+} // namespace dsm
+
+#endif // DSM_CPU_TASK_HH

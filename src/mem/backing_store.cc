@@ -1,0 +1,36 @@
+#include "mem/backing_store.hh"
+
+namespace dsm {
+
+Word
+BackingStore::readWord(Addr a) const
+{
+    auto it = _words.find(wordBase(a));
+    return it == _words.end() ? 0 : it->second;
+}
+
+void
+BackingStore::writeWord(Addr a, Word v)
+{
+    _words[wordBase(a)] = v;
+}
+
+std::array<Word, BLOCK_WORDS>
+BackingStore::readBlock(Addr a) const
+{
+    std::array<Word, BLOCK_WORDS> out{};
+    Addr base = blockBase(a);
+    for (unsigned i = 0; i < BLOCK_WORDS; ++i)
+        out[i] = readWord(base + i * WORD_BYTES);
+    return out;
+}
+
+void
+BackingStore::writeBlock(Addr a, const std::array<Word, BLOCK_WORDS> &data)
+{
+    Addr base = blockBase(a);
+    for (unsigned i = 0; i < BLOCK_WORDS; ++i)
+        _words[base + i * WORD_BYTES] = data[i];
+}
+
+} // namespace dsm

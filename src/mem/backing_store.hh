@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Sparse word-granularity backing store for main memory contents.
+ *
+ * Each word of the simulated shared address space has exactly one home
+ * memory module, so a single sparse map suffices; block reads/writes are
+ * provided for data-carrying coherence messages. Cache copies are stored
+ * separately in the caches so that races on atomically accessed data are
+ * simulated value-accurately (as the paper's simulator does).
+ */
+
+#ifndef DSM_MEM_BACKING_STORE_HH
+#define DSM_MEM_BACKING_STORE_HH
+
+#include <array>
+#include <unordered_map>
+
+#include "sim/types.hh"
+
+namespace dsm {
+
+/** Sparse main-memory contents, word granularity, zero-initialized. */
+class BackingStore
+{
+  public:
+    /** Read the word at (word-aligned) address @p a. */
+    Word readWord(Addr a) const;
+
+    /** Write the word at (word-aligned) address @p a. */
+    void writeWord(Addr a, Word v);
+
+    /** Read the whole block containing @p a. */
+    std::array<Word, BLOCK_WORDS> readBlock(Addr a) const;
+
+    /** Write the whole block containing @p a. */
+    void writeBlock(Addr a, const std::array<Word, BLOCK_WORDS> &data);
+
+  private:
+    std::unordered_map<Addr, Word> _words;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_BACKING_STORE_HH

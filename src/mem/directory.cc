@@ -1,0 +1,16 @@
+#include "mem/directory.hh"
+
+namespace dsm {
+
+const char *
+toString(DirState s)
+{
+    switch (s) {
+      case DirState::UNCACHED: return "Uncached";
+      case DirState::SHARED: return "Shared";
+      case DirState::EXCLUSIVE: return "Exclusive";
+    }
+    return "?";
+}
+
+} // namespace dsm

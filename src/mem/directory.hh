@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Directory state, DASH-style, one entry per 32-byte block.
+ *
+ * A block is UNCACHED, SHARED (with a full bit-vector of sharers), or
+ * EXCLUSIVE (with a single owner). Exclusive-ownership transfers pass
+ * through a busy sub-state during which conflicting requests are NACKed
+ * and retried (Section 3 bases the protocols on the DASH protocol).
+ *
+ * The entry also holds the in-memory load_linked/store_conditional state
+ * for the UNC and UPD implementations (Section 3.1): a reservation bit
+ * vector and a write serial number (the paper's preferred space
+ * optimization, also used by our serial-number LL/SC extension).
+ */
+
+#ifndef DSM_MEM_DIRECTORY_HH
+#define DSM_MEM_DIRECTORY_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+/** Stable states of a directory entry. */
+enum class DirState
+{
+    UNCACHED,
+    SHARED,
+    EXCLUSIVE,
+};
+
+const char *toString(DirState s);
+
+/** Directory entry for one coherence block. */
+struct DirEntry
+{
+    DirState state = DirState::UNCACHED;
+    /** Bit-vector of sharers (valid when SHARED); bit i = node i. */
+    std::uint64_t sharers = 0;
+    /** Owning node (valid when EXCLUSIVE). */
+    NodeId owner = INVALID_NODE;
+
+    /** @name Busy sub-state for in-flight ownership transfers. @{ */
+    bool busy = false;
+    /** Original requester to answer (or NACK) when the transfer ends. */
+    NodeId pending_requester = INVALID_NODE;
+    /** A write-back arrived while the forward was outstanding. */
+    bool wb_received = false;
+    /** The owner reported the line gone; waiting for its write-back. */
+    bool await_wb = false;
+    /** @} */
+
+    /** @name In-memory LL/SC support (UNC/UPD implementations). @{ */
+    /** Reservation bit-vector; bit i = processor i holds a reservation. */
+    std::uint64_t reservations = 0;
+    /** Serial number of writes to this block (Section 3.1 option 4). */
+    std::uint32_t serial = 0;
+    /** @} */
+
+    bool isSharer(NodeId n) const { return sharers & (1ULL << n); }
+    void addSharer(NodeId n) { sharers |= 1ULL << n; }
+    void removeSharer(NodeId n) { sharers &= ~(1ULL << n); }
+    int numSharers() const { return __builtin_popcountll(sharers); }
+
+    bool hasReservation(NodeId n) const
+    {
+        return reservations & (1ULL << n);
+    }
+    void setReservation(NodeId n) { reservations |= 1ULL << n; }
+    void clearReservations() { reservations = 0; }
+    int numReservations() const
+    {
+        return __builtin_popcountll(reservations);
+    }
+
+    /** Record a write for the serial-number LL/SC scheme. */
+    void bumpSerial() { ++serial; }
+};
+
+/** The directory for blocks homed at one memory module. */
+class Directory
+{
+  public:
+    /** Get (creating on demand) the entry for the block containing @p a. */
+    DirEntry &
+    entry(Addr a)
+    {
+        return _entries[blockBase(a)];
+    }
+
+    /** Look up without creating; nullptr if never touched. */
+    const DirEntry *
+    find(Addr a) const
+    {
+        auto it = _entries.find(blockBase(a));
+        return it == _entries.end() ? nullptr : &it->second;
+    }
+
+    std::size_t size() const { return _entries.size(); }
+
+    /** All entries, for inspection and invariant checking. */
+    const std::unordered_map<Addr, DirEntry> &entries() const
+    {
+        return _entries;
+    }
+
+  private:
+    std::unordered_map<Addr, DirEntry> _entries;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_DIRECTORY_HH

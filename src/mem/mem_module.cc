@@ -1,0 +1,4 @@
+#include "mem/mem_module.hh"
+
+// MemModule is header-only; this translation unit exists so the build
+// system has a home for future out-of-line additions.

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Queued memory module: a single-ported memory bank with a FIFO request
+ * queue and fixed service time, modeling memory contention as in the
+ * paper's simulator ("queued memory").
+ */
+
+#ifndef DSM_MEM_MEM_MODULE_HH
+#define DSM_MEM_MEM_MODULE_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dsm {
+
+/**
+ * One node's memory module. access() reserves the next free service slot
+ * and returns its completion time; callers schedule their directory
+ * action at that tick, which serializes all directory/memory state
+ * mutations at this node.
+ */
+class MemModule
+{
+  public:
+    explicit MemModule(Tick service_time) : _service(service_time) {}
+
+    /**
+     * Enqueue a request arriving at @p now.
+     * @return the tick at which the request completes.
+     */
+    Tick
+    access(Tick now)
+    {
+        Tick start = now > _free ? now : _free;
+        _free = start + _service;
+        ++_accesses;
+        _busy_cycles += _service;
+        if (start > now)
+            _queue_cycles += start - now;
+        return _free;
+    }
+
+    /** Number of requests serviced. */
+    std::uint64_t accesses() const { return _accesses; }
+    /** Total cycles requests spent waiting in the queue. */
+    std::uint64_t queueCycles() const { return _queue_cycles; }
+    /** Total cycles the bank spent servicing requests. */
+    std::uint64_t busyCycles() const { return _busy_cycles; }
+
+  private:
+    Tick _service;
+    Tick _free = 0;
+    std::uint64_t _accesses = 0;
+    std::uint64_t _queue_cycles = 0;
+    std::uint64_t _busy_cycles = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_MEM_MEM_MODULE_HH

@@ -1,0 +1,80 @@
+#include "net/mesh.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+Mesh::Mesh(EventQueue &eq, const MachineConfig &cfg)
+    : _eq(eq), _cfg(cfg),
+      _handlers(cfg.num_procs),
+      _inj_free(cfg.num_procs, 0),
+      _ej_free(cfg.num_procs, 0)
+{
+}
+
+void
+Mesh::setHandler(NodeId n, Handler h)
+{
+    dsm_assert(n >= 0 && n < static_cast<NodeId>(_handlers.size()),
+               "bad node id %d", n);
+    _handlers[n] = std::move(h);
+}
+
+int
+Mesh::hops(NodeId a, NodeId b) const
+{
+    int ax = a % _cfg.mesh_x, ay = a / _cfg.mesh_x;
+    int bx = b % _cfg.mesh_x, by = b / _cfg.mesh_x;
+    return std::abs(ax - bx) + std::abs(ay - by);
+}
+
+unsigned
+Mesh::flitsFor(const Msg &msg) const
+{
+    unsigned bytes = msg.sizeBytes() + _cfg.header_bytes;
+    return (bytes + _cfg.flit_bytes - 1) / _cfg.flit_bytes;
+}
+
+void
+Mesh::send(const Msg &msg)
+{
+    dsm_assert(msg.src >= 0 && msg.src < _cfg.num_procs &&
+               msg.dst >= 0 && msg.dst < _cfg.num_procs,
+               "bad endpoints %d -> %d", msg.src, msg.dst);
+    Handler &h = _handlers[msg.dst];
+    dsm_assert(h != nullptr, "no handler at node %d", msg.dst);
+
+    Tick now = _eq.now();
+    if (msg.src == msg.dst) {
+        ++_stats.local;
+        _eq.schedule(now + _cfg.local_latency,
+                     [&h, msg] { h(msg); });
+        return;
+    }
+
+    unsigned flits = flitsFor(msg);
+    Tick ser = static_cast<Tick>(flits) * _cfg.flit_latency;
+
+    // Injection port: serialized among messages leaving this node.
+    Tick depart = std::max(now, _inj_free[msg.src]);
+    _inj_free[msg.src] = depart + ser;
+
+    // In-flight time: head latency over the dimension-order path.
+    int nhops = hops(msg.src, msg.dst);
+    Tick head_arrive = depart + static_cast<Tick>(nhops) * _cfg.hop_latency;
+
+    // Ejection port: serialized among messages entering the destination.
+    Tick start = std::max(head_arrive, _ej_free[msg.dst]);
+    Tick deliver = start + ser;
+    _ej_free[msg.dst] = deliver;
+
+    ++_stats.messages;
+    _stats.flits += flits;
+    _stats.hop_sum += static_cast<std::uint64_t>(nhops);
+
+    _eq.schedule(deliver, [&h, msg] { h(msg); });
+}
+
+} // namespace dsm

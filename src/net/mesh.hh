@@ -1,0 +1,78 @@
+/**
+ * @file
+ * 2-D wormhole mesh interconnect model.
+ *
+ * Following the paper's methodology, latency models contention at the
+ * network entry (injection port) and exit (ejection port) of each node,
+ * but not at internal mesh routers. A message's in-flight time is the
+ * dimension-order hop count times the per-hop latency plus the flit
+ * serialization time at the ports.
+ *
+ * Messages between a fixed (src, dst) pair are delivered in FIFO order,
+ * which the coherence protocol relies on.
+ */
+
+#ifndef DSM_NET_MESH_HH
+#define DSM_NET_MESH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/msg.hh"
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+/** Aggregate network statistics. */
+struct MeshStats
+{
+    std::uint64_t messages = 0;  ///< network messages (src != dst)
+    std::uint64_t flits = 0;     ///< flits injected
+    std::uint64_t local = 0;     ///< node-local deliveries (src == dst)
+    std::uint64_t hop_sum = 0;   ///< total hops traversed
+};
+
+/**
+ * The interconnect. Every node registers a handler; send() computes the
+ * delivery time from port occupancy and hop distance, then schedules the
+ * handler invocation.
+ */
+class Mesh
+{
+  public:
+    using Handler = std::function<void(const Msg &)>;
+
+    Mesh(EventQueue &eq, const MachineConfig &cfg);
+
+    /** Register the message handler for node @p n. */
+    void setHandler(NodeId n, Handler h);
+
+    /**
+     * Send a message. Node-local messages (src == dst) bypass the network
+     * and are delivered after the configured local latency.
+     */
+    void send(const Msg &msg);
+
+    /** Dimension-order hop count between two nodes. */
+    int hops(NodeId a, NodeId b) const;
+
+    const MeshStats &stats() const { return _stats; }
+    void clearStats() { _stats = MeshStats{}; }
+
+  private:
+    unsigned flitsFor(const Msg &msg) const;
+
+    EventQueue &_eq;
+    const MachineConfig &_cfg;
+    std::vector<Handler> _handlers;
+    std::vector<Tick> _inj_free; ///< next tick each injection port is free
+    std::vector<Tick> _ej_free;  ///< next tick each ejection port is free
+    MeshStats _stats;
+};
+
+} // namespace dsm
+
+#endif // DSM_NET_MESH_HH

@@ -1,0 +1,101 @@
+#include "net/msg.hh"
+
+namespace dsm {
+
+const char *
+toString(AtomicOp op)
+{
+    switch (op) {
+      case AtomicOp::LOAD: return "load";
+      case AtomicOp::STORE: return "store";
+      case AtomicOp::LOAD_EXCL: return "load_exclusive";
+      case AtomicOp::DROP_COPY: return "drop_copy";
+      case AtomicOp::TAS: return "test_and_set";
+      case AtomicOp::FAA: return "fetch_and_add";
+      case AtomicOp::FAS: return "fetch_and_store";
+      case AtomicOp::FAO: return "fetch_and_or";
+      case AtomicOp::CAS: return "compare_and_swap";
+      case AtomicOp::LL: return "load_linked";
+      case AtomicOp::SC: return "store_conditional";
+      case AtomicOp::LLS: return "load_linked_serial";
+      case AtomicOp::SCS: return "store_conditional_serial";
+    }
+    return "?";
+}
+
+const char *
+toString(MsgType t)
+{
+    switch (t) {
+      case MsgType::GET_S: return "GetS";
+      case MsgType::GET_X: return "GetX";
+      case MsgType::UPGRADE: return "Upgrade";
+      case MsgType::CAS_HOME: return "CasHome";
+      case MsgType::SC_REQ: return "ScReq";
+      case MsgType::UNC_REQ: return "UncReq";
+      case MsgType::UPD_REQ: return "UpdReq";
+      case MsgType::WB_DATA: return "WbData";
+      case MsgType::DROP_NOTIFY: return "DropNotify";
+      case MsgType::DATA_S: return "DataS";
+      case MsgType::DATA_X: return "DataX";
+      case MsgType::UPG_ACK: return "UpgAck";
+      case MsgType::NACK: return "Nack";
+      case MsgType::CAS_FAIL: return "CasFail";
+      case MsgType::CAS_FAIL_S: return "CasFailS";
+      case MsgType::UNC_RESP: return "UncResp";
+      case MsgType::UPD_RESP: return "UpdResp";
+      case MsgType::SC_RESP: return "ScResp";
+      case MsgType::INV: return "Inv";
+      case MsgType::UPDATE: return "Update";
+      case MsgType::INV_ACK: return "InvAck";
+      case MsgType::UPDATE_ACK: return "UpdateAck";
+      case MsgType::FWD_GET_S: return "FwdGetS";
+      case MsgType::FWD_GET_X: return "FwdGetX";
+      case MsgType::FWD_CAS: return "FwdCas";
+      case MsgType::OWNER_DATA_S: return "OwnerDataS";
+      case MsgType::OWNER_DATA_X: return "OwnerDataX";
+      case MsgType::CAS_OWNER_FAIL: return "CasOwnerFail";
+      case MsgType::CAS_OWNER_FAIL_S: return "CasOwnerFailS";
+      case MsgType::FWD_NACK_RETRY: return "FwdNackRetry";
+      case MsgType::FWD_NACK_WB: return "FwdNackWb";
+    }
+    return "?";
+}
+
+unsigned
+Msg::sizeBytes() const
+{
+    // Address-only control messages: 8 bytes of address/command.
+    // Operand-carrying requests add one or two words.
+    // Data-carrying messages add a full block.
+    unsigned base = 8;
+    switch (type) {
+      case MsgType::UNC_REQ:
+      case MsgType::UPD_REQ:
+        base += 2 * WORD_BYTES; // operand + expected
+        // Serial-number LL/SC grows the message by the counter size
+        // (Section 3.1).
+        if (op == AtomicOp::LLS || op == AtomicOp::SCS)
+            base += WORD_BYTES;
+        break;
+      case MsgType::CAS_HOME:
+      case MsgType::FWD_CAS:
+        base += 2 * WORD_BYTES; // operand + expected
+        break;
+      case MsgType::SC_REQ:
+      case MsgType::UPGRADE:
+      case MsgType::UPDATE:
+      case MsgType::UNC_RESP:
+      case MsgType::UPD_RESP:
+      case MsgType::SC_RESP:
+        base += WORD_BYTES;
+        break;
+      default:
+        break;
+    }
+    if (has_data)
+        base += BLOCK_BYTES;
+    return base;
+}
+
+} // namespace dsm

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Coherence-protocol message definitions.
+ *
+ * A single fat struct carries every protocol message; the type field
+ * selects which fields are meaningful. Message sizes (and hence flit
+ * counts) are derived from the type by sizeBytes().
+ */
+
+#ifndef DSM_NET_MSG_HH
+#define DSM_NET_MSG_HH
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace dsm {
+
+/**
+ * The memory/synchronization operations a processor can issue. The same
+ * enumeration encodes the operation inside UncReq/UpdReq messages.
+ */
+enum class AtomicOp
+{
+    LOAD,       ///< ordinary load
+    STORE,      ///< ordinary store
+    LOAD_EXCL,  ///< load_exclusive auxiliary instruction
+    DROP_COPY,  ///< drop_copy auxiliary instruction
+    TAS,        ///< test_and_set (fetch_and_Phi family)
+    FAA,        ///< fetch_and_add
+    FAS,        ///< fetch_and_store (swap)
+    FAO,        ///< fetch_and_or
+    CAS,        ///< compare_and_swap
+    LL,         ///< load_linked
+    SC,         ///< store_conditional
+    LLS,        ///< serial-number load_linked (Section 3.1, option 4)
+    SCS,        ///< serial-number store_conditional (may be "bare")
+};
+
+/** True for the fetch_and_Phi family members. */
+constexpr bool
+isFetchAndPhi(AtomicOp op)
+{
+    return op == AtomicOp::TAS || op == AtomicOp::FAA ||
+           op == AtomicOp::FAS || op == AtomicOp::FAO;
+}
+
+/** True for operations that atomically read-modify-write memory. */
+constexpr bool
+isAtomic(AtomicOp op)
+{
+    return isFetchAndPhi(op) || op == AtomicOp::CAS ||
+           op == AtomicOp::SC || op == AtomicOp::SCS;
+}
+
+const char *toString(AtomicOp op);
+
+/** Protocol message types. */
+enum class MsgType
+{
+    // Requests sent to the home node.
+    GET_S,        ///< read request, shared copy
+    GET_X,        ///< read-exclusive request (store / load_excl / INV rmw)
+    UPGRADE,      ///< shared -> exclusive upgrade (no data needed)
+    CAS_HOME,     ///< INVd/INVs compare_and_swap request
+    SC_REQ,       ///< INV store_conditional that cannot complete locally
+    UNC_REQ,      ///< uncached operation (UNC policy)
+    UPD_REQ,      ///< write-update operation (UPD policy)
+    WB_DATA,      ///< write-back of an exclusive line (eviction/drop_copy)
+    DROP_NOTIFY,  ///< a shared copy was dropped (drop_copy)
+
+    // Home -> requester responses.
+    DATA_S,       ///< data, shared grant
+    DATA_X,       ///< data, exclusive grant; ack_count invalidations out
+    UPG_ACK,      ///< upgrade granted; ack_count invalidations out
+    NACK,         ///< busy/raced; requester must retry
+    CAS_FAIL,     ///< INVd failure: no copy granted
+    CAS_FAIL_S,   ///< INVs failure: read-only copy granted (carries data)
+    UNC_RESP,     ///< uncached operation result
+    UPD_RESP,     ///< update operation result; may carry data + ack_count
+    SC_RESP,      ///< store_conditional verdict; ack_count on success
+
+    // Home -> sharer.
+    INV,          ///< invalidate; ack to msg.requester
+    UPDATE,       ///< write-update of one word; ack to msg.requester
+
+    // Sharer -> requester.
+    INV_ACK,
+    UPDATE_ACK,
+
+    // Home -> owner (forwarded requests; msg.requester is the original).
+    FWD_GET_S,
+    FWD_GET_X,
+    FWD_CAS,      ///< INVd/INVs comparison forwarded to the owner
+
+    // Owner -> home.
+    OWNER_DATA_S, ///< data + downgrade to shared
+    OWNER_DATA_X, ///< data + ownership surrender
+    CAS_OWNER_FAIL,   ///< INVd: comparison failed at owner, no downgrade
+    CAS_OWNER_FAIL_S, ///< INVs: comparison failed; owner downgraded, data
+    FWD_NACK_RETRY,   ///< owner busy; home should NACK the requester
+    FWD_NACK_WB,      ///< owner no longer holds line; write-back in flight
+};
+
+const char *toString(MsgType t);
+
+/** A protocol message. Fields beyond type/src/dst are type-dependent. */
+struct Msg
+{
+    MsgType type = MsgType::NACK;
+    NodeId src = INVALID_NODE;
+    NodeId dst = INVALID_NODE;
+    /** Original requester (for forwarded/third-party messages). */
+    NodeId requester = INVALID_NODE;
+    /** Block-aligned address of the affected line. */
+    Addr addr = 0;
+    /** Word address for operations narrower than a block. */
+    Addr word_addr = 0;
+    /** Operation encoded in UNC_REQ/UPD_REQ messages. */
+    AtomicOp op = AtomicOp::LOAD;
+    /** Operand (store/FAP value, CAS new value, SC new value). */
+    Word value = 0;
+    /** CAS expected value. */
+    Word expected = 0;
+    /** Operation result / UPDATE payload word. */
+    Word result = 0;
+    /** Success indication for CAS/SC results. */
+    bool success = false;
+    /** Block write serial number (requests: expected; responses: current). */
+    Word serial = 0;
+    /** Invalidations/updates whose acks the requester must collect. */
+    int ack_count = 0;
+    /** Block data payload; valid iff has_data. */
+    std::array<Word, BLOCK_WORDS> data{};
+    bool has_data = false;
+    /**
+     * Length of the serialized message chain ending at this message
+     * (1 for a request issued by a processor). Used to verify Table 1.
+     */
+    int chain = 1;
+
+    /** Payload size in bytes (excluding the per-message header). */
+    unsigned sizeBytes() const;
+};
+
+} // namespace dsm
+
+#endif // DSM_NET_MSG_HH

@@ -1,0 +1,152 @@
+#include "proto/checker.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "cpu/system.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+/** Snapshot of one node's copy of a block. */
+struct Copy
+{
+    NodeId node;
+    LineState state;
+    std::array<Word, BLOCK_WORDS> data;
+};
+
+} // namespace
+
+std::vector<std::string>
+checkCoherence(System &sys)
+{
+    std::vector<std::string> violations;
+    auto complain = [&violations](std::string s) {
+        violations.push_back(std::move(s));
+    };
+
+    // Gather every cached copy, per block.
+    std::map<Addr, std::vector<Copy>> copies;
+    for (NodeId n = 0; n < sys.numProcs(); ++n) {
+        for (const CacheLine &line : sys.ctrl(n).cache().lines()) {
+            if (line.valid())
+                copies[line.base].push_back(
+                    Copy{n, line.state, line.data});
+        }
+    }
+
+    // Gather every directory entry, per block.
+    std::map<Addr, const DirEntry *> dirs;
+    for (NodeId n = 0; n < sys.numProcs(); ++n) {
+        for (const auto &kv : sys.dir(n).entries()) {
+            if (sys.homeOf(kv.first) != n) {
+                complain(csprintf("directory entry for block %#llx at "
+                                  "non-home node %d",
+                                  (unsigned long long)kv.first, n));
+                continue;
+            }
+            dirs[kv.first] = &kv.second;
+        }
+    }
+
+    // Per-block invariants.
+    auto all_blocks = dirs;
+    for (const auto &kv : copies)
+        all_blocks.emplace(kv.first, nullptr);
+
+    for (const auto &[block, dir] : all_blocks) {
+        const std::vector<Copy> *cs = nullptr;
+        auto cit = copies.find(block);
+        if (cit != copies.end())
+            cs = &cit->second;
+
+        if (dir == nullptr) {
+            if (cs != nullptr)
+                complain(csprintf("block %#llx cached with no directory "
+                                  "entry",
+                                  (unsigned long long)block));
+            continue;
+        }
+        if (dir->busy)
+            complain(csprintf("block %#llx left busy after quiesce",
+                              (unsigned long long)block));
+
+        int exclusives = 0, shareds = 0;
+        for (const Copy &c : cs ? *cs : std::vector<Copy>{}) {
+            if (c.state == LineState::EXCLUSIVE)
+                ++exclusives;
+            else
+                ++shareds;
+        }
+        if (exclusives > 1)
+            complain(csprintf("block %#llx has %d exclusive copies",
+                              (unsigned long long)block, exclusives));
+        if (exclusives == 1 && shareds > 0)
+            complain(csprintf("block %#llx mixes exclusive and shared "
+                              "copies",
+                              (unsigned long long)block));
+
+        switch (dir->state) {
+          case DirState::UNCACHED:
+            if (cs != nullptr)
+                complain(csprintf("block %#llx cached while directory "
+                                  "says uncached",
+                                  (unsigned long long)block));
+            break;
+          case DirState::EXCLUSIVE: {
+            if (exclusives != 1) {
+                complain(csprintf("block %#llx: directory exclusive at "
+                                  "%d but %d exclusive copies exist",
+                                  (unsigned long long)block, dir->owner,
+                                  exclusives));
+                break;
+            }
+            const Copy &owner_copy =
+                *std::find_if(cs->begin(), cs->end(),
+                              [](const Copy &c) {
+                                  return c.state == LineState::EXCLUSIVE;
+                              });
+            if (owner_copy.node != dir->owner)
+                complain(csprintf("block %#llx: directory owner %d but "
+                                  "node %d holds it exclusively",
+                                  (unsigned long long)block, dir->owner,
+                                  owner_copy.node));
+            break;
+          }
+          case DirState::SHARED: {
+            if (exclusives != 0)
+                complain(csprintf("block %#llx: exclusive copy while "
+                                  "directory says shared",
+                                  (unsigned long long)block));
+            auto mem = sys.store().readBlock(block);
+            for (const Copy &c : cs ? *cs : std::vector<Copy>{}) {
+                if (!dir->isSharer(c.node))
+                    complain(csprintf("block %#llx: node %d holds a "
+                                      "copy but is not a sharer",
+                                      (unsigned long long)block,
+                                      c.node));
+                if (c.data != mem)
+                    complain(csprintf("block %#llx: node %d's shared "
+                                      "copy differs from memory",
+                                      (unsigned long long)block,
+                                      c.node));
+            }
+            break;
+          }
+        }
+
+        // UNC synchronization data must never be cached.
+        if (sys.isSync(block) &&
+            sys.cfg().sync.policy == SyncPolicy::UNC && cs != nullptr)
+            complain(csprintf("UNC sync block %#llx is cached",
+                              (unsigned long long)block));
+    }
+
+    return violations;
+}
+
+} // namespace dsm

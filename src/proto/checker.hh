@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Whole-system coherence invariant checker.
+ *
+ * Intended to run on a quiesced system (no in-flight protocol traffic:
+ * after System::run() completes all tasks, the run loop drains the
+ * event queue). Verifies the classic single-writer/multiple-reader
+ * invariants plus the directory/cache agreement this protocol promises:
+ *
+ *  - at most one EXCLUSIVE copy of any block exists, and the home
+ *    directory names exactly that node as owner;
+ *  - SHARED copies only exist for blocks the directory has SHARED, on
+ *    nodes in the sharer vector, with data identical to memory;
+ *  - UNCACHED blocks have no cached copies at all;
+ *  - no directory entry is left busy;
+ *  - UNC-policy synchronization blocks are never cached anywhere.
+ */
+
+#ifndef DSM_PROTO_CHECKER_HH
+#define DSM_PROTO_CHECKER_HH
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class System;
+
+/**
+ * Check every coherence invariant on a quiesced system.
+ * @return a description of each violation; empty means coherent.
+ */
+std::vector<std::string> checkCoherence(System &sys);
+
+} // namespace dsm
+
+#endif // DSM_PROTO_CHECKER_HH

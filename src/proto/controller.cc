@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Controller: construction, message dispatch, and helpers shared by the
+ * CPU-side, home-side, and remote-side implementation files.
+ */
+
+#include "proto/controller.hh"
+
+#include <cstdlib>
+
+#include "cpu/system.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+/** Message tracing for protocol debugging, enabled by DSM_TRACE=1. */
+bool
+traceEnabled()
+{
+    static const bool on = std::getenv("DSM_TRACE") != nullptr;
+    return on;
+}
+
+} // namespace
+
+Controller::Controller(System &sys, NodeId id)
+    : _sys(sys), _id(id),
+      _cache(sys.cfg().machine.cache_sets, sys.cfg().machine.cache_ways)
+{
+}
+
+Tick
+Controller::now() const
+{
+    return _sys.eq().now();
+}
+
+void
+Controller::send(Msg m)
+{
+    m.src = _id;
+    _sys.mesh().send(m);
+}
+
+void
+Controller::handleMsg(const Msg &m)
+{
+    dsm_assert(m.dst == _id, "message for node %d delivered to %d",
+               m.dst, _id);
+    if (traceEnabled()) {
+        std::fprintf(stderr,
+                     "[%8llu] %2d<-%-2d %-14s blk=%#llx w=%#llx "
+                     "val=%llu exp=%llu res=%llu ok=%d acks=%d ch=%d\n",
+                     static_cast<unsigned long long>(now()), m.dst,
+                     m.src, toString(m.type),
+                     static_cast<unsigned long long>(m.addr),
+                     static_cast<unsigned long long>(m.word_addr),
+                     static_cast<unsigned long long>(m.value),
+                     static_cast<unsigned long long>(m.expected),
+                     static_cast<unsigned long long>(m.result),
+                     m.success ? 1 : 0, m.ack_count, m.chain);
+        if (m.has_data)
+            std::fprintf(stderr, "           data0=%llu\n",
+                         static_cast<unsigned long long>(m.data[0]));
+    }
+    switch (m.type) {
+      // Home-targeted messages queue behind the memory module.
+      case MsgType::GET_S:
+      case MsgType::GET_X:
+      case MsgType::UPGRADE:
+      case MsgType::CAS_HOME:
+      case MsgType::SC_REQ:
+      case MsgType::UNC_REQ:
+      case MsgType::UPD_REQ:
+      case MsgType::WB_DATA:
+      case MsgType::DROP_NOTIFY:
+      case MsgType::OWNER_DATA_S:
+      case MsgType::OWNER_DATA_X:
+      case MsgType::CAS_OWNER_FAIL:
+      case MsgType::CAS_OWNER_FAIL_S:
+      case MsgType::FWD_NACK_RETRY:
+      case MsgType::FWD_NACK_WB:
+        homeEnqueue(m);
+        break;
+
+      // Responses addressed to this node as the requester.
+      case MsgType::DATA_S:
+      case MsgType::DATA_X:
+      case MsgType::UPG_ACK:
+      case MsgType::NACK:
+      case MsgType::CAS_FAIL:
+      case MsgType::CAS_FAIL_S:
+      case MsgType::UNC_RESP:
+      case MsgType::UPD_RESP:
+      case MsgType::SC_RESP:
+      case MsgType::INV_ACK:
+      case MsgType::UPDATE_ACK:
+        cpuResponse(m);
+        break;
+
+      // Third-party coherence actions.
+      case MsgType::INV:
+        handleInv(m);
+        break;
+      case MsgType::UPDATE:
+        handleUpdate(m);
+        break;
+      case MsgType::FWD_GET_S:
+      case MsgType::FWD_GET_X:
+      case MsgType::FWD_CAS:
+        handleFwd(m);
+        break;
+    }
+}
+
+void
+Controller::reply(const Msg &req, Msg resp)
+{
+    resp.src = _id;
+    resp.dst = req.src;
+    resp.requester = req.src;
+    resp.addr = req.addr;
+    resp.word_addr = req.word_addr;
+    resp.chain = chainNext(req.chain, _id, req.src);
+    send(resp);
+}
+
+void
+Controller::sendNack(const Msg &req)
+{
+    ++_sys.stats().nacks;
+    Msg n;
+    n.type = MsgType::NACK;
+    reply(req, n);
+}
+
+Word
+Controller::applyOp(AtomicOp op, Word old, Word operand)
+{
+    switch (op) {
+      case AtomicOp::STORE:
+      case AtomicOp::FAS:
+        return operand;
+      case AtomicOp::TAS:
+        return 1;
+      case AtomicOp::FAA:
+        return old + operand;
+      case AtomicOp::FAO:
+        return old | operand;
+      default:
+        dsm_panic("applyOp on non-modifying op %s", toString(op));
+    }
+}
+
+bool
+Controller::effectiveWrite(AtomicOp op, bool success)
+{
+    switch (op) {
+      case AtomicOp::STORE:
+      case AtomicOp::TAS:
+      case AtomicOp::FAA:
+      case AtomicOp::FAS:
+      case AtomicOp::FAO:
+        return true;
+      case AtomicOp::CAS:
+      case AtomicOp::SC:
+      case AtomicOp::SCS:
+        return success;
+      default:
+        return false;
+    }
+}
+
+CacheLine *
+Controller::installLine(Addr addr, LineState state,
+                        const std::array<Word, BLOCK_WORDS> &data)
+{
+    Addr base = blockBase(addr);
+    CacheLine *line = _cache.lookup(base);
+    if (line == nullptr) {
+        Victim victim;
+        line = _cache.allocate(base, &victim);
+        if (victim.valid)
+            evictVictim(victim);
+    }
+    line->state = state;
+    line->data = data;
+    return line;
+}
+
+void
+Controller::evictVictim(const Victim &v)
+{
+    if (v.state != LineState::EXCLUSIVE)
+        return; // shared lines are dropped silently (DASH-style)
+    ++_sys.stats().writebacks;
+    Msg wb;
+    wb.type = MsgType::WB_DATA;
+    wb.dst = _sys.homeOf(v.base);
+    wb.requester = _id;
+    wb.addr = v.base;
+    wb.word_addr = v.base;
+    wb.data = v.data;
+    wb.has_data = true;
+    wb.chain = 1;
+    send(wb);
+}
+
+} // namespace dsm

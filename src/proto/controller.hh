@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Per-node coherence/synchronization controller.
+ *
+ * Each processing node has one Controller that plays three roles:
+ *
+ * 1. **CPU side** — services the local processor's (single outstanding)
+ *    memory or synchronization operation: cache hits complete locally;
+ *    misses launch a protocol transaction and complete when the response
+ *    (plus any invalidation/update acknowledgements) arrives. Atomic
+ *    primitives execute here for the INV implementations (computational
+ *    power in the cache controllers, Section 3).
+ *
+ * 2. **Home side** — owns the directory and memory module for the blocks
+ *    whose home is this node. Atomic primitives execute here for the UNC
+ *    and UPD implementations (computational power in the memory), and the
+ *    INVd/INVs compare_and_swap comparisons happen here when memory has
+ *    the most up-to-date copy.
+ *
+ * 3. **Remote side** — answers invalidations, word updates, and requests
+ *    forwarded to this node as the exclusive owner of a line (including
+ *    the INVd/INVs comparison when the owner has the up-to-date copy).
+ *
+ * The protocol is DASH-style: requests to a busy directory entry are
+ * NACKed and retried; invalidation acknowledgements are collected by the
+ * requester. The serialized-message counts of Table 1 fall out of these
+ * flows and are checked by tests/bench via the Msg::chain field.
+ */
+
+#ifndef DSM_PROTO_CONTROLLER_HH
+#define DSM_PROTO_CONTROLLER_HH
+
+#include <functional>
+
+#include "cache/cache.hh"
+#include "net/msg.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** Result of a completed processor operation. */
+struct OpResult
+{
+    /**
+     * For loads and fetch_and_Phi: the value read (the original value).
+     * For compare_and_swap: the original value of the destination.
+     * For stores and store_conditional: 0.
+     */
+    Word value = 0;
+    /** For compare_and_swap / store_conditional: the verdict. */
+    bool success = true;
+    /**
+     * The block's write serial number (Section 3.1), reported by every
+     * memory-executed operation (UNC/UPD policies). Consumed by the
+     * serial-number load_linked/store_conditional primitives.
+     */
+    Word serial = 0;
+};
+
+/** One node's cache/directory controller. */
+class Controller
+{
+  public:
+    using DoneFn = std::function<void(OpResult)>;
+
+    Controller(System &sys, NodeId id);
+
+    Controller(const Controller &) = delete;
+    Controller &operator=(const Controller &) = delete;
+
+    /**
+     * Issue a processor operation. Exactly one operation may be
+     * outstanding; the processor model enforces this by blocking.
+     * @param done Invoked once, at the operation's completion tick.
+     */
+    void cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
+                    DoneFn done);
+
+    /** True while a processor operation is in flight. */
+    bool cpuBusy() const { return _txn.active; }
+
+    /** Network/local message delivery entry point. */
+    void handleMsg(const Msg &m);
+
+    /** The node's cache (exposed for tests and debug reads). */
+    Cache &cache() { return _cache; }
+    const Cache &cache() const { return _cache; }
+
+    NodeId id() const { return _id; }
+
+  private:
+    /** State of the single outstanding CPU-side transaction. */
+    struct Txn
+    {
+        bool active = false;
+        AtomicOp op = AtomicOp::LOAD;
+        Addr addr = 0;      ///< word address of the operand
+        Word value = 0;     ///< operand / new value
+        Word expected = 0;  ///< CAS expected value
+        DoneFn done;
+        Tick start = 0;
+
+        bool waiting = false;    ///< a network request is outstanding
+        bool resp_seen = false;  ///< primary response arrived
+        int acks_needed = 0;
+        int acks_got = 0;
+        Word resp_value = 0;
+        bool resp_success = false;
+        Word resp_serial = 0;
+        int max_chain = 0;       ///< longest serialized message chain
+        int retries = 0;
+    };
+
+    // ===================== CPU side (controller_cpu.cc) ==================
+
+    /** (Re)dispatch the active transaction from current cache state. */
+    void beginTxn();
+    void beginInv();
+    void beginUnc();
+    void beginUpd();
+
+    /** Complete the active transaction now. */
+    void finishTxn(Word value, bool success, Word serial = 0);
+    /** Complete after @p delay cycles (used for cache hits). */
+    void finishTxnAfter(Tick delay, Word value, bool success,
+                        Word serial = 0);
+    /** Schedule a retry of the active transaction after a NACK. */
+    void retryTxn();
+
+    /** Send a CPU-side request to the home node of the txn address. */
+    void sendReq(MsgType t);
+
+    /** Handle a response addressed to this node as requester. */
+    void cpuResponse(const Msg &m);
+    /** Exclusive grant complete: run the deferred local operation. */
+    void completeExclusive();
+    /** UPD response complete (response + update acks). */
+    void completeUpd();
+    /** Track limited-reservation denials from LL responses. */
+    void noteReservationVerdict(const Msg &m);
+    /** Try to complete an ack-gated transaction. */
+    void maybeComplete();
+
+    /** Install a block in the cache, handling victim write-back. */
+    CacheLine *installLine(Addr addr, LineState state,
+                           const std::array<Word, BLOCK_WORDS> &data);
+    /** Write back / drop an evicted line. */
+    void evictVictim(const Victim &v);
+
+    /** New value of a fetch_and_Phi/store on @p old with @p operand. */
+    static Word applyOp(AtomicOp op, Word old, Word operand);
+    /** True if @p op (with verdict @p success) wrote memory. */
+    static bool effectiveWrite(AtomicOp op, bool success);
+
+    // ===================== Home side (controller_home.cc) ================
+
+    /** Queue a home-targeted message behind the memory module. */
+    void homeEnqueue(const Msg &m);
+    /** Process a home-targeted message after the memory access. */
+    void homeProcess(const Msg &m);
+
+    void homeGetS(const Msg &m);
+    void homeGetX(const Msg &m);
+    void homeUpgrade(const Msg &m);
+    void homeCasHome(const Msg &m);
+    void homeScReq(const Msg &m);
+    void homeUncReq(const Msg &m);
+    void homeUpdReq(const Msg &m);
+    void homeWbData(const Msg &m);
+    void homeDropNotify(const Msg &m);
+    void homeOwnerReply(const Msg &m);
+
+    /** Outcome of a memory-executed operation. */
+    struct MemOpOut
+    {
+        Word result = 0;
+        bool success = true;
+        /** Block write serial number after the operation. */
+        Word serial = 0;
+    };
+
+    /**
+     * Perform an operation on memory at the home (UNC/UPD execution of
+     * atomic primitives), maintaining the in-memory reservation vector
+     * and the block's write serial number.
+     */
+    MemOpOut memoryOp(const Msg &m);
+
+    /** Send a NACK for a request. */
+    void sendNack(const Msg &req);
+    /** Send a NACK to a node that is not the direct message source. */
+    void nackNode(NodeId n, Addr block);
+    /** Reply to a request (fills src/dst/requester/addr/chain). */
+    void reply(const Msg &req, Msg resp);
+    /** Send INV to every node in the @p targets bit mask. */
+    void sendInvalidations(std::uint64_t targets, const Msg &req);
+
+    // ===================== Remote side (controller_net.cc) ===============
+
+    void handleInv(const Msg &m);
+    void handleUpdate(const Msg &m);
+    void handleFwd(const Msg &m);
+
+    // ===================== Common helpers =================================
+
+    void send(Msg m);
+    Tick now() const;
+
+    /** Chain length of a message sent with parent chain @p parent. */
+    static int
+    chainNext(int parent, NodeId src, NodeId dst)
+    {
+        return parent + (src != dst ? 1 : 0);
+    }
+
+    System &_sys;
+    NodeId _id;
+    Cache _cache;
+    Txn _txn;
+
+    /**
+     * Set when an in-memory load_linked was denied a reservation
+     * (limited-reservation option, Section 3.1): the matching
+     * store_conditional fails locally without network traffic.
+     */
+    bool _resv_denied = false;
+    Addr _resv_denied_block = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_PROTO_CONTROLLER_HH

@@ -1,0 +1,520 @@
+/**
+ * @file
+ * CPU side of the controller: dispatch of processor operations under the
+ * three coherence policies (Section 3), response handling, and local
+ * execution of atomic primitives for the INV implementations.
+ */
+
+#include "cpu/system.hh"
+#include "proto/controller.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+void
+Controller::cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
+                       DoneFn done)
+{
+    dsm_assert(!_txn.active,
+               "processor %d issued %s with a transaction outstanding",
+               _id, toString(op));
+    dsm_assert(addr == wordBase(addr),
+               "unaligned operand address %#llx",
+               static_cast<unsigned long long>(addr));
+    _txn = Txn{};
+    _txn.active = true;
+    _txn.op = op;
+    _txn.addr = addr;
+    _txn.value = value;
+    _txn.expected = expected;
+    _txn.done = std::move(done);
+    _txn.start = now();
+    beginTxn();
+}
+
+void
+Controller::beginTxn()
+{
+    switch (_sys.policyOf(_txn.addr)) {
+      case SyncPolicy::INV:
+        beginInv();
+        break;
+      case SyncPolicy::UNC:
+        beginUnc();
+        break;
+      case SyncPolicy::UPD:
+        beginUpd();
+        break;
+    }
+}
+
+void
+Controller::finishTxn(Word value, bool success, Word serial)
+{
+    dsm_assert(_txn.active, "finish without an active transaction");
+    SysStats &st = _sys.stats();
+    st.sampleOp(_txn.op, now() - _txn.start, _txn.max_chain);
+    if (_txn.op == AtomicOp::CAS) {
+        if (success)
+            ++st.cas_successes;
+        else
+            ++st.cas_failures;
+    } else if (_txn.op == AtomicOp::SC || _txn.op == AtomicOp::SCS) {
+        if (success)
+            ++st.sc_successes;
+        else
+            ++st.sc_failures;
+    }
+    DoneFn done = std::move(_txn.done);
+    _txn.active = false;
+    done(OpResult{value, success, serial});
+}
+
+void
+Controller::finishTxnAfter(Tick delay, Word value, bool success,
+                           Word serial)
+{
+    _sys.eq().scheduleIn(delay, [this, value, success, serial] {
+        finishTxn(value, success, serial);
+    });
+}
+
+void
+Controller::retryTxn()
+{
+    dsm_assert(_txn.active, "retry without an active transaction");
+    ++_txn.retries;
+    ++_sys.stats().retries;
+    _txn.waiting = false;
+    _txn.resp_seen = false;
+    _txn.acks_needed = 0;
+    _txn.acks_got = 0;
+    _txn.max_chain = 0;
+    const MachineConfig &mc = _sys.cfg().machine;
+    // Capped exponential backoff on retries: under heavy contention a
+    // fixed retry delay floods the home memory module with requests
+    // that will only be NACKed again.
+    int shift = _txn.retries < 5 ? _txn.retries - 1 : 4;
+    Tick delay = (mc.retry_delay << shift) *
+                 _sys.rng().range(1, mc.retry_jitter);
+    _sys.eq().scheduleIn(delay, [this] {
+        dsm_assert(_txn.active, "retry fired without a transaction");
+        beginTxn();
+    });
+}
+
+void
+Controller::sendReq(MsgType t)
+{
+    Msg m;
+    m.type = t;
+    m.dst = _sys.homeOf(_txn.addr);
+    m.requester = _id;
+    m.addr = blockBase(_txn.addr);
+    m.word_addr = _txn.addr;
+    m.op = _txn.op;
+    m.value = _txn.value;
+    m.expected = _txn.expected;
+    // Serial-number SC carries the expected serial in the same field a
+    // CAS uses for its expected value.
+    m.serial = _txn.expected;
+    m.chain = chainNext(0, _id, m.dst);
+    _txn.waiting = true;
+    send(m);
+}
+
+void
+Controller::beginInv()
+{
+    const Tick hit = _sys.cfg().machine.cache_hit_latency;
+    Addr a = _txn.addr;
+    CacheLine *line = _cache.lookup(a);
+
+    switch (_txn.op) {
+      case AtomicOp::LOAD:
+        if (line != nullptr) {
+            ++_cache.stats().hits;
+            finishTxnAfter(hit, line->readWord(a), true);
+        } else {
+            ++_cache.stats().misses;
+            sendReq(MsgType::GET_S);
+        }
+        break;
+
+      case AtomicOp::LL:
+        // load_linked obtains a *shared* copy; an exclusive load_linked
+        // would invite livelock (Section 4.3.2).
+        if (line != nullptr) {
+            ++_cache.stats().hits;
+            _cache.setReservation(a);
+            finishTxnAfter(hit, line->readWord(a), true);
+        } else {
+            ++_cache.stats().misses;
+            sendReq(MsgType::GET_S);
+        }
+        break;
+
+      case AtomicOp::LOAD_EXCL:
+        if (line != nullptr && line->state == LineState::EXCLUSIVE) {
+            ++_cache.stats().hits;
+            finishTxnAfter(hit, line->readWord(a), true);
+        } else if (line != nullptr) {
+            sendReq(MsgType::UPGRADE);
+        } else {
+            ++_cache.stats().misses;
+            sendReq(MsgType::GET_X);
+        }
+        break;
+
+      case AtomicOp::STORE:
+      case AtomicOp::TAS:
+      case AtomicOp::FAA:
+      case AtomicOp::FAS:
+      case AtomicOp::FAO:
+        if (line != nullptr && line->state == LineState::EXCLUSIVE) {
+            ++_cache.stats().hits;
+            Word old = line->readWord(a);
+            line->writeWord(a, applyOp(_txn.op, old, _txn.value));
+            finishTxnAfter(hit, _txn.op == AtomicOp::STORE ? 0 : old, true);
+        } else if (line != nullptr) {
+            sendReq(MsgType::UPGRADE);
+        } else {
+            ++_cache.stats().misses;
+            sendReq(MsgType::GET_X);
+        }
+        break;
+
+      case AtomicOp::CAS: {
+        // Ordinary (non-sync) data always uses the plain INV flavour.
+        CasVariant variant = _sys.isSync(a) ? _sys.cfg().sync.cas_variant
+                                            : CasVariant::PLAIN;
+        if (line != nullptr && line->state == LineState::EXCLUSIVE) {
+            ++_cache.stats().hits;
+            Word old = line->readWord(a);
+            bool ok = old == _txn.expected;
+            if (ok)
+                line->writeWord(a, _txn.value);
+            finishTxnAfter(hit, old, ok);
+        } else if (variant == CasVariant::PLAIN) {
+            if (line != nullptr) {
+                sendReq(MsgType::UPGRADE);
+            } else {
+                ++_cache.stats().misses;
+                sendReq(MsgType::GET_X);
+            }
+        } else {
+            // INVd/INVs: the comparison happens at the home or owner.
+            sendReq(MsgType::CAS_HOME);
+        }
+        break;
+      }
+
+      case AtomicOp::SC: {
+        bool reserved = _cache.reservationValid() &&
+                        _cache.reservationAddr() == blockBase(a);
+        if (!reserved) {
+            // Fails locally without causing any network traffic.
+            ++_sys.stats().sc_local_failures;
+            finishTxnAfter(hit, 0, false);
+        } else if (line != nullptr &&
+                   line->state == LineState::EXCLUSIVE) {
+            ++_cache.stats().hits;
+            line->writeWord(a, _txn.value);
+            _cache.clearReservation();
+            finishTxnAfter(hit, 0, true);
+        } else {
+            dsm_assert(line != nullptr,
+                       "valid reservation without a cached line");
+            sendReq(MsgType::SC_REQ);
+        }
+        break;
+      }
+
+      case AtomicOp::LLS:
+      case AtomicOp::SCS:
+        dsm_fatal("serial-number load_linked/store_conditional is an "
+                  "in-memory primitive (Section 3.1); the block must use "
+                  "the UNC or UPD policy");
+        break;
+
+      case AtomicOp::DROP_COPY:
+        if (line != nullptr) {
+            Victim v;
+            v.valid = true;
+            v.base = blockBase(a);
+            v.state = line->state;
+            v.data = line->data;
+            if (line->state == LineState::SHARED) {
+                ++_sys.stats().drop_notifies;
+                Msg d;
+                d.type = MsgType::DROP_NOTIFY;
+                d.dst = _sys.homeOf(a);
+                d.requester = _id;
+                d.addr = blockBase(a);
+                d.word_addr = a;
+                d.chain = 1;
+                send(d);
+            } else {
+                evictVictim(v); // sends the write-back
+            }
+            _cache.invalidate(a);
+        }
+        finishTxnAfter(hit, 0, true);
+        break;
+    }
+}
+
+void
+Controller::beginUnc()
+{
+    if (_txn.op == AtomicOp::DROP_COPY) {
+        // Nothing is ever cached under UNC.
+        finishTxnAfter(_sys.cfg().machine.cache_hit_latency, 0, true);
+        return;
+    }
+    if (_txn.op == AtomicOp::SC && _resv_denied &&
+        _resv_denied_block == blockBase(_txn.addr)) {
+        // The load_linked was denied a reservation (limited-reservation
+        // option): the store_conditional is doomed, so it fails locally
+        // without causing any network traffic (Section 3.1).
+        _resv_denied = false;
+        ++_sys.stats().sc_local_failures;
+        finishTxnAfter(_sys.cfg().machine.cache_hit_latency, 0, false);
+        return;
+    }
+    // Every access goes to the memory at the home node.
+    sendReq(MsgType::UNC_REQ);
+}
+
+void
+Controller::beginUpd()
+{
+    const Tick hit = _sys.cfg().machine.cache_hit_latency;
+    Addr a = _txn.addr;
+    CacheLine *line = _cache.lookup(a);
+
+    switch (_txn.op) {
+      case AtomicOp::LOAD:
+      case AtomicOp::LOAD_EXCL:
+        // UPD lines are only ever shared; load_exclusive degenerates to
+        // an ordinary load.
+        if (line != nullptr) {
+            ++_cache.stats().hits;
+            finishTxnAfter(hit, line->readWord(a), true);
+        } else {
+            ++_cache.stats().misses;
+            sendReq(MsgType::GET_S);
+        }
+        break;
+
+      case AtomicOp::DROP_COPY:
+        if (line != nullptr) {
+            ++_sys.stats().drop_notifies;
+            Msg d;
+            d.type = MsgType::DROP_NOTIFY;
+            d.dst = _sys.homeOf(a);
+            d.requester = _id;
+            d.addr = blockBase(a);
+            d.word_addr = a;
+            d.chain = 1;
+            send(d);
+            _cache.invalidate(a);
+        }
+        finishTxnAfter(hit, 0, true);
+        break;
+
+      case AtomicOp::SC:
+        if (_resv_denied && _resv_denied_block == blockBase(a)) {
+            _resv_denied = false;
+            ++_sys.stats().sc_local_failures;
+            finishTxnAfter(hit, 0, false);
+            break;
+        }
+        sendReq(MsgType::UPD_REQ);
+        break;
+
+      default:
+        // All writes and atomic operations -- and load_linked, which must
+        // set its reservation at the memory -- go to the home node.
+        sendReq(MsgType::UPD_REQ);
+        break;
+    }
+}
+
+void
+Controller::cpuResponse(const Msg &m)
+{
+    dsm_assert(_txn.active && _txn.waiting,
+               "node %d got %s with no transaction waiting",
+               _id, toString(m.type));
+    dsm_assert(blockBase(_txn.addr) == m.addr,
+               "response block %#llx does not match transaction %#llx",
+               static_cast<unsigned long long>(m.addr),
+               static_cast<unsigned long long>(_txn.addr));
+    if (m.chain > _txn.max_chain)
+        _txn.max_chain = m.chain;
+
+    switch (m.type) {
+      case MsgType::NACK:
+        retryTxn();
+        break;
+
+      case MsgType::DATA_S: {
+        CacheLine *line = installLine(m.addr, LineState::SHARED, m.data);
+        if (_txn.op == AtomicOp::LL)
+            _cache.setReservation(_txn.addr);
+        finishTxn(line->readWord(_txn.addr), true);
+        break;
+      }
+
+      case MsgType::DATA_X:
+        installLine(m.addr, LineState::EXCLUSIVE, m.data);
+        _txn.resp_seen = true;
+        _txn.acks_needed = m.ack_count;
+        maybeComplete();
+        break;
+
+      case MsgType::UPG_ACK: {
+        CacheLine *line = _cache.lookup(_txn.addr);
+        dsm_assert(line != nullptr && line->state == LineState::SHARED,
+                   "upgrade granted without a shared copy");
+        line->state = LineState::EXCLUSIVE;
+        _txn.resp_seen = true;
+        _txn.acks_needed = m.ack_count;
+        maybeComplete();
+        break;
+      }
+
+      case MsgType::SC_RESP:
+        if (!m.success) {
+            _cache.clearReservation();
+            finishTxn(0, false);
+        } else {
+            CacheLine *line = _cache.lookup(_txn.addr);
+            dsm_assert(line != nullptr &&
+                       line->state == LineState::SHARED,
+                       "SC success without a shared copy");
+            line->state = LineState::EXCLUSIVE;
+            _txn.resp_seen = true;
+            _txn.acks_needed = m.ack_count;
+            maybeComplete();
+        }
+        break;
+
+      case MsgType::CAS_FAIL:
+        finishTxn(m.result, false);
+        break;
+
+      case MsgType::CAS_FAIL_S:
+        installLine(m.addr, LineState::SHARED, m.data);
+        finishTxn(m.result, false);
+        break;
+
+      case MsgType::UNC_RESP:
+        noteReservationVerdict(m);
+        finishTxn(m.result, m.success, m.serial);
+        break;
+
+      case MsgType::UPD_RESP:
+        noteReservationVerdict(m);
+        installLine(m.addr, LineState::SHARED, m.data);
+        _txn.resp_seen = true;
+        _txn.acks_needed = m.ack_count;
+        _txn.resp_value = m.result;
+        _txn.resp_success = m.success;
+        _txn.resp_serial = m.serial;
+        maybeComplete();
+        break;
+
+      case MsgType::INV_ACK:
+      case MsgType::UPDATE_ACK:
+        ++_txn.acks_got;
+        maybeComplete();
+        break;
+
+      default:
+        dsm_panic("unexpected CPU response %s", toString(m.type));
+    }
+}
+
+void
+Controller::maybeComplete()
+{
+    if (!_txn.resp_seen || _txn.acks_got < _txn.acks_needed)
+        return;
+    if (_sys.policyOf(_txn.addr) == SyncPolicy::UPD)
+        completeUpd();
+    else
+        completeExclusive();
+}
+
+void
+Controller::noteReservationVerdict(const Msg &m)
+{
+    if (_txn.op != AtomicOp::LL)
+        return;
+    if (m.success) {
+        if (_resv_denied && _resv_denied_block == m.addr)
+            _resv_denied = false;
+    } else {
+        // Beyond-the-limit load_linked: remember that the matching
+        // store_conditional is doomed (Section 3.1, option 3).
+        _resv_denied = true;
+        _resv_denied_block = m.addr;
+    }
+}
+
+void
+Controller::completeUpd()
+{
+    finishTxn(_txn.resp_value, _txn.resp_success, _txn.resp_serial);
+}
+
+void
+Controller::completeExclusive()
+{
+    Addr a = _txn.addr;
+    CacheLine *line = _cache.lookup(a);
+    dsm_assert(line != nullptr && line->state == LineState::EXCLUSIVE,
+               "exclusive completion without an exclusive line");
+
+    switch (_txn.op) {
+      case AtomicOp::LOAD_EXCL:
+        finishTxn(line->readWord(a), true);
+        break;
+      case AtomicOp::STORE:
+        line->writeWord(a, _txn.value);
+        finishTxn(0, true);
+        break;
+      case AtomicOp::TAS:
+      case AtomicOp::FAA:
+      case AtomicOp::FAS:
+      case AtomicOp::FAO: {
+        Word old = line->readWord(a);
+        line->writeWord(a, applyOp(_txn.op, old, _txn.value));
+        finishTxn(old, true);
+        break;
+      }
+      case AtomicOp::CAS: {
+        // For the INVd/INVs paths the home/owner already verified
+        // equality, so this local comparison succeeds; for plain INV it
+        // decides the verdict.
+        Word old = line->readWord(a);
+        bool ok = old == _txn.expected;
+        if (ok)
+            line->writeWord(a, _txn.value);
+        finishTxn(old, ok);
+        break;
+      }
+      case AtomicOp::SC:
+        line->writeWord(a, _txn.value);
+        _cache.clearReservation();
+        finishTxn(0, true);
+        break;
+      default:
+        dsm_panic("unexpected exclusive completion for %s",
+                  toString(_txn.op));
+    }
+}
+
+} // namespace dsm

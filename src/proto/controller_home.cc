@@ -1,0 +1,630 @@
+/**
+ * @file
+ * Home side of the controller: the directory protocol and the in-memory
+ * execution of atomic primitives (UNC and UPD implementations, and the
+ * home-side comparisons of the INVd/INVs compare_and_swap variants).
+ *
+ * Every home-targeted message queues behind the node's memory module,
+ * which both models memory contention ("queued memory") and serializes
+ * all directory mutations at this node.
+ */
+
+#include "cpu/system.hh"
+#include "proto/controller.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+void
+Controller::homeEnqueue(const Msg &m)
+{
+    dsm_assert(_sys.homeOf(m.addr) == _id,
+               "%s for block %#llx delivered to non-home node %d",
+               toString(m.type), static_cast<unsigned long long>(m.addr),
+               _id);
+    Tick when = _sys.mem(_id).access(now());
+    Msg copy = m;
+    _sys.eq().schedule(when, [this, copy] { homeProcess(copy); });
+}
+
+void
+Controller::homeProcess(const Msg &m)
+{
+    switch (m.type) {
+      case MsgType::GET_S:
+        homeGetS(m);
+        break;
+      case MsgType::GET_X:
+        homeGetX(m);
+        break;
+      case MsgType::UPGRADE:
+        homeUpgrade(m);
+        break;
+      case MsgType::CAS_HOME:
+        homeCasHome(m);
+        break;
+      case MsgType::SC_REQ:
+        homeScReq(m);
+        break;
+      case MsgType::UNC_REQ:
+        homeUncReq(m);
+        break;
+      case MsgType::UPD_REQ:
+        homeUpdReq(m);
+        break;
+      case MsgType::WB_DATA:
+        homeWbData(m);
+        break;
+      case MsgType::DROP_NOTIFY:
+        homeDropNotify(m);
+        break;
+      case MsgType::OWNER_DATA_S:
+      case MsgType::OWNER_DATA_X:
+      case MsgType::CAS_OWNER_FAIL:
+      case MsgType::CAS_OWNER_FAIL_S:
+      case MsgType::FWD_NACK_RETRY:
+      case MsgType::FWD_NACK_WB:
+        homeOwnerReply(m);
+        break;
+      default:
+        dsm_panic("non-home message %s at home", toString(m.type));
+    }
+}
+
+namespace {
+
+/** Bit mask for one node. */
+std::uint64_t
+bit(NodeId n)
+{
+    return 1ULL << n;
+}
+
+} // namespace
+
+void
+Controller::homeGetS(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    if (e.busy) {
+        sendNack(m);
+        return;
+    }
+    switch (e.state) {
+      case DirState::UNCACHED:
+      case DirState::SHARED: {
+        e.state = DirState::SHARED;
+        e.addSharer(m.src);
+        Msg r;
+        r.type = MsgType::DATA_S;
+        r.data = _sys.store().readBlock(m.addr);
+        r.has_data = true;
+        reply(m, r);
+        break;
+      }
+      case DirState::EXCLUSIVE: {
+        if (e.owner == m.src) {
+            // The owner's write-back is in flight; retry resolves it.
+            sendNack(m);
+            return;
+        }
+        e.busy = true;
+        e.pending_requester = m.src;
+        Msg f;
+        f.type = MsgType::FWD_GET_S;
+        f.dst = e.owner;
+        f.requester = m.src;
+        f.addr = m.addr;
+        f.word_addr = m.word_addr;
+        f.chain = chainNext(m.chain, _id, e.owner);
+        send(f);
+        break;
+      }
+    }
+}
+
+void
+Controller::homeGetX(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    if (e.busy) {
+        sendNack(m);
+        return;
+    }
+    switch (e.state) {
+      case DirState::UNCACHED: {
+        e.state = DirState::EXCLUSIVE;
+        e.owner = m.src;
+        Msg r;
+        r.type = MsgType::DATA_X;
+        r.data = _sys.store().readBlock(m.addr);
+        r.has_data = true;
+        r.ack_count = 0;
+        reply(m, r);
+        break;
+      }
+      case DirState::SHARED: {
+        std::uint64_t others = e.sharers & ~bit(m.src);
+        e.state = DirState::EXCLUSIVE;
+        e.owner = m.src;
+        e.sharers = 0;
+        Msg r;
+        r.type = MsgType::DATA_X;
+        r.data = _sys.store().readBlock(m.addr);
+        r.has_data = true;
+        r.ack_count = __builtin_popcountll(others);
+        reply(m, r);
+        sendInvalidations(others, m);
+        break;
+      }
+      case DirState::EXCLUSIVE: {
+        if (e.owner == m.src) {
+            sendNack(m);
+            return;
+        }
+        e.busy = true;
+        e.pending_requester = m.src;
+        Msg f;
+        f.type = MsgType::FWD_GET_X;
+        f.dst = e.owner;
+        f.requester = m.src;
+        f.addr = m.addr;
+        f.word_addr = m.word_addr;
+        f.chain = chainNext(m.chain, _id, e.owner);
+        send(f);
+        break;
+      }
+    }
+}
+
+void
+Controller::sendInvalidations(std::uint64_t targets, const Msg &req)
+{
+    for (NodeId n = 0; n < _sys.numProcs(); ++n) {
+        if (!(targets & bit(n)))
+            continue;
+        ++_sys.stats().invalidations;
+        Msg inv;
+        inv.type = MsgType::INV;
+        inv.dst = n;
+        inv.requester = req.src;
+        inv.addr = req.addr;
+        inv.word_addr = req.word_addr;
+        inv.chain = chainNext(req.chain, _id, n);
+        send(inv);
+    }
+}
+
+void
+Controller::homeUpgrade(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    if (e.busy || e.state != DirState::SHARED || !e.isSharer(m.src)) {
+        // The requester's copy was (or is being) invalidated; it will
+        // retry, re-inspect its cache, and fall back to GET_X.
+        sendNack(m);
+        return;
+    }
+    std::uint64_t others = e.sharers & ~bit(m.src);
+    e.state = DirState::EXCLUSIVE;
+    e.owner = m.src;
+    e.sharers = 0;
+    Msg r;
+    r.type = MsgType::UPG_ACK;
+    r.ack_count = __builtin_popcountll(others);
+    reply(m, r);
+    sendInvalidations(others, m);
+}
+
+void
+Controller::homeCasHome(const Msg &m)
+{
+    CasVariant variant = _sys.cfg().sync.cas_variant;
+    dsm_assert(variant != CasVariant::PLAIN,
+               "CAS_HOME under the plain INV variant");
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    if (e.busy) {
+        sendNack(m);
+        return;
+    }
+    switch (e.state) {
+      case DirState::UNCACHED:
+      case DirState::SHARED: {
+        // Memory holds the most up-to-date copy; compare here.
+        Word old = _sys.store().readWord(m.word_addr);
+        if (old == m.expected) {
+            // Equality: behave like INV; grant an exclusive copy and let
+            // the requester perform the swap locally.
+            std::uint64_t others =
+                e.state == DirState::SHARED ? e.sharers & ~bit(m.src) : 0;
+            e.state = DirState::EXCLUSIVE;
+            e.owner = m.src;
+            e.sharers = 0;
+            Msg r;
+            r.type = MsgType::DATA_X;
+            r.data = _sys.store().readBlock(m.addr);
+            r.has_data = true;
+            r.ack_count = __builtin_popcountll(others);
+            r.success = true;
+            reply(m, r);
+            sendInvalidations(others, m);
+        } else if (variant == CasVariant::DENY) {
+            Msg r;
+            r.type = MsgType::CAS_FAIL;
+            r.result = old;
+            reply(m, r);
+        } else { // CasVariant::SHARE
+            e.state = DirState::SHARED;
+            e.addSharer(m.src);
+            Msg r;
+            r.type = MsgType::CAS_FAIL_S;
+            r.result = old;
+            r.data = _sys.store().readBlock(m.addr);
+            r.has_data = true;
+            reply(m, r);
+        }
+        break;
+      }
+      case DirState::EXCLUSIVE: {
+        if (e.owner == m.src) {
+            sendNack(m);
+            return;
+        }
+        // The owner has the most up-to-date copy; forward the comparison.
+        e.busy = true;
+        e.pending_requester = m.src;
+        Msg f;
+        f.type = MsgType::FWD_CAS;
+        f.dst = e.owner;
+        f.requester = m.src;
+        f.addr = m.addr;
+        f.word_addr = m.word_addr;
+        f.value = m.value;
+        f.expected = m.expected;
+        f.chain = chainNext(m.chain, _id, e.owner);
+        send(f);
+        break;
+      }
+    }
+}
+
+void
+Controller::homeScReq(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    if (e.busy) {
+        sendNack(m);
+        return;
+    }
+    if (e.state == DirState::SHARED && e.isSharer(m.src)) {
+        // Success: the requester still holds a valid copy. Grant
+        // exclusivity and invalidate the other holders (Section 3).
+        std::uint64_t others = e.sharers & ~bit(m.src);
+        e.state = DirState::EXCLUSIVE;
+        e.owner = m.src;
+        e.sharers = 0;
+        e.clearReservations();
+        e.bumpSerial();
+        Msg r;
+        r.type = MsgType::SC_RESP;
+        r.success = true;
+        r.ack_count = __builtin_popcountll(others);
+        reply(m, r);
+        sendInvalidations(others, m);
+    } else {
+        // Exclusive elsewhere or uncached: fail.
+        Msg r;
+        r.type = MsgType::SC_RESP;
+        r.success = false;
+        reply(m, r);
+    }
+}
+
+Controller::MemOpOut
+Controller::memoryOp(const Msg &m)
+{
+    BackingStore &st = _sys.store();
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    Word old = st.readWord(m.word_addr);
+    Word result = old;
+    bool success = true;
+    bool wrote = false;
+
+    switch (m.op) {
+      case AtomicOp::LOAD:
+      case AtomicOp::LOAD_EXCL:
+      case AtomicOp::LLS:
+        // Serial-number load_linked needs no reservation: the serial
+        // returned alongside the value does the job (Section 3.1).
+        break;
+      case AtomicOp::LL: {
+        int limit = _sys.cfg().machine.max_memory_reservations;
+        if (limit > 0 && !e.hasReservation(m.src) &&
+            e.numReservations() >= limit) {
+            // Beyond-the-limit: return a failure indicator instead of a
+            // reservation (Section 3.1, option 3).
+            success = false;
+        } else {
+            e.setReservation(m.src);
+        }
+        break;
+      }
+      case AtomicOp::STORE:
+        st.writeWord(m.word_addr, m.value);
+        wrote = true;
+        result = 0;
+        break;
+      case AtomicOp::TAS:
+        st.writeWord(m.word_addr, 1);
+        wrote = true;
+        break;
+      case AtomicOp::FAA:
+        st.writeWord(m.word_addr, old + m.value);
+        wrote = true;
+        break;
+      case AtomicOp::FAS:
+        st.writeWord(m.word_addr, m.value);
+        wrote = true;
+        break;
+      case AtomicOp::FAO:
+        st.writeWord(m.word_addr, old | m.value);
+        wrote = true;
+        break;
+      case AtomicOp::CAS:
+        if (old == m.expected) {
+            st.writeWord(m.word_addr, m.value);
+            wrote = true;
+        } else {
+            success = false;
+        }
+        break;
+      case AtomicOp::SC:
+        result = 0;
+        if (e.hasReservation(m.src)) {
+            st.writeWord(m.word_addr, m.value);
+            wrote = true;
+        } else {
+            success = false;
+        }
+        break;
+      case AtomicOp::SCS:
+        // Serial-number store_conditional, possibly "bare" (with no
+        // preceding load_linked): succeeds iff the expected serial
+        // matches the block's write counter.
+        result = 0;
+        if (e.serial == static_cast<std::uint32_t>(m.serial)) {
+            st.writeWord(m.word_addr, m.value);
+            wrote = true;
+        } else {
+            success = false;
+            result = old; // report the current value on failure
+        }
+        break;
+      default:
+        dsm_panic("memoryOp on %s", toString(m.op));
+    }
+
+    if (wrote) {
+        // Any write or successful SC clears the reservation vector
+        // (Section 3) and bumps the block's write serial number.
+        e.clearReservations();
+        e.bumpSerial();
+    }
+    return {result, success, e.serial};
+}
+
+void
+Controller::homeUncReq(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    dsm_assert(e.state == DirState::UNCACHED && !e.busy,
+               "UNC access to a block with cached copies");
+    MemOpOut out = memoryOp(m);
+    Msg r;
+    r.type = MsgType::UNC_RESP;
+    r.result = out.result;
+    r.success = out.success;
+    r.serial = out.serial;
+    reply(m, r);
+}
+
+void
+Controller::homeUpdReq(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    dsm_assert(e.state != DirState::EXCLUSIVE && !e.busy,
+               "UPD region block is exclusive");
+    Word before = _sys.store().readWord(m.word_addr);
+    MemOpOut out = memoryOp(m);
+    Word newval = _sys.store().readWord(m.word_addr);
+
+    int nupdates = 0;
+    // "Only successful writes cause updates" (Section 4.3.1): a write
+    // that leaves the word unchanged (e.g. a failed test_and_set
+    // storing 1 over 1) sends no update messages.
+    if (effectiveWrite(m.op, out.success) && newval != before) {
+        for (NodeId n = 0; n < _sys.numProcs(); ++n) {
+            if (n == m.src || !e.isSharer(n))
+                continue;
+            ++_sys.stats().updates;
+            ++nupdates;
+            Msg u;
+            u.type = MsgType::UPDATE;
+            u.dst = n;
+            u.requester = m.src;
+            u.addr = m.addr;
+            u.word_addr = m.word_addr;
+            u.result = newval;
+            u.chain = chainNext(m.chain, _id, n);
+            send(u);
+        }
+    }
+
+    // The requester retains (or obtains) a shared copy.
+    e.state = DirState::SHARED;
+    e.addSharer(m.src);
+
+    Msg r;
+    r.type = MsgType::UPD_RESP;
+    r.result = out.result;
+    r.success = out.success;
+    r.serial = out.serial;
+    r.ack_count = nupdates;
+    r.data = _sys.store().readBlock(m.addr);
+    r.has_data = true;
+    reply(m, r);
+}
+
+void
+Controller::homeWbData(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    dsm_assert(e.state == DirState::EXCLUSIVE && e.owner == m.src,
+               "write-back of %#llx from non-owner %d (state %s)",
+               static_cast<unsigned long long>(m.addr), m.src,
+               toString(e.state));
+    _sys.store().writeBlock(m.addr, m.data);
+    if (!e.busy) {
+        e.state = DirState::UNCACHED;
+        e.owner = INVALID_NODE;
+        return;
+    }
+    // A forward to the (former) owner is outstanding; it will bounce
+    // with FWD_NACK_WB. Remember that the data has arrived.
+    e.wb_received = true;
+    if (e.await_wb) {
+        // The bounce already arrived; finish the transaction now.
+        NodeId req = e.pending_requester;
+        e.state = DirState::UNCACHED;
+        e.owner = INVALID_NODE;
+        e.busy = false;
+        e.await_wb = false;
+        e.wb_received = false;
+        e.pending_requester = INVALID_NODE;
+        nackNode(req, m.addr);
+    }
+}
+
+void
+Controller::nackNode(NodeId n, Addr block)
+{
+    ++_sys.stats().nacks;
+    Msg r;
+    r.type = MsgType::NACK;
+    r.dst = n;
+    r.requester = n;
+    r.addr = block;
+    r.word_addr = block;
+    r.chain = 1;
+    send(r);
+}
+
+void
+Controller::homeDropNotify(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    if (e.state == DirState::SHARED && e.isSharer(m.src)) {
+        e.removeSharer(m.src);
+        if (e.sharers == 0)
+            e.state = DirState::UNCACHED;
+    }
+    // Otherwise the notification raced with a state change; ignore it.
+}
+
+void
+Controller::homeOwnerReply(const Msg &m)
+{
+    DirEntry &e = _sys.dir(_id).entry(m.addr);
+    dsm_assert(e.busy && e.state == DirState::EXCLUSIVE &&
+               e.owner == m.src,
+               "%s from %d out of protocol", toString(m.type), m.src);
+    NodeId req = e.pending_requester;
+
+    auto respond = [&](Msg r) {
+        r.dst = req;
+        r.requester = req;
+        r.addr = m.addr;
+        r.word_addr = m.word_addr;
+        r.chain = chainNext(m.chain, _id, req);
+        send(r);
+    };
+
+    switch (m.type) {
+      case MsgType::OWNER_DATA_S: {
+        _sys.store().writeBlock(m.addr, m.data);
+        e.state = DirState::SHARED;
+        e.sharers = bit(m.src) | bit(req);
+        e.owner = INVALID_NODE;
+        e.busy = false;
+        e.pending_requester = INVALID_NODE;
+        Msg r;
+        r.type = MsgType::DATA_S;
+        r.data = m.data;
+        r.has_data = true;
+        respond(r);
+        break;
+      }
+      case MsgType::OWNER_DATA_X: {
+        e.owner = req;
+        e.busy = false;
+        e.pending_requester = INVALID_NODE;
+        Msg r;
+        r.type = MsgType::DATA_X;
+        r.data = m.data;
+        r.has_data = true;
+        r.ack_count = 0;
+        r.success = true;
+        respond(r);
+        break;
+      }
+      case MsgType::CAS_OWNER_FAIL: {
+        // INVd: the owner keeps its exclusive copy.
+        e.busy = false;
+        e.pending_requester = INVALID_NODE;
+        Msg r;
+        r.type = MsgType::CAS_FAIL;
+        r.result = m.result;
+        respond(r);
+        break;
+      }
+      case MsgType::CAS_OWNER_FAIL_S: {
+        // INVs: the owner downgraded; both nodes share the line.
+        _sys.store().writeBlock(m.addr, m.data);
+        e.state = DirState::SHARED;
+        e.sharers = bit(m.src) | bit(req);
+        e.owner = INVALID_NODE;
+        e.busy = false;
+        e.pending_requester = INVALID_NODE;
+        Msg r;
+        r.type = MsgType::CAS_FAIL_S;
+        r.result = m.result;
+        r.data = m.data;
+        r.has_data = true;
+        respond(r);
+        break;
+      }
+      case MsgType::FWD_NACK_RETRY: {
+        e.busy = false;
+        e.pending_requester = INVALID_NODE;
+        nackNode(req, m.addr);
+        break;
+      }
+      case MsgType::FWD_NACK_WB: {
+        if (e.wb_received) {
+            e.state = DirState::UNCACHED;
+            e.owner = INVALID_NODE;
+            e.busy = false;
+            e.wb_received = false;
+            e.pending_requester = INVALID_NODE;
+            nackNode(req, m.addr);
+        } else {
+            e.await_wb = true;
+        }
+        break;
+      }
+      default:
+        dsm_panic("unexpected owner reply %s", toString(m.type));
+    }
+}
+
+} // namespace dsm

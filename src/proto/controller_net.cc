@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Remote side of the controller: invalidations, word updates, and
+ * requests forwarded to this node as the exclusive owner of a line
+ * (including the owner-side comparison of the INVd/INVs
+ * compare_and_swap variants).
+ */
+
+#include "cpu/system.hh"
+#include "proto/controller.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+void
+Controller::handleInv(const Msg &m)
+{
+    // An invalidation clears any load_linked reservation covering the
+    // block (Section 3) and drops the copy if still present (a silent
+    // eviction may have removed it already; the ack is owed regardless).
+    _cache.clearReservationIfCovers(m.addr);
+    const CacheLine *line = _cache.peek(m.addr);
+    if (line != nullptr) {
+        dsm_assert(line->state == LineState::SHARED,
+                   "invalidation hit an exclusive line at node %d", _id);
+        ++_cache.stats().invalidations_received;
+        _cache.invalidate(m.addr);
+    }
+
+    Msg ack;
+    ack.type = MsgType::INV_ACK;
+    ack.dst = m.requester;
+    ack.requester = m.requester;
+    ack.addr = m.addr;
+    ack.word_addr = m.word_addr;
+    ack.chain = chainNext(m.chain, _id, m.requester);
+    Tick delay = _sys.cfg().machine.cache_access_latency;
+    _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
+}
+
+void
+Controller::handleUpdate(const Msg &m)
+{
+    // Word update under the UPD policy: refresh the copy if present.
+    _cache.clearReservationIfCovers(m.addr);
+    CacheLine *line = _cache.lookup(m.addr);
+    if (line != nullptr) {
+        dsm_assert(line->state == LineState::SHARED,
+                   "update hit a non-shared line at node %d", _id);
+        line->writeWord(m.word_addr, m.result);
+    }
+
+    Msg ack;
+    ack.type = MsgType::UPDATE_ACK;
+    ack.dst = m.requester;
+    ack.requester = m.requester;
+    ack.addr = m.addr;
+    ack.word_addr = m.word_addr;
+    ack.chain = chainNext(m.chain, _id, m.requester);
+    Tick delay = _sys.cfg().machine.cache_access_latency;
+    _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
+}
+
+void
+Controller::handleFwd(const Msg &m)
+{
+    NodeId home = _sys.homeOf(m.addr);
+    Tick delay = _sys.cfg().machine.cache_access_latency;
+
+    auto respond = [this, home, delay, &m](Msg r) {
+        r.dst = home;
+        r.requester = m.requester;
+        r.addr = m.addr;
+        r.word_addr = m.word_addr;
+        r.chain = chainNext(m.chain, _id, home);
+        _sys.eq().scheduleIn(delay, [this, r] { send(r); });
+    };
+
+    // If this node's own transaction on the block is still collecting
+    // its grant or acknowledgements, it cannot surrender the line yet.
+    if (_txn.active && _txn.waiting &&
+        blockBase(_txn.addr) == m.addr) {
+        Msg r;
+        r.type = MsgType::FWD_NACK_RETRY;
+        respond(r);
+        return;
+    }
+
+    CacheLine *line = _cache.lookup(m.addr);
+    if (line == nullptr) {
+        // The line was evicted or dropped; its write-back is in flight
+        // (or already at home). This is the drop_copy race of
+        // Section 4.3.1.
+        Msg r;
+        r.type = MsgType::FWD_NACK_WB;
+        respond(r);
+        return;
+    }
+    dsm_assert(line->state == LineState::EXCLUSIVE,
+               "forwarded request at node %d found a %s line",
+               _id, toString(line->state));
+
+    switch (m.type) {
+      case MsgType::FWD_GET_S: {
+        // Downgrade and keep a shared copy.
+        line->state = LineState::SHARED;
+        Msg r;
+        r.type = MsgType::OWNER_DATA_S;
+        r.data = line->data;
+        r.has_data = true;
+        respond(r);
+        break;
+      }
+      case MsgType::FWD_GET_X: {
+        Msg r;
+        r.type = MsgType::OWNER_DATA_X;
+        r.data = line->data;
+        r.has_data = true;
+        _cache.invalidate(m.addr);
+        respond(r);
+        break;
+      }
+      case MsgType::FWD_CAS: {
+        Word old = line->readWord(m.word_addr);
+        if (old == m.expected) {
+            // Equality holds: behave like INV; surrender the line so the
+            // requester acquires an exclusive copy and does the swap.
+            Msg r;
+            r.type = MsgType::OWNER_DATA_X;
+            r.data = line->data;
+            r.has_data = true;
+            _cache.invalidate(m.addr);
+            respond(r);
+        } else if (_sys.cfg().sync.cas_variant == CasVariant::DENY) {
+            // INVd: the failing request gets no copy; ours stays intact.
+            Msg r;
+            r.type = MsgType::CAS_OWNER_FAIL;
+            r.result = old;
+            respond(r);
+        } else {
+            // INVs: downgrade and give the requester a read-only copy.
+            line->state = LineState::SHARED;
+            Msg r;
+            r.type = MsgType::CAS_OWNER_FAIL_S;
+            r.result = old;
+            r.data = line->data;
+            r.has_data = true;
+            respond(r);
+        }
+        break;
+      }
+      default:
+        dsm_panic("unexpected forwarded message %s", toString(m.type));
+    }
+}
+
+} // namespace dsm

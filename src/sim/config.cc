@@ -1,0 +1,72 @@
+#include "sim/config.hh"
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+const char *
+toString(SyncPolicy p)
+{
+    switch (p) {
+      case SyncPolicy::INV: return "INV";
+      case SyncPolicy::UPD: return "UPD";
+      case SyncPolicy::UNC: return "UNC";
+    }
+    return "?";
+}
+
+const char *
+toString(CasVariant v)
+{
+    switch (v) {
+      case CasVariant::PLAIN: return "INV";
+      case CasVariant::DENY: return "INVd";
+      case CasVariant::SHARE: return "INVs";
+    }
+    return "?";
+}
+
+const char *
+toString(Primitive p)
+{
+    switch (p) {
+      case Primitive::FAP: return "FAP";
+      case Primitive::LLSC: return "LLSC";
+      case Primitive::CAS: return "CAS";
+    }
+    return "?";
+}
+
+std::string
+SyncConfig::label() const
+{
+    std::string s = toString(policy);
+    if (policy == SyncPolicy::INV && cas_variant != CasVariant::PLAIN)
+        s = toString(cas_variant);
+    if (use_load_exclusive)
+        s += "+lx";
+    if (use_drop_copy)
+        s += "+dc";
+    return s;
+}
+
+void
+MachineConfig::validate() const
+{
+    if (num_procs < 1 || num_procs > 64)
+        dsm_fatal("num_procs must be in [1, 64], got %d", num_procs);
+    if (mesh_x * mesh_y != num_procs)
+        dsm_fatal("mesh %dx%d does not cover %d procs",
+                  mesh_x, mesh_y, num_procs);
+    if (cache_sets == 0 || (cache_sets & (cache_sets - 1)) != 0)
+        dsm_fatal("cache_sets must be a nonzero power of two, got %u",
+                  cache_sets);
+    if (cache_ways == 0)
+        dsm_fatal("cache_ways must be nonzero");
+    if (flit_bytes == 0)
+        dsm_fatal("flit_bytes must be nonzero");
+    if (retry_jitter == 0)
+        dsm_fatal("retry_jitter must be at least 1");
+}
+
+} // namespace dsm

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Central configuration for the simulated machine and for the atomic
+ * primitive implementation under study.
+ */
+
+#ifndef DSM_SIM_CONFIG_HH
+#define DSM_SIM_CONFIG_HH
+
+#include <string>
+
+#include "sim/types.hh"
+
+namespace dsm {
+
+/**
+ * Coherence policy applied to atomically accessed (synchronization) data.
+ * Ordinary data always uses the base write-invalidate protocol, as in the
+ * paper.
+ */
+enum class SyncPolicy
+{
+    INV, ///< compute in cache controllers, write-invalidate
+    UPD, ///< compute in memory, write-update
+    UNC, ///< compute in memory, caching disabled
+};
+
+/** Variants of the INV implementation of compare_and_swap (Section 3). */
+enum class CasVariant
+{
+    PLAIN, ///< obtain an exclusive copy, compare locally
+    DENY,  ///< INVd: compare at home/owner; on failure grant no copy
+    SHARE, ///< INVs: compare at home/owner; on failure grant shared copy
+};
+
+/**
+ * Which universal primitive the synchronization algorithms are built on.
+ * FAP means the native fetch_and_Phi family.
+ */
+enum class Primitive
+{
+    FAP,
+    LLSC,
+    CAS,
+};
+
+const char *toString(SyncPolicy p);
+const char *toString(CasVariant v);
+const char *toString(Primitive p);
+
+/**
+ * Configuration of the atomic-primitive implementation under study:
+ * the coherence policy for sync data, the CAS flavour, and the auxiliary
+ * instructions (Section 3).
+ */
+struct SyncConfig
+{
+    SyncPolicy policy = SyncPolicy::INV;
+    CasVariant cas_variant = CasVariant::PLAIN;
+    /** Use load_exclusive for reads that feed compare_and_swap. */
+    bool use_load_exclusive = false;
+    /** Issue drop_copy after atomic accesses to sync data. */
+    bool use_drop_copy = false;
+
+    /** Short label such as "INV+lx+dc" for report rows. */
+    std::string label() const;
+};
+
+/** Machine-model parameters (Section 4.1 defaults: 64 nodes, 8x8 mesh). */
+struct MachineConfig
+{
+    /** Number of processing nodes; must be mesh_x * mesh_y and <= 64. */
+    int num_procs = 64;
+    int mesh_x = 8;
+    int mesh_y = 8;
+
+    /** Cache geometry. */
+    unsigned cache_sets = 512;
+    unsigned cache_ways = 2;
+
+    /** Cycles for a cache hit observed by the processor. */
+    Tick cache_hit_latency = 1;
+    /** Cycles for a cache-array access on the controller side. */
+    Tick cache_access_latency = 2;
+    /** Memory-module (DRAM + directory) service time per request. */
+    Tick mem_service_time = 20;
+    /** Network per-hop head latency. */
+    Tick hop_latency = 2;
+    /** Cycles to transfer one flit through an injection/ejection port. */
+    Tick flit_latency = 1;
+    /** Flit width in bytes. */
+    unsigned flit_bytes = 8;
+    /** Header bytes added to every message. */
+    unsigned header_bytes = 8;
+    /** Latency of a node-local (cache <-> local memory) request. */
+    Tick local_latency = 4;
+    /** Base delay before a NACKed request is retried. */
+    Tick retry_delay = 10;
+    /** Retry delay is multiplied by a random factor in [1, jitter]. */
+    unsigned retry_jitter = 4;
+    /** Cost of the constant-time ("magic") synthetic barrier. */
+    Tick magic_barrier_cost = 10;
+    /**
+     * In-memory load_linked reservation limit (Section 3.1, option 3):
+     * at most this many processors may hold reservations on one block;
+     * beyond-limit load_linkeds return a failure indicator and their
+     * store_conditionals fail locally without network traffic.
+     * 0 means unlimited (the full bit-vector option).
+     */
+    int max_memory_reservations = 0;
+    /**
+     * Model the spurious reservation invalidations of real processors
+     * (Section 2.1: on the MIPS R4000 reservations are invalidated on
+     * context switches and TLB exceptions): every this many cycles,
+     * every cache's load_linked reservation is cleared. 0 disables.
+     * Lock-freedom survives "so long as we always try again".
+     */
+    Tick spurious_resv_period = 0;
+    /** RNG seed for the whole system. */
+    std::uint64_t seed = 1;
+
+    /** Sanity-check the parameters; dsm_fatal on user error. */
+    void validate() const;
+};
+
+/** Complete simulation configuration. */
+struct Config
+{
+    MachineConfig machine;
+    SyncConfig sync;
+};
+
+} // namespace dsm
+
+#endif // DSM_SIM_CONFIG_HH

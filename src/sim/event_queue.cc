@@ -1,0 +1,45 @@
+#include "sim/event_queue.hh"
+
+namespace dsm {
+
+bool
+EventQueue::step()
+{
+    if (_heap.empty())
+        return false;
+    // priority_queue::top() is const; the callback must be moved out, so
+    // const_cast the entry before popping. The entry is never reused.
+    Entry &top = const_cast<Entry &>(_heap.top());
+    Tick when = top.when;
+    Callback cb = std::move(top.cb);
+    _heap.pop();
+    dsm_assert(when >= _now, "event queue time went backwards");
+    _now = when;
+    ++_executed;
+    cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick when, std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && !_heap.empty() && _heap.top().when <= when) {
+        step();
+        ++n;
+    }
+    if (_now < when)
+        _now = when;
+    return n;
+}
+
+} // namespace dsm

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic discrete-event queue driving the cycle-level simulation.
+ *
+ * Events scheduled for the same tick fire in FIFO order of scheduling
+ * (a monotonically increasing sequence number breaks ties), which makes
+ * every simulation run bit-for-bit reproducible.
+ */
+
+#ifndef DSM_SIM_EVENT_QUEUE_HH
+#define DSM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+/**
+ * The global simulated clock and pending-event set.
+ *
+ * All model components share one EventQueue owned by the System. Time
+ * advances only inside run()/runUntil()/step(), never backwards.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in cycles. */
+    Tick now() const { return _now; }
+
+    /** Number of events executed since construction. */
+    std::uint64_t eventsExecuted() const { return _executed; }
+
+    /** True if no events remain pending. */
+    bool empty() const { return _heap.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return _heap.size(); }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     * @param when Absolute tick; must not be in the past.
+     * @param cb The action to run when the clock reaches @p when.
+     */
+    void
+    schedule(Tick when, Callback cb)
+    {
+        dsm_assert(when >= _now,
+                   "scheduling into the past: %llu < %llu",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(_now));
+        _heap.push(Entry{when, _next_seq++, std::move(cb)});
+    }
+
+    /** Schedule a callback @p delay cycles from now. */
+    void scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(_now + delay, std::move(cb));
+    }
+
+    /**
+     * Execute the single next event, advancing the clock to it.
+     * @return false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run until the queue drains or @p limit events have executed.
+     * @return the number of events executed by this call.
+     */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /**
+     * Run until the clock would pass @p when (events at @p when still
+     * execute), the queue drains, or @p limit events have executed.
+     * The clock is advanced to at least @p when on return.
+     * @return the number of events executed by this call.
+     */
+    std::uint64_t runUntil(Tick when, std::uint64_t limit = UINT64_MAX);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    Tick _now = 0;
+    std::uint64_t _next_seq = 0;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_SIM_EVENT_QUEUE_HH

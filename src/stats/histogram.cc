@@ -1,0 +1,76 @@
+#include "stats/histogram.hh"
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+void
+Histogram::add(std::uint64_t value, std::uint64_t count)
+{
+    if (value >= _buckets.size())
+        _buckets.resize(value + 1, 0);
+    _buckets[value] += count;
+    _samples += count;
+    _sum += value * count;
+    if (value > _max)
+        _max = value;
+}
+
+double
+Histogram::mean() const
+{
+    return _samples == 0 ? 0.0
+                         : static_cast<double>(_sum) /
+                               static_cast<double>(_samples);
+}
+
+std::uint64_t
+Histogram::count(std::uint64_t value) const
+{
+    return value < _buckets.size() ? _buckets[value] : 0;
+}
+
+double
+Histogram::fraction(std::uint64_t value) const
+{
+    return _samples == 0 ? 0.0
+                         : static_cast<double>(count(value)) /
+                               static_cast<double>(_samples);
+}
+
+std::uint64_t
+Histogram::percentile(double q) const
+{
+    if (_samples == 0)
+        return 0;
+    std::uint64_t target =
+        static_cast<std::uint64_t>(q * static_cast<double>(_samples));
+    if (target == 0)
+        target = 1;
+    std::uint64_t seen = 0;
+    for (std::uint64_t v = 0; v < _buckets.size(); ++v) {
+        seen += _buckets[v];
+        if (seen >= target)
+            return v;
+    }
+    return _max;
+}
+
+void
+Histogram::clear()
+{
+    _buckets.clear();
+    _samples = 0;
+    _sum = 0;
+    _max = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    return csprintf("n=%llu, mean=%.2f, max=%llu",
+                    static_cast<unsigned long long>(_samples), mean(),
+                    static_cast<unsigned long long>(_max));
+}
+
+} // namespace dsm

@@ -1,0 +1,38 @@
+#include "stats/stat_set.hh"
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+std::string
+SysStats::report() const
+{
+    std::string out;
+    out += csprintf("nacks=%llu retries=%llu inv=%llu upd=%llu wb=%llu "
+                    "drops=%llu\n",
+                    (unsigned long long)nacks,
+                    (unsigned long long)retries,
+                    (unsigned long long)invalidations,
+                    (unsigned long long)updates,
+                    (unsigned long long)writebacks,
+                    (unsigned long long)drop_notifies);
+    out += csprintf("sc: ok=%llu fail=%llu (local=%llu)  "
+                    "cas: ok=%llu fail=%llu\n",
+                    (unsigned long long)sc_successes,
+                    (unsigned long long)sc_failures,
+                    (unsigned long long)sc_local_failures,
+                    (unsigned long long)cas_successes,
+                    (unsigned long long)cas_failures);
+    for (int i = 0; i < NUM_ATOMIC_OPS; ++i) {
+        if (op_count[i] == 0)
+            continue;
+        out += csprintf("%-18s n=%-10llu mean=%8.1f max=%llu\n",
+                        toString(static_cast<AtomicOp>(i)),
+                        (unsigned long long)op_count[i],
+                        op_latency[i].mean(),
+                        (unsigned long long)op_latency[i].max);
+    }
+    return out;
+}
+
+} // namespace dsm

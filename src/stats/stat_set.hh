@@ -1,0 +1,83 @@
+/**
+ * @file
+ * System-wide protocol statistics and per-operation latency accounting.
+ */
+
+#ifndef DSM_STATS_STAT_SET_HH
+#define DSM_STATS_STAT_SET_HH
+
+#include <cstdint>
+#include <string>
+
+#include "net/msg.hh"
+#include "sim/types.hh"
+#include "stats/histogram.hh"
+
+namespace dsm {
+
+/** Sum/count/max accumulator for latencies. */
+struct LatencyStat
+{
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    Tick max = 0;
+
+    void
+    sample(Tick t)
+    {
+        ++count;
+        sum += t;
+        if (t > max)
+            max = t;
+    }
+
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+};
+
+/** Number of distinct AtomicOp values (for per-op arrays). */
+constexpr int NUM_ATOMIC_OPS = static_cast<int>(AtomicOp::SCS) + 1;
+
+/** Protocol-level statistics aggregated across all nodes. */
+struct SysStats
+{
+    std::uint64_t nacks = 0;            ///< NACK responses sent
+    std::uint64_t retries = 0;          ///< requester retry attempts
+    std::uint64_t invalidations = 0;    ///< Inv messages sent
+    std::uint64_t updates = 0;          ///< Update messages sent
+    std::uint64_t writebacks = 0;       ///< WbData messages sent
+    std::uint64_t drop_notifies = 0;    ///< DropNotify messages sent
+    std::uint64_t sc_failures = 0;      ///< failed store_conditionals
+    std::uint64_t sc_local_failures = 0;///< SC failures with no traffic
+    std::uint64_t sc_successes = 0;
+    std::uint64_t cas_failures = 0;
+    std::uint64_t cas_successes = 0;
+
+    /** Per-operation completion counts and latencies. */
+    std::uint64_t op_count[NUM_ATOMIC_OPS] = {};
+    LatencyStat op_latency[NUM_ATOMIC_OPS];
+
+    /** Longest serialized message chain per completed operation. */
+    Histogram chain_length;
+
+    void
+    sampleOp(AtomicOp op, Tick latency, int chain)
+    {
+        int i = static_cast<int>(op);
+        ++op_count[i];
+        op_latency[i].sample(latency);
+        chain_length.add(static_cast<std::uint64_t>(chain));
+    }
+
+    /** Multi-line human-readable dump. */
+    std::string report() const;
+};
+
+} // namespace dsm
+
+#endif // DSM_STATS_STAT_SET_HH

@@ -1,0 +1,13 @@
+#include "sync/backoff.hh"
+
+namespace dsm {
+
+Tick
+Backoff::next(Rng &rng)
+{
+    Tick bound = _cur;
+    _cur = _cur * 2 > _cap ? _cap : _cur * 2;
+    return rng.range(1, bound);
+}
+
+} // namespace dsm

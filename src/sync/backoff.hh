@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Bounded exponential backoff, as used by the paper's test-and-test-and-
+ * set lock ("with bounded exponential backoff") and by retry loops on
+ * lock-free objects.
+ */
+
+#ifndef DSM_SYNC_BACKOFF_HH
+#define DSM_SYNC_BACKOFF_HH
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+/** Per-attempt bounded exponential backoff state. */
+class Backoff
+{
+  public:
+    /**
+     * @param base First delay in cycles.
+     * @param cap  Upper bound on the delay.
+     */
+    Backoff(Tick base, Tick cap) : _base(base), _cap(cap), _cur(base) {}
+
+    /**
+     * The next delay: uniformly random in [1, current bound], doubling
+     * the bound (up to the cap) on each call.
+     */
+    Tick next(Rng &rng);
+
+    /** Reset to the base delay (e.g. after a successful acquire). */
+    void reset() { _cur = _base; }
+
+    Tick currentBound() const { return _cur; }
+
+  private:
+    Tick _base;
+    Tick _cap;
+    Tick _cur;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_BACKOFF_HH

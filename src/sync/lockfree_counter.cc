@@ -1,0 +1,70 @@
+#include "sync/lockfree_counter.hh"
+
+#include "cpu/system.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+LockFreeCounter::LockFreeCounter(System &sys, Primitive prim)
+    : _sys(sys), _prim(prim), _addr(sys.allocSync())
+{
+}
+
+LockFreeCounter::LockFreeCounter(System &sys, Primitive prim, Addr addr)
+    : _sys(sys), _prim(prim), _addr(addr)
+{
+    dsm_assert(sys.isSync(addr),
+               "LockFreeCounter address must be synchronization data");
+}
+
+void
+LockFreeCounter::reset(Word v)
+{
+    _sys.writeInit(_addr, v);
+}
+
+CoTask<Word>
+LockFreeCounter::fetchAdd(Proc &p, Word delta)
+{
+    const SyncConfig &sc = _sys.cfg().sync;
+    Word old = 0;
+
+    switch (_prim) {
+      case Primitive::FAP: {
+        old = (co_await p.fetchAdd(_addr, delta)).value;
+        break;
+      }
+      case Primitive::CAS: {
+        for (;;) {
+            OpResult r = sc.use_load_exclusive
+                             ? co_await p.loadExclusive(_addr)
+                             : co_await p.load(_addr);
+            OpResult c = co_await p.cas(_addr, r.value, r.value + delta);
+            if (c.success) {
+                old = r.value;
+                break;
+            }
+            ++_failed_attempts;
+        }
+        break;
+      }
+      case Primitive::LLSC: {
+        for (;;) {
+            OpResult r = co_await p.ll(_addr);
+            OpResult s = co_await p.sc(_addr, r.value + delta);
+            if (s.success) {
+                old = r.value;
+                break;
+            }
+            ++_failed_attempts;
+        }
+        break;
+      }
+    }
+
+    if (sc.use_drop_copy)
+        co_await p.dropCopy(_addr);
+    co_return old;
+}
+
+} // namespace dsm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Concurrent FIFO queues in the style the paper's authors later made
+ * famous (Michael & Scott, PODC 1996), built from the primitives under
+ * study and exercising the paper's Section 2.2 arguments:
+ *
+ *  - TwoLockQueue: one lock for the head, one for the tail; enqueuers
+ *    and dequeuers do not interfere. Needs only a level-2 primitive
+ *    (test_and_set) -- lock-based, so neither lock-free nor wait-free.
+ *
+ *  - NonBlockingQueue: the CAS-based lock-free queue. Pointers are
+ *    encoded as pool indices; nodes are recycled only through the
+ *    queue itself, and the queue is used with a freshness discipline
+ *    (no external ABA-prone reuse) in tests.
+ */
+
+#ifndef DSM_SYNC_MS_QUEUE_HH
+#define DSM_SYNC_MS_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/co_task.hh"
+#include "cpu/proc.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+#include "sync/tts_lock.hh"
+
+namespace dsm {
+
+class System;
+
+/** Michael & Scott's two-lock FIFO queue. */
+class TwoLockQueue
+{
+  public:
+    /**
+     * @param capacity Maximum number of simultaneously queued items
+     *        (the node pool size).
+     */
+    TwoLockQueue(System &sys, Primitive prim, int capacity);
+
+    /**
+     * Enqueue @p value.
+     * @return false if the node pool was exhausted.
+     */
+    CoTask<bool> enqueue(Proc &p, Word value);
+
+    /**
+     * Dequeue into @p out.
+     * @return false if the queue was empty.
+     */
+    CoTask<bool> dequeue(Proc &p, Word *out);
+
+  private:
+    CoTask<int> allocNode(Proc &p);
+    CoTask<void> freeNode(Proc &p, int node);
+
+    System &_sys;
+    TtsLock _head_lock;
+    TtsLock _tail_lock;
+    TtsLock _free_lock; ///< guards the node free list
+    Primitive _prim;
+    Addr _head = 0; ///< ordinary data, protected by _head_lock
+    Addr _tail = 0; ///< ordinary data, protected by _tail_lock
+    Addr _free = 0; ///< ordinary data, protected by _free_lock
+    std::vector<Addr> _next;
+    std::vector<Addr> _value;
+};
+
+/** The CAS-based non-blocking (lock-free) FIFO queue. */
+class NonBlockingQueue
+{
+  public:
+    NonBlockingQueue(System &sys, int capacity);
+
+    /** Enqueue; returns false when the node pool is exhausted. */
+    CoTask<bool> enqueue(Proc &p, Word value);
+
+    /** Dequeue; returns false when the queue is empty. */
+    CoTask<bool> dequeue(Proc &p, Word *out);
+
+    Addr headAddr() const { return _head; }
+    Addr tailAddr() const { return _tail; }
+
+  private:
+    CoTask<int> allocNode(Proc &p);
+    CoTask<void> freeNode(Proc &p, int node);
+
+    System &_sys;
+    Addr _head;      ///< sync: counted pointer to the dummy node
+    Addr _tail;      ///< sync: counted pointer to the last node
+    Addr _free_head; ///< sync: counted pointer to the node free list
+    std::vector<Addr> _next;  ///< counted pointers (CAS target)
+    std::vector<Addr> _value; ///< ordinary data
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_MS_QUEUE_HH

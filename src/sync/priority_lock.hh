@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Priority spin lock — one of the synchronization styles the paper
+ * lists among those "easily and efficiently" supported by
+ * general-purpose primitives ("read-write locks, priority locks,
+ * etc.", Section 1).
+ *
+ * Design: waiters publish their priority in a per-processor request
+ * word; the fast path acquires a free lock with the configured
+ * primitive; release scans the request words and hands the (still
+ * held) lock directly to the highest-priority waiter through a
+ * per-processor grant word, so the lock word never becomes free while
+ * waiters exist and priority inversion at hand-off is impossible.
+ */
+
+#ifndef DSM_SYNC_PRIORITY_LOCK_HH
+#define DSM_SYNC_PRIORITY_LOCK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/co_task.hh"
+#include "cpu/proc.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** Priority spin lock with direct hand-off. */
+class PriorityLock
+{
+  public:
+    PriorityLock(System &sys, Primitive prim);
+
+    Addr lockAddr() const { return _lock; }
+
+    /**
+     * Acquire with the given priority (higher wins; must be nonzero).
+     * Equal priorities are served in scan order.
+     */
+    CoTask<void> acquire(Proc &p, Word priority);
+
+    /** Release; hands off to the highest-priority waiter, if any. */
+    CoTask<void> release(Proc &p);
+
+    /** Direct hand-offs performed (released-to-waiter transitions). */
+    std::uint64_t handoffs() const { return _handoffs; }
+
+  private:
+    /** Try to take the free lock with the configured primitive. */
+    CoTask<bool> tryLock(Proc &p);
+
+    System &_sys;
+    Primitive _prim;
+    Addr _lock;                  ///< sync: 0 free, 1 held
+    std::vector<Addr> _request;  ///< per-proc priority (ordinary)
+    std::vector<Addr> _grant;    ///< per-proc hand-off flag (ordinary)
+    std::uint64_t _handoffs = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_PRIORITY_LOCK_HH

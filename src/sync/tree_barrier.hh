@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Scalable tree barrier (Mellor-Crummey & Scott [20]), used by the
+ * paper's Transitive Closure application for barrier synchronization.
+ *
+ * Arrival is a 4-ary tree, wakeup a binary tree, and every flag is
+ * written by exactly one processor and spun on by exactly one processor,
+ * using only ordinary loads and stores (no atomic primitives). Flags
+ * carry monotonically increasing round numbers, which makes the barrier
+ * trivially reusable without sense reversal.
+ */
+
+#ifndef DSM_SYNC_TREE_BARRIER_HH
+#define DSM_SYNC_TREE_BARRIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/co_task.hh"
+#include "cpu/proc.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** MCS-style tree barrier over processors 0 .. participants-1. */
+class TreeBarrier
+{
+  public:
+    TreeBarrier(System &sys, int participants);
+
+    /** Arrive and wait until all participants have arrived. */
+    CoTask<void> arrive(Proc &p);
+
+    /** Completed rounds (all participants through). */
+    std::uint64_t roundsCompleted() const { return _rounds_completed; }
+
+  private:
+    static constexpr int ARRIVAL_ARITY = 4;
+
+    System &_sys;
+    int _n;
+    std::vector<Addr> _ready; ///< per-proc arrival flag (round number)
+    std::vector<Addr> _wake;  ///< per-proc wakeup flag (round number)
+    std::vector<Word> _round; ///< per-proc local round counter
+    std::uint64_t _rounds_completed = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_TREE_BARRIER_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Test-and-test-and-set lock with bounded exponential backoff
+ * (Rudolph & Segall [23]; the lock the paper substitutes for the SPLASH
+ * library locks and uses in its second synthetic application).
+ *
+ * The acquire attempt is made with the configured universal primitive:
+ *  - FAP: test_and_set;
+ *  - CAS: compare_and_swap(lock, 0, 1), optionally preceded by
+ *    load_exclusive (Section 3);
+ *  - LLSC: a load_linked/store_conditional attempt.
+ *
+ * Release is an ordinary store of 0; with drop_copy enabled the holder
+ * drops its copy of the lock line after releasing.
+ */
+
+#ifndef DSM_SYNC_TTS_LOCK_HH
+#define DSM_SYNC_TTS_LOCK_HH
+
+#include <cstdint>
+
+#include "cpu/co_task.hh"
+#include "cpu/proc.hh"
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** TTS spin lock with bounded exponential backoff. */
+class TtsLock
+{
+  public:
+    /**
+     * @param backoff_base First backoff delay (cycles).
+     * @param backoff_cap Bound on the backoff delay (cycles).
+     */
+    TtsLock(System &sys, Primitive prim, Tick backoff_base = 16,
+            Tick backoff_cap = 1024);
+
+    Addr addr() const { return _addr; }
+
+    /** Acquire the lock (spins until held). */
+    CoTask<void> acquire(Proc &p);
+
+    /** Release the lock. */
+    CoTask<void> release(Proc &p);
+
+    /** Failed acquire attempts (TAS/CAS/SC that did not take the lock). */
+    std::uint64_t failedAttempts() const { return _failed_attempts; }
+    /** Successful acquisitions. */
+    std::uint64_t acquisitions() const { return _acquisitions; }
+
+  private:
+    System &_sys;
+    Primitive _prim;
+    Addr _addr;
+    Tick _backoff_base;
+    Tick _backoff_cap;
+    std::uint64_t _failed_attempts = 0;
+    std::uint64_t _acquisitions = 0;
+};
+
+} // namespace dsm
+
+#endif // DSM_SYNC_TTS_LOCK_HH

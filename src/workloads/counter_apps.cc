@@ -1,0 +1,159 @@
+#include "workloads/counter_apps.hh"
+
+#include <cmath>
+#include <memory>
+
+#include "cpu/system.hh"
+#include "sim/logging.hh"
+#include "sync/lockfree_counter.hh"
+#include "sync/mcs_lock.hh"
+#include "sync/tts_lock.hh"
+
+namespace dsm {
+
+const char *
+toString(CounterKind k)
+{
+    switch (k) {
+      case CounterKind::LOCK_FREE: return "lock-free";
+      case CounterKind::TTS: return "tts-lock";
+      case CounterKind::MCS: return "mcs-lock";
+    }
+    return "?";
+}
+
+std::vector<int>
+runLengthPattern(double a)
+{
+    dsm_assert(a >= 1.0, "write-run length must be at least 1");
+    int twice = static_cast<int>(std::lround(a * 2.0));
+    dsm_assert(std::abs(a * 2.0 - twice) < 1e-9,
+               "write-run length %.3f is not a multiple of 0.5", a);
+    if (twice % 2 == 0)
+        return {twice / 2};
+    return {twice / 2, twice / 2 + 1};
+}
+
+namespace {
+
+/** Shared measurement state, host-side. */
+struct Metrics
+{
+    std::uint64_t updates = 0;
+    std::uint64_t latency_sum = 0;
+};
+
+/** One counter update under the configured kind. */
+CoTask<void>
+doUpdate(Proc &p, const CounterAppConfig &cfg, LockFreeCounter &counter,
+         TtsLock *tts, McsLock *mcs, Addr plain_counter)
+{
+    switch (cfg.kind) {
+      case CounterKind::LOCK_FREE:
+        co_await counter.fetchInc(p);
+        break;
+      case CounterKind::TTS: {
+        co_await tts->acquire(p);
+        Word v = (co_await p.load(plain_counter)).value;
+        co_await p.store(plain_counter, v + 1);
+        co_await tts->release(p);
+        break;
+      }
+      case CounterKind::MCS: {
+        co_await mcs->acquire(p);
+        Word v = (co_await p.load(plain_counter)).value;
+        co_await p.store(plain_counter, v + 1);
+        co_await mcs->release(p);
+        break;
+      }
+    }
+}
+
+/** The per-processor thread body. */
+Task
+counterThread(System &sys, Proc &p, const CounterAppConfig &cfg,
+              SyncBarrier &barrier, LockFreeCounter &counter,
+              TtsLock *tts, McsLock *mcs, Addr plain_counter,
+              std::vector<int> pattern, Metrics &metrics)
+{
+    int procs = sys.numProcs();
+    for (int phase = 0; phase < cfg.phases; ++phase) {
+        bool active;
+        int run_len;
+        if (cfg.contention <= 1) {
+            // No contention: one processor per phase, rotating, so
+            // ownership of the counter changes hands between phases.
+            active = phase % procs == p.id();
+            run_len = pattern[static_cast<std::size_t>(phase / procs) %
+                              pattern.size()];
+        } else {
+            active = p.id() < cfg.contention;
+            run_len =
+                pattern[static_cast<std::size_t>(phase) % pattern.size()];
+        }
+        if (active) {
+            for (int k = 0; k < run_len; ++k) {
+                Tick t0 = sys.now();
+                co_await doUpdate(p, cfg, counter, tts, mcs,
+                                  plain_counter);
+                metrics.latency_sum += sys.now() - t0;
+                ++metrics.updates;
+            }
+        }
+        co_await barrier.arrive();
+    }
+}
+
+} // namespace
+
+CounterAppResult
+runCounterApp(System &sys, const CounterAppConfig &cfg)
+{
+    dsm_assert(cfg.contention >= 1 && cfg.contention <= sys.numProcs(),
+               "contention level %d out of range", cfg.contention);
+
+    LockFreeCounter counter(sys, cfg.prim);
+    std::unique_ptr<TtsLock> tts;
+    std::unique_ptr<McsLock> mcs;
+    if (cfg.kind == CounterKind::TTS)
+        tts = std::make_unique<TtsLock>(sys, cfg.prim, cfg.backoff_base,
+                                        cfg.backoff_cap);
+    if (cfg.kind == CounterKind::MCS)
+        mcs = std::make_unique<McsLock>(sys, cfg.prim);
+    Addr plain_counter = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+
+    SyncBarrier barrier(sys, sys.numProcs());
+    Metrics metrics;
+    std::vector<int> pattern = runLengthPattern(cfg.write_run);
+
+    Tick t0 = sys.now();
+    for (int i = 0; i < sys.numProcs(); ++i) {
+        sys.spawn(counterThread(sys, sys.proc(i), cfg, barrier, counter,
+                                tts.get(), mcs.get(), plain_counter,
+                                pattern, metrics));
+    }
+    RunResult rr = sys.run();
+
+    CounterAppResult res;
+    res.completed = rr.completed;
+    res.updates = metrics.updates;
+    res.elapsed = sys.now() - t0;
+    if (metrics.updates > 0) {
+        res.avg_cycles_per_update =
+            static_cast<double>(res.elapsed) /
+            static_cast<double>(metrics.updates);
+        res.mean_update_latency =
+            static_cast<double>(metrics.latency_sum) /
+            static_cast<double>(metrics.updates);
+    }
+    Word final_value = cfg.kind == CounterKind::LOCK_FREE
+                           ? sys.debugRead(counter.addr())
+                           : sys.debugRead(plain_counter);
+    res.correct = final_value == metrics.updates;
+    res.failed_attempts = counter.failedAttempts() +
+                          (tts ? tts->failedAttempts() : 0);
+    sys.reapTasks();
+    return res;
+}
+
+} // namespace dsm

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The paper's three synthetic applications (Section 4.1):
+ *
+ *  1. a lock-free concurrent counter (LL/SC and CAS simulate
+ *     fetch_and_Phi) -- Figure 3;
+ *  2. a counter protected by a test-and-test-and-set lock with bounded
+ *     exponential backoff (all three primitives used similarly) --
+ *     Figure 4;
+ *  3. a counter protected by an MCS lock (LL/SC simulates
+ *     compare_and_swap) -- Figure 5.
+ *
+ * "Each processor executes a tight loop, in each iteration of which it
+ * either updates the counter or not, depending on the desired level of
+ * contention. Depending on the desired average write-run length, every
+ * one or more iterations are separated by a constant-time barrier."
+ *
+ * Contention c: processors 0..c-1 all update in every phase.
+ * Write-run a (with c == 1): in each phase exactly one processor (round
+ * robin) performs a run of consecutive updates whose lengths average a.
+ */
+
+#ifndef DSM_WORKLOADS_COUNTER_APPS_HH
+#define DSM_WORKLOADS_COUNTER_APPS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** Which of the three synthetic counter applications to run. */
+enum class CounterKind
+{
+    LOCK_FREE, ///< Figure 3
+    TTS,       ///< Figure 4
+    MCS,       ///< Figure 5
+};
+
+const char *toString(CounterKind k);
+
+/** Parameters of a synthetic counter run. */
+struct CounterAppConfig
+{
+    CounterKind kind = CounterKind::LOCK_FREE;
+    Primitive prim = Primitive::FAP;
+    /** Contention level c: processors concurrently updating per phase. */
+    int contention = 1;
+    /** Average write-run length a (meaningful for the c == 1 sweeps). */
+    double write_run = 1.0;
+    /** Number of barrier-separated phases. */
+    int phases = 128;
+    /** TTS backoff parameters. */
+    Tick backoff_base = 16;
+    Tick backoff_cap = 1024;
+};
+
+/** Measured results of a synthetic counter run. */
+struct CounterAppResult
+{
+    /**
+     * The paper's metric: "the elapsed time averaged over a large
+     * number of counter updates" -- total elapsed time of the measured
+     * region divided by the number of updates. With c concurrent
+     * updaters this is a throughput-style per-update cost; with c == 1
+     * it equals the per-update latency (plus the constant barrier).
+     */
+    double avg_cycles_per_update = 0.0;
+    /** Mean end-to-end latency of one update as seen by its issuer. */
+    double mean_update_latency = 0.0;
+    std::uint64_t updates = 0;
+    Tick elapsed = 0;
+    /** Final counter value matched the number of updates. */
+    bool correct = false;
+    /** Failed CAS/SC/TAS attempts observed. */
+    std::uint64_t failed_attempts = 0;
+    bool completed = false;
+};
+
+/**
+ * Run one synthetic counter experiment on a fresh phase of @p sys.
+ * Spawns one thread per processor; returns after all complete.
+ */
+CounterAppResult runCounterApp(System &sys, const CounterAppConfig &cfg);
+
+/**
+ * The run-length pattern whose mean is @p a, e.g. 1.5 -> {1, 2}.
+ * Supported values: small rationals with denominator 1 or 2.
+ */
+std::vector<int> runLengthPattern(double a);
+
+} // namespace dsm
+
+#endif // DSM_WORKLOADS_COUNTER_APPS_HH

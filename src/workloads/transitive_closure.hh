@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The paper's Transitive Closure application (Figure 1): a Floyd-
+ * Warshall-based transitive closure of a directed graph that uses a
+ * lock-free counter to distribute variable-size, input-dependent jobs
+ * among the processors, and the scalable tree barrier [20] for barrier
+ * synchronization.
+ */
+
+#ifndef DSM_WORKLOADS_TRANSITIVE_CLOSURE_HH
+#define DSM_WORKLOADS_TRANSITIVE_CLOSURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** Parameters of a Transitive Closure run. */
+struct TcConfig
+{
+    /** Number of graph vertices (adjacency matrix is size x size). */
+    int size = 48;
+    /** Primitive used for the job-distribution counter. */
+    Primitive prim = Primitive::FAP;
+    /** Probability (out of 100) of each directed edge. */
+    int edge_pct = 8;
+    /** Seed for graph generation. */
+    std::uint64_t seed = 42;
+};
+
+/** Results of a Transitive Closure run. */
+struct TcResult
+{
+    Tick elapsed = 0;
+    /** Matrix matches a host-computed reference closure. */
+    bool correct = false;
+    bool completed = false;
+    std::uint64_t counter_fetches = 0;
+};
+
+/**
+ * Run the Figure 1 program on all processors of @p sys.
+ * The adjacency matrix is generated from cfg.seed, the parallel closure
+ * is computed in simulated shared memory, and the result is verified
+ * against a sequential host reference.
+ */
+TcResult runTransitiveClosure(System &sys, const TcConfig &cfg);
+
+/** Host-side sequential reference (for tests). */
+std::vector<std::uint8_t> referenceClosure(std::vector<std::uint8_t> e,
+                                           int size);
+
+} // namespace dsm
+
+#endif // DSM_WORKLOADS_TRANSITIVE_CLOSURE_HH

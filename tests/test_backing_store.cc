@@ -1,0 +1,48 @@
+/** @file Unit tests for the sparse memory backing store. */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hh"
+
+using namespace dsm;
+
+TEST(BackingStore, ZeroInitialized)
+{
+    BackingStore bs;
+    EXPECT_EQ(bs.readWord(0x1000), 0u);
+    EXPECT_EQ(bs.readWord(0), 0u);
+}
+
+TEST(BackingStore, WordRoundTrip)
+{
+    BackingStore bs;
+    bs.writeWord(0x40, 0xdeadbeefULL);
+    EXPECT_EQ(bs.readWord(0x40), 0xdeadbeefULL);
+    EXPECT_EQ(bs.readWord(0x48), 0u);
+}
+
+TEST(BackingStore, UnalignedAccessUsesWordBase)
+{
+    BackingStore bs;
+    bs.writeWord(0x44, 7); // within word at 0x40
+    EXPECT_EQ(bs.readWord(0x40), 7u);
+    EXPECT_EQ(bs.readWord(0x47), 7u);
+}
+
+TEST(BackingStore, BlockRoundTrip)
+{
+    BackingStore bs;
+    std::array<Word, BLOCK_WORDS> data{1, 2, 3, 4};
+    bs.writeBlock(0x80, data);
+    EXPECT_EQ(bs.readBlock(0x80), data);
+    EXPECT_EQ(bs.readWord(0x88), 2u);
+    EXPECT_EQ(bs.readWord(0x98), 4u);
+}
+
+TEST(BackingStore, BlockReadUsesBlockBase)
+{
+    BackingStore bs;
+    std::array<Word, BLOCK_WORDS> data{9, 8, 7, 6};
+    bs.writeBlock(0x100, data);
+    EXPECT_EQ(bs.readBlock(0x108), data);
+}

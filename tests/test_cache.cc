@@ -1,0 +1,145 @@
+/** @file Unit tests for the set-associative cache. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+
+using namespace dsm;
+
+namespace {
+
+std::array<Word, BLOCK_WORDS>
+pattern(Word base)
+{
+    return {base, base + 1, base + 2, base + 3};
+}
+
+} // namespace
+
+TEST(Cache, MissOnEmpty)
+{
+    Cache c(8, 2);
+    EXPECT_EQ(c.lookup(0x40), nullptr);
+    EXPECT_EQ(c.peek(0x40), nullptr);
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(Cache, AllocateAndLookup)
+{
+    Cache c(8, 2);
+    Victim v;
+    CacheLine *line = c.allocate(0x40, &v);
+    EXPECT_FALSE(v.valid);
+    line->state = LineState::SHARED;
+    line->data = pattern(10);
+    CacheLine *hit = c.lookup(0x48);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->readWord(0x48), 11u);
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(Cache, WordReadWrite)
+{
+    Cache c(8, 2);
+    CacheLine *line = c.allocate(0x100, nullptr);
+    line->state = LineState::EXCLUSIVE;
+    line->writeWord(0x110, 77);
+    EXPECT_EQ(line->readWord(0x110), 77u);
+    EXPECT_EQ(line->readWord(0x100), 0u);
+}
+
+TEST(Cache, LruEvictsColdestWay)
+{
+    Cache c(1, 2); // one set, two ways
+    c.allocate(0x00, nullptr)->state = LineState::SHARED;
+    c.allocate(0x20, nullptr)->state = LineState::SHARED;
+    // Touch 0x00 so 0x20 becomes LRU.
+    ASSERT_NE(c.lookup(0x00), nullptr);
+    Victim v;
+    c.allocate(0x40, &v);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.base, 0x20u);
+    EXPECT_NE(c.peek(0x00), nullptr);
+    EXPECT_EQ(c.peek(0x20), nullptr);
+}
+
+TEST(Cache, VictimCarriesStateAndData)
+{
+    Cache c(1, 1);
+    CacheLine *line = c.allocate(0x40, nullptr);
+    line->state = LineState::EXCLUSIVE;
+    line->data = pattern(5);
+    Victim v;
+    c.allocate(0x60, &v);
+    ASSERT_TRUE(v.valid);
+    EXPECT_EQ(v.base, 0x40u);
+    EXPECT_EQ(v.state, LineState::EXCLUSIVE);
+    EXPECT_EQ(v.data, pattern(5));
+    EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, InvalidateDropsLine)
+{
+    Cache c(8, 2);
+    c.allocate(0x40, nullptr)->state = LineState::SHARED;
+    c.invalidate(0x40);
+    EXPECT_EQ(c.peek(0x40), nullptr);
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(Cache, SetsAreIndependent)
+{
+    Cache c(2, 1);
+    c.allocate(0x00, nullptr)->state = LineState::SHARED; // set 0
+    c.allocate(0x20, nullptr)->state = LineState::SHARED; // set 1
+    EXPECT_EQ(c.validLines(), 2u);
+    EXPECT_NE(c.peek(0x00), nullptr);
+    EXPECT_NE(c.peek(0x20), nullptr);
+}
+
+TEST(Cache, ReservationLifecycle)
+{
+    Cache c(8, 2);
+    EXPECT_FALSE(c.reservationValid());
+    c.setReservation(0x48);
+    EXPECT_TRUE(c.reservationValid());
+    EXPECT_EQ(c.reservationAddr(), 0x40u);
+    c.clearReservation();
+    EXPECT_FALSE(c.reservationValid());
+}
+
+TEST(Cache, ReservationClearedByCoveringInvalidate)
+{
+    Cache c(8, 2);
+    c.allocate(0x40, nullptr)->state = LineState::SHARED;
+    c.setReservation(0x40);
+    c.invalidate(0x40);
+    EXPECT_FALSE(c.reservationValid());
+}
+
+TEST(Cache, ReservationSurvivesOtherInvalidate)
+{
+    Cache c(8, 2);
+    c.allocate(0x40, nullptr)->state = LineState::SHARED;
+    c.allocate(0x80, nullptr)->state = LineState::SHARED;
+    c.setReservation(0x40);
+    c.invalidate(0x80);
+    EXPECT_TRUE(c.reservationValid());
+}
+
+TEST(Cache, ReservationClearedByEviction)
+{
+    Cache c(1, 1);
+    c.allocate(0x40, nullptr)->state = LineState::SHARED;
+    c.setReservation(0x40);
+    Victim v;
+    c.allocate(0x60, &v);
+    EXPECT_FALSE(c.reservationValid());
+}
+
+TEST(CacheDeath, DoubleAllocatePanics)
+{
+    Cache c(8, 2);
+    c.allocate(0x40, nullptr)->state = LineState::SHARED;
+    EXPECT_DEATH(c.allocate(0x40, nullptr), "already-present");
+}

@@ -1,0 +1,90 @@
+/** @file Central sense-reversing barrier tests. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "sync/central_barrier.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+Task
+phased(Proc &p, CentralBarrier &bar, int rounds,
+       std::vector<int> &phase_of, bool *violation)
+{
+    for (int r = 0; r < rounds; ++r) {
+        co_await p.compute(1 + (static_cast<Tick>(p.id()) * 13) % 29);
+        phase_of[static_cast<size_t>(p.id())] = r;
+        co_await bar.arrive(p);
+        for (int other : phase_of)
+            if (other < r)
+                *violation = true;
+        co_await bar.arrive(p);
+    }
+}
+
+} // namespace
+
+class CentralBarrierMatrix
+    : public testing::TestWithParam<std::tuple<Primitive, SyncPolicy>>
+{
+};
+
+TEST_P(CentralBarrierMatrix, SynchronizesAllProcs)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 8));
+    CentralBarrier bar(sys, prim, 8);
+    std::vector<int> phase_of(8, -1);
+    bool violation = false;
+    for (NodeId n = 0; n < 8; ++n)
+        sys.spawn(phased(sys.proc(n), bar, 5, phase_of, &violation));
+    runAll(sys);
+    EXPECT_FALSE(violation);
+    EXPECT_EQ(bar.roundsCompleted(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CentralBarrierMatrix,
+    testing::Combine(testing::Values(Primitive::FAP, Primitive::CAS,
+                                     Primitive::LLSC),
+                     testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                     SyncPolicy::UNC)),
+    [](const auto &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+TEST(CentralBarrier, ReusableManyRounds)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    CentralBarrier bar(sys, Primitive::FAP, 4);
+    int done = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, CentralBarrier &b, int *d) -> Task {
+            for (int i = 0; i < 25; ++i)
+                co_await b.arrive(p);
+            ++*d;
+        }(sys.proc(n), bar, &done));
+    }
+    runAll(sys);
+    EXPECT_EQ(done, 4);
+    EXPECT_EQ(bar.roundsCompleted(), 25u);
+}
+
+TEST(CentralBarrier, SubsetOfProcessors)
+{
+    System sys(smallConfig(SyncPolicy::INV, 8));
+    CentralBarrier bar(sys, Primitive::CAS, 3);
+    int done = 0;
+    for (NodeId n = 0; n < 3; ++n) {
+        sys.spawn([](Proc &p, CentralBarrier &b, int *d) -> Task {
+            for (int i = 0; i < 4; ++i)
+                co_await b.arrive(p);
+            ++*d;
+        }(sys.proc(n), bar, &done));
+    }
+    runAll(sys);
+    EXPECT_EQ(done, 3);
+}

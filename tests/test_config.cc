@@ -1,0 +1,70 @@
+/** @file Unit tests for configuration validation and labels. */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+using namespace dsm;
+
+TEST(Config, EnumNames)
+{
+    EXPECT_STREQ(toString(SyncPolicy::INV), "INV");
+    EXPECT_STREQ(toString(SyncPolicy::UPD), "UPD");
+    EXPECT_STREQ(toString(SyncPolicy::UNC), "UNC");
+    EXPECT_STREQ(toString(CasVariant::PLAIN), "INV");
+    EXPECT_STREQ(toString(CasVariant::DENY), "INVd");
+    EXPECT_STREQ(toString(CasVariant::SHARE), "INVs");
+    EXPECT_STREQ(toString(Primitive::FAP), "FAP");
+    EXPECT_STREQ(toString(Primitive::LLSC), "LLSC");
+    EXPECT_STREQ(toString(Primitive::CAS), "CAS");
+}
+
+TEST(Config, SyncLabelComposition)
+{
+    SyncConfig sc;
+    EXPECT_EQ(sc.label(), "INV");
+    sc.cas_variant = CasVariant::DENY;
+    EXPECT_EQ(sc.label(), "INVd");
+    sc.cas_variant = CasVariant::PLAIN;
+    sc.use_load_exclusive = true;
+    EXPECT_EQ(sc.label(), "INV+lx");
+    sc.use_drop_copy = true;
+    EXPECT_EQ(sc.label(), "INV+lx+dc");
+    sc.policy = SyncPolicy::UNC;
+    sc.use_load_exclusive = false;
+    sc.use_drop_copy = false;
+    EXPECT_EQ(sc.label(), "UNC");
+}
+
+TEST(Config, DefaultMachineValidates)
+{
+    MachineConfig mc;
+    mc.validate(); // must not exit
+    SUCCEED();
+}
+
+TEST(ConfigDeath, BadMeshIsFatal)
+{
+    MachineConfig mc;
+    mc.num_procs = 16;
+    mc.mesh_x = 3;
+    mc.mesh_y = 4;
+    EXPECT_EXIT(mc.validate(), testing::ExitedWithCode(1),
+                "does not cover");
+}
+
+TEST(ConfigDeath, TooManyProcsIsFatal)
+{
+    MachineConfig mc;
+    mc.num_procs = 65;
+    mc.mesh_x = 65;
+    mc.mesh_y = 1;
+    EXPECT_EXIT(mc.validate(), testing::ExitedWithCode(1), "num_procs");
+}
+
+TEST(ConfigDeath, NonPowerOfTwoSetsIsFatal)
+{
+    MachineConfig mc;
+    mc.cache_sets = 48;
+    EXPECT_EXIT(mc.validate(), testing::ExitedWithCode(1), "cache_sets");
+}

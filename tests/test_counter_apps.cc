@@ -1,0 +1,146 @@
+/** @file Tests of the synthetic counter applications (Figures 3-5). */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "workloads/counter_apps.hh"
+
+using namespace dsmtest;
+
+TEST(CounterApps, RunLengthPatterns)
+{
+    EXPECT_EQ(runLengthPattern(1.0), (std::vector<int>{1}));
+    EXPECT_EQ(runLengthPattern(1.5), (std::vector<int>{1, 2}));
+    EXPECT_EQ(runLengthPattern(2.0), (std::vector<int>{2}));
+    EXPECT_EQ(runLengthPattern(3.0), (std::vector<int>{3}));
+    EXPECT_EQ(runLengthPattern(10.0), (std::vector<int>{10}));
+}
+
+namespace {
+
+CounterAppResult
+runOnce(CounterKind kind, Primitive prim, SyncPolicy pol, int c,
+        double a, int procs = 8, int phases = 24)
+{
+    Config cfg = dsmtest::smallConfig(pol, procs);
+    System sys(cfg);
+    CounterAppConfig app;
+    app.kind = kind;
+    app.prim = prim;
+    app.contention = c;
+    app.write_run = a;
+    app.phases = phases;
+    return runCounterApp(sys, app);
+}
+
+} // namespace
+
+class CounterAppMatrix
+    : public testing::TestWithParam<std::tuple<CounterKind, Primitive,
+                                               SyncPolicy>>
+{
+};
+
+TEST_P(CounterAppMatrix, NoContentionRunsCorrectly)
+{
+    auto [kind, prim, pol] = GetParam();
+    CounterAppResult r = runOnce(kind, prim, pol, 1, 1.0);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.updates, 24u); // one update per phase
+    EXPECT_GT(r.avg_cycles_per_update, 0.0);
+}
+
+TEST_P(CounterAppMatrix, ContendedRunsCorrectly)
+{
+    auto [kind, prim, pol] = GetParam();
+    CounterAppResult r = runOnce(kind, prim, pol, 8, 1.0, 8, 12);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.updates, 8u * 12u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CounterAppMatrix,
+    testing::Combine(testing::Values(CounterKind::LOCK_FREE,
+                                     CounterKind::TTS, CounterKind::MCS),
+                     testing::Values(Primitive::FAP, Primitive::CAS,
+                                     Primitive::LLSC),
+                     testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                     SyncPolicy::UNC)),
+    [](const auto &info) {
+        std::string s = toString(std::get<0>(info.param));
+        for (char &ch : s)
+            if (ch == '-')
+                ch = '_';
+        s += "_";
+        s += toString(std::get<1>(info.param));
+        s += "_";
+        s += toString(std::get<2>(info.param));
+        return s;
+    });
+
+TEST(CounterApps, WriteRunSweepProducesExpectedUpdateCounts)
+{
+    for (double a : {1.0, 1.5, 2.0, 3.0}) {
+        CounterAppResult r =
+            runOnce(CounterKind::LOCK_FREE, Primitive::FAP,
+                    SyncPolicy::INV, 1, a, 4, 16);
+        ASSERT_TRUE(r.correct);
+        // 16 phases, runs follow the pattern of mean a.
+        auto pattern = runLengthPattern(a);
+        std::uint64_t expect = 0;
+        for (int ph = 0; ph < 16; ++ph)
+            expect += static_cast<std::uint64_t>(
+                pattern[static_cast<size_t>(ph / 4) % pattern.size()]);
+        EXPECT_EQ(r.updates, expect) << "a=" << a;
+    }
+}
+
+TEST(CounterApps, MeasuredWriteRunMatchesParameter)
+{
+    // The sharing tracker must observe the intended write-run lengths
+    // for the lock-free counter with a native fetch_and_add.
+    Config cfg = dsmtest::smallConfig(SyncPolicy::INV, 4);
+    System sys(cfg);
+    CounterAppConfig app;
+    app.kind = CounterKind::LOCK_FREE;
+    app.prim = Primitive::FAP;
+    app.contention = 1;
+    app.write_run = 3.0;
+    app.phases = 20;
+    CounterAppResult r = runCounterApp(sys, app);
+    ASSERT_TRUE(r.correct);
+    sys.sharing().finalize();
+    EXPECT_NEAR(sys.sharing().averageWriteRun(), 3.0, 0.15);
+}
+
+TEST(CounterApps, ContentionIsObservedByTracker)
+{
+    Config cfg = dsmtest::smallConfig(SyncPolicy::UNC, 8);
+    System sys(cfg);
+    CounterAppConfig app;
+    app.kind = CounterKind::LOCK_FREE;
+    app.prim = Primitive::FAP;
+    app.contention = 8;
+    app.phases = 10;
+    CounterAppResult r = runCounterApp(sys, app);
+    ASSERT_TRUE(r.correct);
+    // With 8 processors hitting a queued memory module, overlapping
+    // attempts must be common.
+    EXPECT_GT(sys.sharing().contention().mean(), 2.0);
+    EXPECT_GE(sys.sharing().contention().max(), 6u);
+}
+
+TEST(CounterApps, HigherContentionCostsMoreUnderInv)
+{
+    CounterAppResult low = runOnce(CounterKind::LOCK_FREE,
+                                   Primitive::FAP, SyncPolicy::INV, 1,
+                                   1.0, 8, 16);
+    CounterAppResult high = runOnce(CounterKind::LOCK_FREE,
+                                    Primitive::FAP, SyncPolicy::INV, 8,
+                                    1.0, 8, 16);
+    ASSERT_TRUE(low.correct);
+    ASSERT_TRUE(high.correct);
+    EXPECT_GT(high.avg_cycles_per_update, low.avg_cycles_per_update);
+}

@@ -1,0 +1,73 @@
+/** @file Unit tests for directory entries. */
+
+#include <gtest/gtest.h>
+
+#include "mem/directory.hh"
+
+using namespace dsm;
+
+TEST(Directory, EntriesStartUncached)
+{
+    Directory d;
+    DirEntry &e = d.entry(0x40);
+    EXPECT_EQ(e.state, DirState::UNCACHED);
+    EXPECT_EQ(e.sharers, 0u);
+    EXPECT_EQ(e.owner, INVALID_NODE);
+    EXPECT_FALSE(e.busy);
+}
+
+TEST(Directory, EntryIsPerBlock)
+{
+    Directory d;
+    d.entry(0x40).addSharer(3);
+    EXPECT_TRUE(d.entry(0x48).isSharer(3)); // same block
+    EXPECT_FALSE(d.entry(0x60).isSharer(3)); // next block
+    EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Directory, SharerBitVector)
+{
+    DirEntry e;
+    e.addSharer(0);
+    e.addSharer(63);
+    e.addSharer(17);
+    EXPECT_TRUE(e.isSharer(0));
+    EXPECT_TRUE(e.isSharer(63));
+    EXPECT_TRUE(e.isSharer(17));
+    EXPECT_FALSE(e.isSharer(1));
+    EXPECT_EQ(e.numSharers(), 3);
+    e.removeSharer(17);
+    EXPECT_FALSE(e.isSharer(17));
+    EXPECT_EQ(e.numSharers(), 2);
+}
+
+TEST(Directory, ReservationVector)
+{
+    DirEntry e;
+    EXPECT_FALSE(e.hasReservation(5));
+    e.setReservation(5);
+    e.setReservation(9);
+    EXPECT_TRUE(e.hasReservation(5));
+    EXPECT_TRUE(e.hasReservation(9));
+    e.clearReservations();
+    EXPECT_FALSE(e.hasReservation(5));
+    EXPECT_FALSE(e.hasReservation(9));
+}
+
+TEST(Directory, SerialNumberMonotone)
+{
+    DirEntry e;
+    EXPECT_EQ(e.serial, 0u);
+    e.bumpSerial();
+    e.bumpSerial();
+    EXPECT_EQ(e.serial, 2u);
+}
+
+TEST(Directory, FindDoesNotCreate)
+{
+    Directory d;
+    EXPECT_EQ(d.find(0x40), nullptr);
+    d.entry(0x40);
+    EXPECT_NE(d.find(0x40), nullptr);
+    EXPECT_EQ(d.size(), 1u);
+}

@@ -1,0 +1,115 @@
+/** @file Unit tests for the discrete-event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace dsm;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule(2, [&] {
+            ++fired;
+            eq.scheduleIn(3, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(eq.now(), 5u);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue eq;
+    Tick seen = 0;
+    eq.schedule(7, [&] { eq.scheduleIn(5, [&] { seen = eq.now(); }); });
+    eq.run();
+    EXPECT_EQ(seen, 12u);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundaryInclusive)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.schedule(21, [&] { ++fired; });
+    eq.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), 20u);
+    eq.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWhenIdle)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    EXPECT_EQ(eq.now(), 100u);
+}
+
+TEST(EventQueue, RunHonoursEventLimit)
+{
+    EventQueue eq;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(static_cast<Tick>(i), [&] { ++fired; });
+    EXPECT_EQ(eq.run(4), 4u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(1, [] {});
+    eq.run();
+    EXPECT_EQ(eq.eventsExecuted(), 5u);
+}
+
+TEST(EventQueueDeath, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(5, [] {}), "scheduling into the past");
+}

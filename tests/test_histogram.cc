@@ -1,0 +1,77 @@
+/** @file Unit tests for the histogram. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+using namespace dsm;
+
+TEST(Histogram, EmptyDefaults)
+{
+    Histogram h;
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.fraction(3), 0.0);
+}
+
+TEST(Histogram, MeanAndMax)
+{
+    Histogram h;
+    h.add(1);
+    h.add(2);
+    h.add(3);
+    h.add(10);
+    EXPECT_EQ(h.samples(), 4u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+    EXPECT_EQ(h.max(), 10u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h;
+    h.add(2, 5);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.count(2), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h;
+    h.add(1, 3);
+    h.add(2, 1);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(2), 0.25);
+    EXPECT_DOUBLE_EQ(h.fraction(9), 0.0);
+}
+
+TEST(Histogram, Percentiles)
+{
+    Histogram h;
+    for (int v = 1; v <= 100; ++v)
+        h.add(static_cast<std::uint64_t>(v));
+    EXPECT_EQ(h.percentile(0.5), 50u);
+    EXPECT_EQ(h.percentile(0.99), 99u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, ClearResets)
+{
+    Histogram h;
+    h.add(7);
+    h.clear();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.count(7), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, SummaryMentionsCountAndMean)
+{
+    Histogram h;
+    h.add(4);
+    std::string s = h.summary();
+    EXPECT_NE(s.find("n=1"), std::string::npos);
+    EXPECT_NE(s.find("mean=4.00"), std::string::npos);
+}

@@ -1,0 +1,46 @@
+/** @file Unit tests for the queued memory module. */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_module.hh"
+
+using namespace dsm;
+
+TEST(MemModule, IdleRequestTakesServiceTime)
+{
+    MemModule m(20);
+    EXPECT_EQ(m.access(100), 120u);
+}
+
+TEST(MemModule, BackToBackRequestsQueue)
+{
+    MemModule m(20);
+    EXPECT_EQ(m.access(0), 20u);
+    EXPECT_EQ(m.access(0), 40u);
+    EXPECT_EQ(m.access(0), 60u);
+}
+
+TEST(MemModule, QueueDrainsWhenIdle)
+{
+    MemModule m(10);
+    EXPECT_EQ(m.access(0), 10u);
+    EXPECT_EQ(m.access(100), 110u); // bank idle again
+}
+
+TEST(MemModule, PartialOverlap)
+{
+    MemModule m(10);
+    EXPECT_EQ(m.access(0), 10u);
+    EXPECT_EQ(m.access(5), 20u); // waits 5 cycles
+    EXPECT_EQ(m.queueCycles(), 5u);
+}
+
+TEST(MemModule, StatsAccumulate)
+{
+    MemModule m(10);
+    m.access(0);
+    m.access(0);
+    EXPECT_EQ(m.accesses(), 2u);
+    EXPECT_EQ(m.busyCycles(), 20u);
+    EXPECT_EQ(m.queueCycles(), 10u);
+}

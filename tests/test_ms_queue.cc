@@ -1,0 +1,261 @@
+/** @file FIFO queue tests: two-lock and non-blocking variants. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "helpers.hh"
+#include "sync/ms_queue.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+/** Each producer enqueues an increasing sequence tagged with its id;
+ *  consumers verify per-producer FIFO order. */
+template <typename Queue>
+Task
+producer(Proc &p, Queue &q, int id, int count)
+{
+    for (int i = 0; i < count; ++i) {
+        Word v = static_cast<Word>(id) * 1000 + static_cast<Word>(i);
+        for (;;) {
+            bool ok = co_await q.enqueue(p, v);
+            if (ok)
+                break;
+            co_await p.compute(50); // pool exhausted; wait for consumers
+        }
+    }
+}
+
+template <typename Queue>
+Task
+consumer(Proc &p, Queue &q, int total, std::vector<Word> *out,
+         int *remaining)
+{
+    while (*remaining > 0) {
+        Word v = 0;
+        bool ok = co_await q.dequeue(p, &v);
+        if (ok) {
+            out->push_back(v);
+            --*remaining;
+        } else {
+            co_await p.compute(30);
+        }
+        (void)total;
+    }
+}
+
+void
+checkPerProducerFifo(const std::vector<std::vector<Word>> &consumed,
+                     int producers, int per_producer)
+{
+    // Merge all consumer streams; per producer, sequence numbers must
+    // appear in increasing order within each consumer's stream, and the
+    // union must be exactly {0..per_producer-1} per producer.
+    std::vector<std::set<Word>> seen(static_cast<size_t>(producers));
+    for (const auto &stream : consumed) {
+        std::vector<Word> last(static_cast<size_t>(producers), 0);
+        std::vector<bool> started(static_cast<size_t>(producers), false);
+        for (Word v : stream) {
+            auto pid = static_cast<size_t>(v / 1000);
+            Word seq = v % 1000;
+            ASSERT_LT(pid, static_cast<size_t>(producers));
+            if (started[pid]) {
+                EXPECT_GT(seq, last[pid]) << "producer " << pid
+                                          << " reordered";
+            }
+            started[pid] = true;
+            last[pid] = seq;
+            EXPECT_TRUE(seen[pid].insert(seq).second) << "duplicate";
+        }
+    }
+    for (int p = 0; p < producers; ++p)
+        EXPECT_EQ(seen[static_cast<size_t>(p)].size(),
+                  static_cast<size_t>(per_producer));
+}
+
+} // namespace
+
+// ----- TwoLockQueue -----
+
+class TwoLockQueuePrim
+    : public testing::TestWithParam<std::tuple<Primitive, SyncPolicy>>
+{
+};
+
+TEST_P(TwoLockQueuePrim, SingleThreadFifo)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 4));
+    TwoLockQueue q(sys, prim, 8);
+    sys.spawn([](Proc &p, TwoLockQueue &queue) -> Task {
+        EXPECT_TRUE(co_await queue.enqueue(p, 10));
+        EXPECT_TRUE(co_await queue.enqueue(p, 11));
+        EXPECT_TRUE(co_await queue.enqueue(p, 12));
+        Word v = 0;
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 10u);
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 11u);
+        EXPECT_TRUE(co_await queue.enqueue(p, 13));
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 12u);
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 13u);
+        EXPECT_FALSE(co_await queue.dequeue(p, &v)); // empty
+    }(sys.proc(0), q));
+    runAll(sys);
+}
+
+TEST_P(TwoLockQueuePrim, CapacityIsBounded)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 4));
+    TwoLockQueue q(sys, prim, 3);
+    sys.spawn([](Proc &p, TwoLockQueue &queue) -> Task {
+        EXPECT_TRUE(co_await queue.enqueue(p, 1));
+        EXPECT_TRUE(co_await queue.enqueue(p, 2));
+        EXPECT_TRUE(co_await queue.enqueue(p, 3));
+        EXPECT_FALSE(co_await queue.enqueue(p, 4)); // pool exhausted
+        Word v = 0;
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_TRUE(co_await queue.enqueue(p, 4)); // slot recycled
+    }(sys.proc(0), q));
+    runAll(sys);
+}
+
+TEST_P(TwoLockQueuePrim, ProducersAndConsumers)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 8));
+    TwoLockQueue q(sys, prim, 16);
+    const int producers = 4, per_producer = 12;
+    std::vector<std::vector<Word>> consumed(4);
+    int remaining = producers * per_producer;
+    for (int i = 0; i < producers; ++i)
+        sys.spawn(producer(sys.proc(i), q, i, per_producer));
+    for (int i = 0; i < 4; ++i)
+        sys.spawn(consumer(sys.proc(producers + i), q,
+                           producers * per_producer,
+                           &consumed[static_cast<size_t>(i)],
+                           &remaining));
+    runAll(sys);
+    checkPerProducerFifo(consumed, producers, per_producer);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TwoLockQueuePrim,
+    testing::Combine(testing::Values(Primitive::FAP, Primitive::CAS,
+                                     Primitive::LLSC),
+                     testing::Values(SyncPolicy::INV, SyncPolicy::UNC)),
+    [](const auto &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+// ----- NonBlockingQueue -----
+
+class NonBlockingQueuePolicy : public testing::TestWithParam<SyncPolicy>
+{
+};
+
+TEST_P(NonBlockingQueuePolicy, SingleThreadFifo)
+{
+    System sys(smallConfig(GetParam(), 4));
+    NonBlockingQueue q(sys, 8);
+    sys.spawn([](Proc &p, NonBlockingQueue &queue) -> Task {
+        Word v = 0;
+        EXPECT_FALSE(co_await queue.dequeue(p, &v)); // initially empty
+        EXPECT_TRUE(co_await queue.enqueue(p, 21));
+        EXPECT_TRUE(co_await queue.enqueue(p, 22));
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 21u);
+        EXPECT_TRUE(co_await queue.enqueue(p, 23));
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 22u);
+        EXPECT_TRUE(co_await queue.dequeue(p, &v));
+        EXPECT_EQ(v, 23u);
+        EXPECT_FALSE(co_await queue.dequeue(p, &v));
+    }(sys.proc(0), q));
+    runAll(sys);
+}
+
+TEST_P(NonBlockingQueuePolicy, NodesRecycleThroughTheFreeList)
+{
+    System sys(smallConfig(GetParam(), 4));
+    NonBlockingQueue q(sys, 2);
+    sys.spawn([](Proc &p, NonBlockingQueue &queue) -> Task {
+        Word v = 0;
+        for (int round = 0; round < 10; ++round) {
+            EXPECT_TRUE(co_await queue.enqueue(p, 100 + round));
+            EXPECT_TRUE(co_await queue.enqueue(p, 200 + round));
+            EXPECT_FALSE(co_await queue.enqueue(p, 999)); // full
+            EXPECT_TRUE(co_await queue.dequeue(p, &v));
+            EXPECT_EQ(v, 100u + round);
+            EXPECT_TRUE(co_await queue.dequeue(p, &v));
+            EXPECT_EQ(v, 200u + round);
+        }
+    }(sys.proc(0), q));
+    runAll(sys);
+}
+
+TEST_P(NonBlockingQueuePolicy, ProducersAndConsumers)
+{
+    System sys(smallConfig(GetParam(), 8));
+    NonBlockingQueue q(sys, 16);
+    const int producers = 4, per_producer = 12;
+    std::vector<std::vector<Word>> consumed(4);
+    int remaining = producers * per_producer;
+    for (int i = 0; i < producers; ++i)
+        sys.spawn(producer(sys.proc(i), q, i, per_producer));
+    for (int i = 0; i < 4; ++i)
+        sys.spawn(consumer(sys.proc(producers + i), q,
+                           producers * per_producer,
+                           &consumed[static_cast<size_t>(i)],
+                           &remaining));
+    runAll(sys);
+    checkPerProducerFifo(consumed, producers, per_producer);
+}
+
+TEST_P(NonBlockingQueuePolicy, AllProcsHammerTheQueue)
+{
+    System sys(smallConfig(GetParam(), 8));
+    NonBlockingQueue q(sys, 32);
+    std::uint64_t enq = 0, deq = 0;
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, NonBlockingQueue &queue, std::uint64_t *e,
+                     std::uint64_t *d) -> Task {
+            Word v = 0;
+            for (int i = 0; i < 30; ++i) {
+                if (i % 2 == 0) {
+                    if (co_await queue.enqueue(
+                            p, static_cast<Word>(p.id()) * 100 + i))
+                        ++*e;
+                } else {
+                    if (co_await queue.dequeue(p, &v))
+                        ++*d;
+                }
+            }
+        }(sys.proc(n), q, &enq, &deq));
+    }
+    runAll(sys);
+    // Drain what is left and check conservation.
+    std::uint64_t drained = 0;
+    sys.spawn([](Proc &p, NonBlockingQueue &queue,
+                 std::uint64_t *n) -> Task {
+        Word v = 0;
+        while (co_await queue.dequeue(p, &v))
+            ++*n;
+    }(sys.proc(0), q, &drained));
+    runAll(sys);
+    EXPECT_EQ(enq, deq + drained);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, NonBlockingQueuePolicy,
+                         testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                         SyncPolicy::UNC),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });

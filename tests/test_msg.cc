@@ -1,0 +1,71 @@
+/** @file Unit tests for protocol message sizing and naming. */
+
+#include <gtest/gtest.h>
+
+#include "net/msg.hh"
+
+using namespace dsm;
+
+TEST(Msg, ControlMessagesAreSmall)
+{
+    Msg m;
+    m.type = MsgType::GET_S;
+    EXPECT_EQ(m.sizeBytes(), 8u);
+    m.type = MsgType::INV;
+    EXPECT_EQ(m.sizeBytes(), 8u);
+    m.type = MsgType::INV_ACK;
+    EXPECT_EQ(m.sizeBytes(), 8u);
+}
+
+TEST(Msg, OperandMessagesCarryWords)
+{
+    Msg m;
+    m.type = MsgType::UNC_REQ;
+    EXPECT_EQ(m.sizeBytes(), 8u + 2 * WORD_BYTES);
+    m.type = MsgType::SC_REQ;
+    EXPECT_EQ(m.sizeBytes(), 8u + WORD_BYTES);
+    m.type = MsgType::UPDATE;
+    EXPECT_EQ(m.sizeBytes(), 8u + WORD_BYTES);
+}
+
+TEST(Msg, DataMessagesCarryABlock)
+{
+    Msg m;
+    m.type = MsgType::DATA_X;
+    m.has_data = true;
+    EXPECT_EQ(m.sizeBytes(), 8u + BLOCK_BYTES);
+    m.type = MsgType::UPD_RESP;
+    EXPECT_EQ(m.sizeBytes(), 8u + WORD_BYTES + BLOCK_BYTES);
+}
+
+TEST(Msg, OpClassification)
+{
+    EXPECT_TRUE(isFetchAndPhi(AtomicOp::TAS));
+    EXPECT_TRUE(isFetchAndPhi(AtomicOp::FAA));
+    EXPECT_TRUE(isFetchAndPhi(AtomicOp::FAS));
+    EXPECT_TRUE(isFetchAndPhi(AtomicOp::FAO));
+    EXPECT_FALSE(isFetchAndPhi(AtomicOp::CAS));
+    EXPECT_FALSE(isFetchAndPhi(AtomicOp::LOAD));
+    EXPECT_TRUE(isAtomic(AtomicOp::CAS));
+    EXPECT_TRUE(isAtomic(AtomicOp::SC));
+    EXPECT_FALSE(isAtomic(AtomicOp::LL));
+    EXPECT_FALSE(isAtomic(AtomicOp::STORE));
+}
+
+TEST(Msg, NamesAreDistinct)
+{
+    EXPECT_STREQ(toString(MsgType::GET_S), "GetS");
+    EXPECT_STREQ(toString(MsgType::FWD_NACK_WB), "FwdNackWb");
+    EXPECT_STREQ(toString(AtomicOp::CAS), "compare_and_swap");
+    EXPECT_STREQ(toString(AtomicOp::LL), "load_linked");
+}
+
+TEST(Msg, AddressHelpers)
+{
+    EXPECT_EQ(blockBase(0x47), 0x40u);
+    EXPECT_EQ(blockBase(0x40), 0x40u);
+    EXPECT_EQ(wordInBlock(0x40), 0u);
+    EXPECT_EQ(wordInBlock(0x48), 1u);
+    EXPECT_EQ(wordInBlock(0x58), 3u);
+    EXPECT_EQ(wordBase(0x4c), 0x48u);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Parameterized hardware-model sweeps: the protocol must stay correct
+ * (and the coherence invariants must hold) across machine sizes, cache
+ * geometries, and latency parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+// ----- machine-size sweep -----
+
+class MachineSize : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(MachineSize, ContendedCounterIsExact)
+{
+    int procs = GetParam();
+    for (SyncPolicy pol :
+         {SyncPolicy::INV, SyncPolicy::UPD, SyncPolicy::UNC}) {
+        System sys(smallConfig(pol, procs));
+        Addr a = sys.allocSync();
+        for (NodeId n = 0; n < procs; ++n) {
+            sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+                for (int i = 0; i < cnt; ++i)
+                    co_await p.fetchAdd(addr, 1);
+            }(sys.proc(n), a, 10));
+        }
+        runAll(sys);
+        EXPECT_EQ(sys.debugRead(a), static_cast<Word>(procs) * 10)
+            << toString(pol) << " p=" << procs;
+    }
+}
+
+TEST_P(MachineSize, HomeInterleavingCoversAllNodes)
+{
+    int procs = GetParam();
+    System sys(smallConfig(SyncPolicy::INV, procs));
+    std::vector<bool> seen(static_cast<size_t>(procs), false);
+    for (int b = 0; b < procs * 2; ++b)
+        seen[static_cast<size_t>(
+            sys.homeOf(static_cast<Addr>(b) * BLOCK_BYTES))] = true;
+    for (int n = 0; n < procs; ++n)
+        EXPECT_TRUE(seen[static_cast<size_t>(n)]) << "node " << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MachineSize,
+                         testing::Values(1, 2, 4, 8, 16, 64),
+                         [](const auto &info) {
+                             return "p" + std::to_string(info.param);
+                         });
+
+// ----- cache-geometry sweep -----
+
+struct CacheGeom
+{
+    unsigned sets;
+    unsigned ways;
+};
+
+class CacheGeometry : public testing::TestWithParam<CacheGeom>
+{
+};
+
+TEST_P(CacheGeometry, MixedTrafficStaysCoherent)
+{
+    Config cfg = smallConfig(SyncPolicy::INV, 4);
+    cfg.machine.cache_sets = GetParam().sets;
+    cfg.machine.cache_ways = GetParam().ways;
+    System sys(cfg);
+    Addr s = sys.allocSync();
+    std::vector<Addr> blocks;
+    for (int i = 0; i < 12; ++i)
+        blocks.push_back(sys.alloc(BLOCK_BYTES, BLOCK_BYTES));
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr sync_a, std::vector<Addr> bs,
+                     int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                co_await p.fetchAdd(sync_a, 1);
+                Addr b = bs[static_cast<size_t>(
+                    (i * 7 + p.id()) % bs.size())];
+                Word v = (co_await p.load(b)).value;
+                co_await p.store(b, v + 1);
+            }
+        }(sys.proc(n), s, blocks, 25));
+    }
+    runAll(sys); // includes the coherence check
+    EXPECT_EQ(sys.debugRead(s), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    testing::Values(CacheGeom{1, 1}, CacheGeom{1, 4}, CacheGeom{4, 1},
+                    CacheGeom{16, 2}, CacheGeom{512, 2}),
+    [](const auto &info) {
+        return "s" + std::to_string(info.param.sets) + "w" +
+               std::to_string(info.param.ways);
+    });
+
+// ----- latency-parameter sweep -----
+
+struct LatencyCase
+{
+    Tick mem;
+    Tick hop;
+    Tick flit;
+};
+
+class LatencyParams : public testing::TestWithParam<LatencyCase>
+{
+};
+
+TEST_P(LatencyParams, ProtocolCorrectUnderAnyTiming)
+{
+    Config cfg = smallConfig(SyncPolicy::INV, 4);
+    cfg.machine.mem_service_time = GetParam().mem;
+    cfg.machine.hop_latency = GetParam().hop;
+    cfg.machine.flit_latency = GetParam().flit;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    Addr b = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr sync_a, Addr ord, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                for (;;) {
+                    Word old = (co_await p.ll(sync_a)).value;
+                    if ((co_await p.sc(sync_a, old + 1)).success)
+                        break;
+                }
+                co_await p.load(ord);
+            }
+        }(sys.proc(n), a, b, 15));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 60u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Latencies, LatencyParams,
+    testing::Values(LatencyCase{1, 1, 1}, LatencyCase{5, 1, 2},
+                    LatencyCase{20, 2, 1}, LatencyCase{100, 10, 4},
+                    LatencyCase{20, 0, 1}),
+    [](const auto &info) {
+        return "m" + std::to_string(info.param.mem) + "h" +
+               std::to_string(info.param.hop) + "f" +
+               std::to_string(info.param.flit);
+    });
+
+// ----- mesh-shape sweep -----
+
+TEST(MeshShapes, NonSquareMeshesWork)
+{
+    for (auto [x, y] : {std::pair{8, 2}, std::pair{2, 8},
+                        std::pair{16, 1}, std::pair{1, 16}}) {
+        Config cfg;
+        cfg.machine.num_procs = 16;
+        cfg.machine.mesh_x = x;
+        cfg.machine.mesh_y = y;
+        System sys(cfg);
+        Addr a = sys.allocSync();
+        for (NodeId n = 0; n < 16; ++n)
+            sys.spawn(doOp(sys.proc(n), AtomicOp::FAA, a, 1, 0,
+                           nullptr));
+        RunResult r = sys.run();
+        EXPECT_TRUE(r.completed) << x << "x" << y;
+        EXPECT_EQ(sys.debugRead(a), 16u) << x << "x" << y;
+        sys.reapTasks();
+    }
+}

@@ -1,0 +1,117 @@
+/** @file Priority lock tests. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "sync/priority_lock.hh"
+
+using namespace dsmtest;
+
+class PriorityLockMatrix
+    : public testing::TestWithParam<std::tuple<Primitive, SyncPolicy>>
+{
+};
+
+TEST_P(PriorityLockMatrix, MutualExclusionAndProgress)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 8));
+    PriorityLock lock(sys, prim);
+    Addr counter = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    Addr inside = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    bool violation = false;
+    const int per_proc = 8;
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, PriorityLock &l, Addr c, Addr in, int cnt,
+                     bool *bad) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                co_await l.acquire(p, static_cast<Word>(p.id()) + 1);
+                OpResult r = co_await p.load(in);
+                if (r.value != 0)
+                    *bad = true;
+                co_await p.store(in, 1);
+                OpResult v = co_await p.load(c);
+                co_await p.compute(3);
+                co_await p.store(c, v.value + 1);
+                co_await p.store(in, 0);
+                co_await l.release(p);
+            }
+        }(sys.proc(n), lock, counter, inside, per_proc, &violation));
+    }
+    runAll(sys);
+    EXPECT_FALSE(violation);
+    EXPECT_EQ(sys.debugRead(counter), 64u);
+    EXPECT_EQ(sys.debugRead(lock.lockAddr()), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PriorityLockMatrix,
+    testing::Combine(testing::Values(Primitive::FAP, Primitive::CAS,
+                                     Primitive::LLSC),
+                     testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                     SyncPolicy::UNC)),
+    [](const auto &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+TEST(PriorityLock, HighestPriorityWaiterWinsHandoff)
+{
+    System sys(smallConfig(SyncPolicy::INV, 8));
+    PriorityLock lock(sys, Primitive::CAS);
+    std::vector<int> order;
+    // Node 0 takes the lock, holds while three waiters with priorities
+    // 1, 5, 3 queue up, then releases.
+    sys.spawn([](Proc &p, PriorityLock &l,
+                 std::vector<int> *ord) -> Task {
+        co_await l.acquire(p, 9);
+        co_await p.compute(5000); // let all waiters register
+        co_await l.release(p);
+        (void)ord;
+    }(sys.proc(0), lock, &order));
+    const Word prios[3] = {1, 5, 3};
+    for (int i = 0; i < 3; ++i) {
+        sys.spawn([](Proc &p, PriorityLock &l, Word prio,
+                     std::vector<int> *ord) -> Task {
+            co_await p.compute(100);
+            co_await l.acquire(p, prio);
+            ord->push_back(static_cast<int>(prio));
+            co_await p.compute(50);
+            co_await l.release(p);
+        }(sys.proc(i + 1), lock, prios[i], &order));
+    }
+    runAll(sys);
+    EXPECT_EQ(order, (std::vector<int>{5, 3, 1}));
+    EXPECT_EQ(lock.handoffs(), 3u); // 9->5, 5->3, 3->1
+}
+
+TEST(PriorityLock, HandoffCountsOnlyWithWaiters)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    PriorityLock lock(sys, Primitive::FAP);
+    sys.spawn([](Proc &p, PriorityLock &l) -> Task {
+        for (int i = 0; i < 5; ++i) {
+            co_await l.acquire(p, 1);
+            co_await l.release(p);
+        }
+    }(sys.proc(0), lock));
+    runAll(sys);
+    EXPECT_EQ(lock.handoffs(), 0u);
+}
+
+TEST(PriorityLock, EqualPrioritiesAllServed)
+{
+    System sys(smallConfig(SyncPolicy::UNC, 8));
+    PriorityLock lock(sys, Primitive::LLSC);
+    int served = 0;
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, PriorityLock &l, int *s) -> Task {
+            co_await l.acquire(p, 4);
+            ++*s;
+            co_await p.compute(10);
+            co_await l.release(p);
+        }(sys.proc(n), lock, &served));
+    }
+    runAll(sys);
+    EXPECT_EQ(served, 8);
+}

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Randomized property tests: "operation soup" across processors,
+ * policies, and primitives, checked against invariants that must hold
+ * for any interleaving (atomicity of read-modify-writes, coherence of
+ * the final state, conservation under mixed traffic).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.hh"
+#include "sim/rng.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+struct SoupParams
+{
+    SyncPolicy policy;
+    std::uint64_t seed;
+};
+
+std::string
+soupName(const testing::TestParamInfo<SoupParams> &info)
+{
+    return std::string(toString(info.param.policy)) + "_s" +
+           std::to_string(info.param.seed);
+}
+
+std::vector<SoupParams>
+soupCases()
+{
+    std::vector<SoupParams> v;
+    for (SyncPolicy pol :
+         {SyncPolicy::INV, SyncPolicy::UPD, SyncPolicy::UNC})
+        for (std::uint64_t s : {1ULL, 2ULL, 3ULL})
+            v.push_back({pol, s});
+    return v;
+}
+
+/**
+ * Each processor performs random increments on random counters; every
+ * increment uses a randomly chosen mechanism (native FAA, CAS loop,
+ * LL/SC loop). Total must be conserved.
+ */
+Task
+soupThread(Proc &p, std::vector<Addr> counters, std::uint64_t seed,
+           int ops, std::uint64_t *performed)
+{
+    Rng rng(seed);
+    for (int i = 0; i < ops; ++i) {
+        Addr a = counters[rng.below(counters.size())];
+        switch (rng.below(3)) {
+          case 0:
+            co_await p.fetchAdd(a, 1);
+            break;
+          case 1:
+            for (;;) {
+                Word old = (co_await p.load(a)).value;
+                if ((co_await p.cas(a, old, old + 1)).success)
+                    break;
+            }
+            break;
+          default:
+            for (;;) {
+                Word old = (co_await p.ll(a)).value;
+                if ((co_await p.sc(a, old + 1)).success)
+                    break;
+            }
+            break;
+        }
+        ++*performed;
+        if (rng.chance(1, 4))
+            co_await p.compute(rng.range(1, 30));
+        if (rng.chance(1, 10))
+            co_await p.dropCopy(a);
+    }
+}
+
+} // namespace
+
+class OpSoup : public testing::TestWithParam<SoupParams>
+{
+};
+
+TEST_P(OpSoup, IncrementsAreConserved)
+{
+    System sys(smallConfig(GetParam().policy, 8));
+    std::vector<Addr> counters;
+    for (int i = 0; i < 5; ++i)
+        counters.push_back(sys.allocSync());
+    std::uint64_t performed = 0;
+    const int ops = 60;
+    for (NodeId n = 0; n < 8; ++n)
+        sys.spawn(soupThread(sys.proc(n), counters,
+                             GetParam().seed * 97 +
+                                 static_cast<std::uint64_t>(n),
+                             ops, &performed));
+    runAll(sys);
+    EXPECT_EQ(performed, 8u * ops);
+    Word total = 0;
+    for (Addr a : counters)
+        total += sys.debugRead(a);
+    EXPECT_EQ(total, 8u * ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Soups, OpSoup, testing::ValuesIn(soupCases()),
+                         soupName);
+
+namespace {
+
+/** Random swaps of distinct tokens between slots conserve the multiset
+ *  of tokens (needs atomic fetch_and_store). */
+Task
+swapThread(Proc &p, std::vector<Addr> slots, std::uint64_t seed, int ops,
+           Word *final_held)
+{
+    Rng rng(seed);
+    // Each proc starts holding one unique token: 1000 + id.
+    Word held = 1000 + static_cast<Word>(p.id());
+    for (int i = 0; i < ops; ++i) {
+        Addr a = slots[rng.below(slots.size())];
+        held = (co_await p.fetchStore(a, held)).value;
+        if (rng.chance(1, 3))
+            co_await p.compute(rng.range(1, 20));
+    }
+    *final_held = held;
+}
+
+} // namespace
+
+TEST(OpSoupSwap, TokensAreConservedUnderFetchStore)
+{
+    for (SyncPolicy pol :
+         {SyncPolicy::INV, SyncPolicy::UPD, SyncPolicy::UNC}) {
+        System sys(smallConfig(pol, 8));
+        std::vector<Addr> slots;
+        for (int i = 0; i < 4; ++i) {
+            Addr a = sys.allocSync();
+            sys.writeInit(a, 2000 + static_cast<Word>(i));
+            slots.push_back(a);
+        }
+        std::vector<Word> held(8, 0);
+        for (NodeId n = 0; n < 8; ++n)
+            sys.spawn(swapThread(sys.proc(n), slots,
+                                 500 + static_cast<std::uint64_t>(n), 40,
+                                 &held[static_cast<size_t>(n)]));
+        runAll(sys);
+        // The multiset of (slot contents + held tokens) is invariant
+        // under atomic swaps.
+        std::multiset<Word> tokens;
+        for (Addr a : slots)
+            tokens.insert(sys.debugRead(a));
+        for (Word h : held)
+            tokens.insert(h);
+        std::multiset<Word> expect;
+        for (int i = 0; i < 4; ++i)
+            expect.insert(2000 + static_cast<Word>(i));
+        for (int i = 0; i < 8; ++i)
+            expect.insert(1000 + static_cast<Word>(i));
+        EXPECT_EQ(tokens, expect) << toString(pol);
+    }
+}
+
+TEST(OpSoupMixed, RandomOpsNeverWedgeTheProtocol)
+{
+    // Fuzz: fully random operation streams on a handful of blocks with a
+    // tiny cache (to force eviction races). The only requirement is that
+    // the system never deadlocks and debugRead stays callable.
+    for (std::uint64_t seed : {11ULL, 22ULL, 33ULL}) {
+        Config cfg = smallConfig(SyncPolicy::INV, 8);
+        cfg.machine.cache_sets = 2;
+        cfg.machine.cache_ways = 1;
+        System sys(cfg);
+        std::vector<Addr> addrs;
+        for (int i = 0; i < 6; ++i)
+            addrs.push_back(i % 2 == 0 ? sys.allocSync()
+                                       : sys.alloc(8, 8));
+        for (NodeId n = 0; n < 8; ++n) {
+            sys.spawn([](Proc &p, std::vector<Addr> as,
+                         std::uint64_t s) -> Task {
+                Rng rng(s);
+                for (int i = 0; i < 80; ++i) {
+                    Addr a = as[rng.below(as.size())];
+                    switch (rng.below(8)) {
+                      case 0: co_await p.load(a); break;
+                      case 1: co_await p.store(a, rng.next()); break;
+                      case 2: co_await p.fetchAdd(a, 1); break;
+                      case 3: co_await p.cas(a, rng.below(4),
+                                             rng.below(4)); break;
+                      case 4: co_await p.ll(a); break;
+                      case 5: co_await p.sc(a, rng.below(9)); break;
+                      case 6: co_await p.loadExclusive(a); break;
+                      default: co_await p.dropCopy(a); break;
+                    }
+                }
+            }(sys.proc(n), addrs, seed * 131 +
+                                      static_cast<std::uint64_t>(n)));
+        }
+        RunResult r = sys.run();
+        EXPECT_TRUE(r.completed) << "seed " << seed;
+        expectCoherent(sys);
+        for (Addr a : addrs)
+            (void)sys.debugRead(a);
+        sys.reapTasks();
+    }
+}

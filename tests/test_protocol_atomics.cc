@@ -1,0 +1,303 @@
+/** @file Atomic primitive semantics under all three coherence policies. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+class AtomicsUnderPolicy : public testing::TestWithParam<SyncPolicy>
+{
+  protected:
+    System sys{smallConfig(GetParam())};
+};
+
+TEST_P(AtomicsUnderPolicy, FetchAddReturnsOldAndAdds)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 10);
+    OpResult r = runOp(sys, 0, AtomicOp::FAA, a, 5);
+    EXPECT_EQ(r.value, 10u);
+    EXPECT_EQ(sys.debugRead(a), 15u);
+}
+
+TEST_P(AtomicsUnderPolicy, FetchAddAccumulatesAcrossProcs)
+{
+    Addr a = sys.allocSync();
+    for (int i = 0; i < 12; ++i)
+        runOp(sys, i % 4, AtomicOp::FAA, a, 1);
+    EXPECT_EQ(sys.debugRead(a), 12u);
+}
+
+TEST_P(AtomicsUnderPolicy, TestAndSetSetsToOne)
+{
+    Addr a = sys.allocSync();
+    EXPECT_EQ(runOp(sys, 0, AtomicOp::TAS, a).value, 0u);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::TAS, a).value, 1u);
+    EXPECT_EQ(sys.debugRead(a), 1u);
+}
+
+TEST_P(AtomicsUnderPolicy, FetchStoreSwaps)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 3);
+    EXPECT_EQ(runOp(sys, 2, AtomicOp::FAS, a, 8).value, 3u);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::FAS, a, 9).value, 8u);
+    EXPECT_EQ(sys.debugRead(a), 9u);
+}
+
+TEST_P(AtomicsUnderPolicy, FetchOrOrsBits)
+{
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::FAO, a, 0x1);
+    runOp(sys, 1, AtomicOp::FAO, a, 0x4);
+    OpResult r = runOp(sys, 2, AtomicOp::FAO, a, 0x2);
+    EXPECT_EQ(r.value, 0x5u);
+    EXPECT_EQ(sys.debugRead(a), 0x7u);
+}
+
+TEST_P(AtomicsUnderPolicy, CasSucceedsOnMatch)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 5);
+    OpResult r = runOp(sys, 0, AtomicOp::CAS, a, 6, 5);
+    EXPECT_TRUE(r.success);
+    EXPECT_EQ(r.value, 5u);
+    EXPECT_EQ(sys.debugRead(a), 6u);
+}
+
+TEST_P(AtomicsUnderPolicy, CasFailsOnMismatchWithoutWriting)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 5);
+    OpResult r = runOp(sys, 0, AtomicOp::CAS, a, 7, 4);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.value, 5u);
+    EXPECT_EQ(sys.debugRead(a), 5u);
+}
+
+TEST_P(AtomicsUnderPolicy, CasChainsAcrossProcessors)
+{
+    Addr a = sys.allocSync();
+    for (int i = 0; i < 8; ++i) {
+        OpResult r = runOp(sys, i % 4, AtomicOp::CAS, a,
+                           static_cast<Word>(i + 1),
+                           static_cast<Word>(i));
+        EXPECT_TRUE(r.success) << "step " << i;
+    }
+    EXPECT_EQ(sys.debugRead(a), 8u);
+}
+
+TEST_P(AtomicsUnderPolicy, OrdinaryAccessesMixWithAtomics)
+{
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::STORE, a, 100);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::FAA, a, 1).value, 100u);
+    EXPECT_EQ(runOp(sys, 2, AtomicOp::LOAD, a).value, 101u);
+    runOp(sys, 3, AtomicOp::STORE, a, 0);
+    EXPECT_EQ(sys.debugRead(a), 0u);
+}
+
+TEST_P(AtomicsUnderPolicy, ConcurrentIncrementsAreAtomic)
+{
+    Addr a = sys.allocSync();
+    const int per_proc = 25;
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i)
+                co_await p.fetchAdd(addr, 1);
+        }(sys.proc(n), a, per_proc));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 4u * per_proc);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, AtomicsUnderPolicy,
+                         testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                         SyncPolicy::UNC),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+// ----- INVd / INVs compare_and_swap variants (Section 3) -----
+
+namespace {
+
+Config
+variantConfig(CasVariant v)
+{
+    Config cfg = smallConfig(SyncPolicy::INV);
+    cfg.sync.cas_variant = v;
+    return cfg;
+}
+
+} // namespace
+
+class CasVariantTest : public testing::TestWithParam<CasVariant>
+{
+  protected:
+    System sys{variantConfig(GetParam())};
+};
+
+TEST_P(CasVariantTest, SemanticsPreserved)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 9, 0).success);
+    EXPECT_TRUE(runOp(sys, 1, AtomicOp::CAS, a, 2, 1).success);
+    EXPECT_EQ(sys.debugRead(a), 2u);
+}
+
+TEST_P(CasVariantTest, FailingCasDoesNotInvalidateSharers)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    runOp(sys, 2, AtomicOp::LOAD, a);
+    runOp(sys, 3, AtomicOp::LOAD, a);
+    clearStats(sys);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 9, 0).success);
+    // INVd/INVs: no invalidations for a failing CAS (vs 2 for plain INV).
+    EXPECT_EQ(sys.stats().invalidations, 0u);
+    EXPECT_NE(sys.ctrl(2).cache().peek(a), nullptr);
+    EXPECT_NE(sys.ctrl(3).cache().peek(a), nullptr);
+}
+
+TEST_P(CasVariantTest, SucceedingCasBehavesLikeInv)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    runOp(sys, 2, AtomicOp::LOAD, a);
+    clearStats(sys);
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::CAS, a, 5, 1).success);
+    EXPECT_EQ(sys.stats().invalidations, 1u);
+    const CacheLine *line = sys.ctrl(0).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::EXCLUSIVE);
+}
+
+TEST_P(CasVariantTest, ComparisonAtOwnerWhenExclusiveRemote)
+{
+    Addr a = sys.allocSync();
+    runOp(sys, 1, AtomicOp::STORE, a, 42); // node 1 owns exclusively
+    // Failure decided at the owner.
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 0, 41).success);
+    if (GetParam() == CasVariant::DENY) {
+        // Owner keeps its exclusive copy; requester gets nothing.
+        EXPECT_EQ(sys.ctrl(1).cache().peek(a)->state,
+                  LineState::EXCLUSIVE);
+        EXPECT_EQ(sys.ctrl(0).cache().peek(a), nullptr);
+    } else {
+        // INVs: both end up with shared copies.
+        EXPECT_EQ(sys.ctrl(1).cache().peek(a)->state, LineState::SHARED);
+        ASSERT_NE(sys.ctrl(0).cache().peek(a), nullptr);
+        EXPECT_EQ(sys.ctrl(0).cache().peek(a)->state, LineState::SHARED);
+    }
+    // Success transfers ownership.
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::CAS, a, 43, 42).success);
+    EXPECT_EQ(sys.debugRead(a), 43u);
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a)->state, LineState::EXCLUSIVE);
+}
+
+TEST_P(CasVariantTest, LocalExclusiveFastPathStillWorks)
+{
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::STORE, a, 1);
+    auto msgs = sys.mesh().stats().messages;
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::CAS, a, 2, 1).success);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs); // pure cache hit
+}
+
+TEST_P(CasVariantTest, FailureReturnsCurrentValue)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1234);
+    OpResult r = runOp(sys, 0, AtomicOp::CAS, a, 1, 0);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.value, 1234u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Variants, CasVariantTest,
+                         testing::Values(CasVariant::DENY,
+                                         CasVariant::SHARE),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+// ----- UPD-specific behaviour -----
+
+TEST(UpdPolicy, SharersReceiveWordUpdates)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    runOp(sys, 2, AtomicOp::LOAD, a);
+    clearStats(sys);
+    runOp(sys, 0, AtomicOp::FAA, a, 1);
+    EXPECT_EQ(sys.stats().updates, 2u);
+    EXPECT_EQ(sys.stats().invalidations, 0u);
+    // Sharers' cached copies were refreshed in place: their loads hit
+    // and observe the new value.
+    auto msgs = sys.mesh().stats().messages;
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD, a).value, 2u);
+    EXPECT_EQ(runOp(sys, 2, AtomicOp::LOAD, a).value, 2u);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs);
+}
+
+TEST(UpdPolicy, WriterRetainsASharedCopy)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::FAA, a, 7);
+    const CacheLine *line = sys.ctrl(0).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::SHARED);
+    EXPECT_EQ(line->readWord(a), 7u);
+}
+
+TEST(UpdPolicy, FailedCasSendsNoUpdates)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 3);
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    clearStats(sys);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 9, 8).success);
+    EXPECT_EQ(sys.stats().updates, 0u);
+}
+
+TEST(UpdPolicy, DropCopyStopsUpdates)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    runOp(sys, 1, AtomicOp::DROP_COPY, a);
+    clearStats(sys);
+    runOp(sys, 0, AtomicOp::STORE, a, 5);
+    EXPECT_EQ(sys.stats().updates, 0u);
+}
+
+// ----- UNC-specific behaviour -----
+
+TEST(UncPolicy, NothingIsEverCached)
+{
+    System sys(smallConfig(SyncPolicy::UNC));
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::FAA, a, 1);
+    runOp(sys, 0, AtomicOp::LOAD, a);
+    runOp(sys, 1, AtomicOp::STORE, a, 9);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(sys.ctrl(n).cache().peek(a), nullptr) << "node " << n;
+}
+
+TEST(UncPolicy, EveryAccessCostsMessages)
+{
+    System sys(smallConfig(SyncPolicy::UNC));
+    // Choose a sync var not homed at node 0 so requests use the network.
+    Addr a = sys.allocSyncAt(3);
+    auto msgs = sys.mesh().stats().messages;
+    runOp(sys, 0, AtomicOp::LOAD, a);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs + 2); // req + resp
+    runOp(sys, 0, AtomicOp::LOAD, a);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs + 4); // no caching
+}

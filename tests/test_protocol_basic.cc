@@ -1,0 +1,211 @@
+/** @file Directed tests of the base write-invalidate directory protocol. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+TEST(ProtocolBasic, StoreThenLoadSameProc)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    EXPECT_EQ(runOp(sys, 0, AtomicOp::STORE, a, 42).success, true);
+    EXPECT_EQ(runOp(sys, 0, AtomicOp::LOAD, a).value, 42u);
+    EXPECT_EQ(sys.debugRead(a), 42u);
+}
+
+TEST(ProtocolBasic, LoadReturnsInitializedMemory)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 1234);
+    EXPECT_EQ(runOp(sys, 2, AtomicOp::LOAD, a).value, 1234u);
+}
+
+TEST(ProtocolBasic, StoreIsVisibleToOtherProc)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 7);
+    EXPECT_EQ(runOp(sys, 3, AtomicOp::LOAD, a).value, 7u);
+}
+
+TEST(ProtocolBasic, ExclusiveTransferBetweenWriters)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 1);
+    runOp(sys, 1, AtomicOp::STORE, a, 2);
+    runOp(sys, 2, AtomicOp::STORE, a, 3);
+    EXPECT_EQ(sys.debugRead(a), 3u);
+    // Node 2 now owns the line exclusively.
+    const CacheLine *line = sys.ctrl(2).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::EXCLUSIVE);
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a), nullptr);
+    EXPECT_EQ(sys.ctrl(1).cache().peek(a), nullptr);
+}
+
+TEST(ProtocolBasic, ReadersShareALine)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 9);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(runOp(sys, n, AtomicOp::LOAD, a).value, 9u);
+    for (NodeId n = 0; n < 4; ++n) {
+        const CacheLine *line = sys.ctrl(n).cache().peek(a);
+        ASSERT_NE(line, nullptr) << "node " << n;
+        EXPECT_EQ(line->state, LineState::SHARED);
+    }
+}
+
+TEST(ProtocolBasic, WriterInvalidatesReaders)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 9);
+    for (NodeId n = 0; n < 4; ++n)
+        runOp(sys, n, AtomicOp::LOAD, a);
+    clearStats(sys);
+    runOp(sys, 1, AtomicOp::STORE, a, 10);
+    // Three other sharers were invalidated (node 1 upgraded).
+    EXPECT_EQ(sys.stats().invalidations, 3u);
+    for (NodeId n = 0; n < 4; ++n) {
+        const CacheLine *line = sys.ctrl(n).cache().peek(a);
+        if (n == 1) {
+            ASSERT_NE(line, nullptr);
+            EXPECT_EQ(line->state, LineState::EXCLUSIVE);
+        } else {
+            EXPECT_EQ(line, nullptr) << "node " << n;
+        }
+    }
+    EXPECT_EQ(runOp(sys, 3, AtomicOp::LOAD, a).value, 10u);
+}
+
+TEST(ProtocolBasic, ReadAfterRemoteWriteDowngradesOwner)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 5);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD, a).value, 5u);
+    const CacheLine *owner = sys.ctrl(0).cache().peek(a);
+    const CacheLine *reader = sys.ctrl(1).cache().peek(a);
+    ASSERT_NE(owner, nullptr);
+    ASSERT_NE(reader, nullptr);
+    EXPECT_EQ(owner->state, LineState::SHARED);
+    EXPECT_EQ(reader->state, LineState::SHARED);
+}
+
+TEST(ProtocolBasic, LoadExclusiveGrantsOwnership)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 77);
+    OpResult r = runOp(sys, 2, AtomicOp::LOAD_EXCL, a);
+    EXPECT_EQ(r.value, 77u);
+    const CacheLine *line = sys.ctrl(2).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::EXCLUSIVE);
+    // A subsequent store by the same node is a pure cache hit.
+    clearStats(sys);
+    auto msgs_before = sys.mesh().stats().messages;
+    runOp(sys, 2, AtomicOp::STORE, a, 78);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs_before);
+}
+
+TEST(ProtocolBasic, LoadExclusiveUpgradesSharedCopy)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 3);
+    runOp(sys, 0, AtomicOp::LOAD, a);
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    clearStats(sys);
+    OpResult r = runOp(sys, 0, AtomicOp::LOAD_EXCL, a);
+    EXPECT_EQ(r.value, 3u);
+    EXPECT_EQ(sys.stats().invalidations, 1u); // node 1 invalidated
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a)->state, LineState::EXCLUSIVE);
+}
+
+TEST(ProtocolBasic, DropCopySharedNotifiesHome)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 1);
+    runOp(sys, 0, AtomicOp::LOAD, a);
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    clearStats(sys);
+    runOp(sys, 0, AtomicOp::DROP_COPY, a);
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a), nullptr);
+    EXPECT_EQ(sys.stats().drop_notifies, 1u);
+    // A later writer should invalidate only the remaining sharer.
+    runOp(sys, 2, AtomicOp::STORE, a, 2);
+    EXPECT_EQ(sys.stats().invalidations, 1u);
+}
+
+TEST(ProtocolBasic, DropCopyExclusiveWritesBack)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 11);
+    clearStats(sys);
+    runOp(sys, 0, AtomicOp::DROP_COPY, a);
+    EXPECT_EQ(sys.stats().writebacks, 1u);
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a), nullptr);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD, a).value, 11u);
+}
+
+TEST(ProtocolBasic, DropCopyOnAbsentLineIsLocal)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    auto msgs = sys.mesh().stats().messages;
+    runOp(sys, 0, AtomicOp::DROP_COPY, a);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs);
+}
+
+TEST(ProtocolBasic, EvictionWritesBackDirtyLine)
+{
+    // Tiny direct-mapped cache: the second store to a conflicting block
+    // evicts the first, which must reach memory.
+    Config cfg = smallConfig();
+    cfg.machine.cache_sets = 1;
+    cfg.machine.cache_ways = 1;
+    System sys(cfg);
+    Addr a = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    Addr b = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 111);
+    runOp(sys, 0, AtomicOp::STORE, b, 222); // evicts a
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a), nullptr);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD, a).value, 111u);
+    EXPECT_EQ(sys.debugRead(b), 222u);
+}
+
+TEST(ProtocolBasic, WordsInOneBlockAreIndependent)
+{
+    System sys(smallConfig());
+    Addr block = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    for (unsigned w = 0; w < BLOCK_WORDS; ++w)
+        runOp(sys, 0, AtomicOp::STORE, block + w * WORD_BYTES, 100 + w);
+    for (unsigned w = 0; w < BLOCK_WORDS; ++w)
+        EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD,
+                        block + w * WORD_BYTES).value,
+                  100u + w);
+}
+
+TEST(ProtocolBasic, ManyBlocksManyProcs)
+{
+    System sys(smallConfig(SyncPolicy::INV, 8));
+    std::vector<Addr> addrs;
+    for (int i = 0; i < 32; ++i)
+        addrs.push_back(sys.alloc(WORD_BYTES));
+    for (int i = 0; i < 32; ++i)
+        runOp(sys, i % 8, AtomicOp::STORE, addrs[i],
+              static_cast<Word>(i * 3));
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(runOp(sys, (i + 5) % 8, AtomicOp::LOAD,
+                        addrs[i]).value,
+                  static_cast<Word>(i * 3));
+}

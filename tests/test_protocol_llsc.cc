@@ -1,0 +1,253 @@
+/** @file load_linked/store_conditional semantics under all policies. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+class LlscUnderPolicy : public testing::TestWithParam<SyncPolicy>
+{
+  protected:
+    System sys{smallConfig(GetParam())};
+};
+
+namespace {
+
+/** LL then SC with nothing in between. */
+Task
+llScPair(Proc &p, Addr a, Word newv, OpResult *ll_out, OpResult *sc_out)
+{
+    *ll_out = co_await p.ll(a);
+    *sc_out = co_await p.sc(a, newv);
+}
+
+/** LL, then wait for a side signal, then SC. */
+Task
+llWaitSc(Proc &p, Addr a, Word newv, SyncBarrier &gate1,
+         SyncBarrier &gate2, OpResult *sc_out)
+{
+    co_await p.ll(a);
+    co_await gate1.arrive();
+    co_await gate2.arrive();
+    *sc_out = co_await p.sc(a, newv);
+}
+
+/** Wait at gate1, store, release gate2. */
+Task
+storeBetween(Proc &p, Addr a, Word v, SyncBarrier &gate1,
+             SyncBarrier &gate2)
+{
+    co_await gate1.arrive();
+    co_await p.store(a, v);
+    co_await gate2.arrive();
+}
+
+} // namespace
+
+TEST_P(LlscUnderPolicy, UncontestedPairSucceeds)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 40);
+    OpResult ll, sc;
+    sys.spawn(llScPair(sys.proc(0), a, 41, &ll, &sc));
+    runAll(sys);
+    EXPECT_EQ(ll.value, 40u);
+    EXPECT_TRUE(sc.success);
+    EXPECT_EQ(sys.debugRead(a), 41u);
+}
+
+TEST_P(LlscUnderPolicy, InterveningWriteFailsSc)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    SyncBarrier gate1(sys, 2), gate2(sys, 2);
+    OpResult sc;
+    sys.spawn(llWaitSc(sys.proc(0), a, 100, gate1, gate2, &sc));
+    sys.spawn(storeBetween(sys.proc(1), a, 55, gate1, gate2));
+    runAll(sys);
+    EXPECT_FALSE(sc.success);
+    EXPECT_EQ(sys.debugRead(a), 55u);
+}
+
+TEST_P(LlscUnderPolicy, InterveningScFailsSecondSc)
+{
+    Addr a = sys.allocSync();
+    SyncBarrier gate1(sys, 2), gate2(sys, 2);
+    OpResult sc0, sc1;
+    sys.spawn(llWaitSc(sys.proc(0), a, 100, gate1, gate2, &sc0));
+    sys.spawn([](Proc &p, Addr addr, SyncBarrier &g1, SyncBarrier &g2,
+                 OpResult *out) -> Task {
+        co_await g1.arrive();
+        co_await p.ll(addr);
+        *out = co_await p.sc(addr, 7);
+        co_await g2.arrive();
+    }(sys.proc(1), a, gate1, gate2, &sc1));
+    runAll(sys);
+    EXPECT_TRUE(sc1.success);
+    EXPECT_FALSE(sc0.success);
+    EXPECT_EQ(sys.debugRead(a), 7u);
+}
+
+TEST_P(LlscUnderPolicy, ScWithoutLlFailsLocally)
+{
+    Addr a = sys.allocSync();
+    OpResult r = runOp(sys, 0, AtomicOp::SC, a, 9);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(sys.debugRead(a), 0u);
+}
+
+TEST_P(LlscUnderPolicy, RetryLoopImplementsFetchAdd)
+{
+    Addr a = sys.allocSync();
+    const int per_proc = 20;
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                for (;;) {
+                    Word old = (co_await p.ll(addr)).value;
+                    if ((co_await p.sc(addr, old + 1)).success)
+                        break;
+                }
+            }
+        }(sys.proc(n), a, per_proc));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 4u * per_proc);
+}
+
+TEST_P(LlscUnderPolicy, LlDoesNotDisturbValue)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 31);
+    EXPECT_EQ(runOp(sys, 0, AtomicOp::LL, a).value, 31u);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LL, a).value, 31u);
+    EXPECT_EQ(sys.debugRead(a), 31u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, LlscUnderPolicy,
+                         testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                         SyncPolicy::UNC),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+// ----- INV-implementation specifics -----
+
+TEST(LlscInv, ScOnExclusiveLineSucceedsLocally)
+{
+    System sys(smallConfig(SyncPolicy::INV));
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::STORE, a, 5); // node 0 exclusive
+    auto msgs = sys.mesh().stats().messages;
+    OpResult ll, sc;
+    sys.spawn(llScPair(sys.proc(0), a, 6, &ll, &sc));
+    runAll(sys);
+    EXPECT_TRUE(sc.success);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs); // all local
+}
+
+TEST(LlscInv, FailedScAfterInvalidationIsFreeOfTraffic)
+{
+    // "should store_conditional fail, it fails locally without causing
+    // any bus traffic" -- here, network traffic.
+    System sys(smallConfig(SyncPolicy::INV));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    runOp(sys, 0, AtomicOp::LL, a);
+    runOp(sys, 1, AtomicOp::STORE, a, 2); // invalidates node 0 + resv
+    auto msgs = sys.mesh().stats().messages;
+    clearStats(sys);
+    OpResult r = runOp(sys, 0, AtomicOp::SC, a, 3);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs);
+    EXPECT_EQ(sys.stats().sc_local_failures, 1u);
+}
+
+TEST(LlscInv, EvictionOfReservedLineFailsSc)
+{
+    Config cfg = smallConfig(SyncPolicy::INV);
+    cfg.machine.cache_sets = 1;
+    cfg.machine.cache_ways = 1;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    Addr b = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    OpResult out;
+    sys.spawn([](Proc &p, Addr ra, Addr other, OpResult *o) -> Task {
+        co_await p.ll(ra);
+        co_await p.load(other); // evicts the reserved line
+        *o = co_await p.sc(ra, 9);
+    }(sys.proc(0), a, b, &out));
+    runAll(sys);
+    EXPECT_FALSE(out.success);
+    EXPECT_EQ(sys.debugRead(a), 0u); // SC must not have written
+}
+
+TEST(LlscUnc, ReservationPerProcessorInMemory)
+{
+    // Two processors hold simultaneous reservations; the first SC wins,
+    // the second fails because any write clears the whole vector.
+    System sys(smallConfig(SyncPolicy::UNC));
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::LL, a);
+    runOp(sys, 1, AtomicOp::LL, a);
+    EXPECT_TRUE(runOp(sys, 1, AtomicOp::SC, a, 5).success);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::SC, a, 6).success);
+    EXPECT_EQ(sys.debugRead(a), 5u);
+}
+
+TEST(LlscUnc, OrdinaryWriteClearsAllReservations)
+{
+    System sys(smallConfig(SyncPolicy::UNC));
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::LL, a);
+    runOp(sys, 1, AtomicOp::LL, a);
+    runOp(sys, 2, AtomicOp::STORE, a, 1);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::SC, a, 7).success);
+    EXPECT_FALSE(runOp(sys, 1, AtomicOp::SC, a, 8).success);
+}
+
+TEST(LlscUnc, FetchAndPhiClearsReservations)
+{
+    System sys(smallConfig(SyncPolicy::UNC));
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::LL, a);
+    runOp(sys, 1, AtomicOp::FAA, a, 1);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::SC, a, 7).success);
+}
+
+TEST(LlscUnc, FailedCasDoesNotClearReservations)
+{
+    System sys(smallConfig(SyncPolicy::UNC));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 3);
+    runOp(sys, 0, AtomicOp::LL, a);
+    EXPECT_FALSE(runOp(sys, 1, AtomicOp::CAS, a, 9, 8).success);
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::SC, a, 7).success);
+    EXPECT_EQ(sys.debugRead(a), 7u);
+}
+
+TEST(LlscUpd, LoadLinkedGoesToMemoryEvenWhenCached)
+{
+    // "load_linked requests have to go to memory even if the datum is
+    // cached, in order to set the appropriate reservation bit."
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSyncAt(3); // remote home for node 0
+    runOp(sys, 0, AtomicOp::LOAD, a); // node 0 now has a shared copy
+    auto msgs = sys.mesh().stats().messages;
+    runOp(sys, 0, AtomicOp::LL, a);
+    EXPECT_GE(sys.mesh().stats().messages, msgs + 2);
+}
+
+TEST(LlscUpd, SerialNumberAdvancesOnWrites)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    NodeId home = sys.homeOf(a);
+    runOp(sys, 0, AtomicOp::STORE, a, 1);
+    runOp(sys, 1, AtomicOp::FAA, a, 1);
+    EXPECT_FALSE(runOp(sys, 2, AtomicOp::CAS, a, 9, 7).success);
+    const DirEntry *e = sys.dir(home).find(a);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->serial, 2u); // two effective writes, failed CAS ignored
+}

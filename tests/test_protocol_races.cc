@@ -1,0 +1,166 @@
+/** @file Directed tests of protocol race handling (NACK/retry paths). */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+/** Two procs store concurrently, many times. */
+Task
+hammerStores(Proc &p, Addr a, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await p.store(a, static_cast<Word>(p.id() * 1000 + i));
+}
+
+} // namespace
+
+TEST(ProtocolRaces, ConcurrentWritersConverge)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    for (NodeId n = 0; n < 4; ++n)
+        sys.spawn(hammerStores(sys.proc(n), a, 50));
+    runAll(sys);
+    // The final value must be some processor's last store.
+    Word v = sys.debugRead(a);
+    bool plausible = false;
+    for (NodeId n = 0; n < 4; ++n)
+        if (v == static_cast<Word>(n * 1000 + 49))
+            plausible = true;
+    EXPECT_TRUE(plausible) << "final value " << v;
+}
+
+TEST(ProtocolRaces, ReadersAndWritersMix)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.spawn(hammerStores(sys.proc(0), a, 100));
+    for (NodeId n = 1; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            Word prev = 0;
+            for (int i = 0; i < cnt; ++i) {
+                Word v = (co_await p.load(addr)).value;
+                // Writer 0 writes increasing values; reads must not go
+                // backwards (coherence, single writer).
+                EXPECT_GE(v, prev);
+                prev = v;
+            }
+        }(sys.proc(n), a, 60));
+    }
+    runAll(sys);
+}
+
+TEST(ProtocolRaces, DropCopyRacesWithRemoteRequest)
+{
+    // The paper's drop_copy hazard: "an exclusive cache line may be
+    // dropped just when its owner is about to receive a remote request
+    // ... the local node replies with a negative acknowledgment, and the
+    // remote node has to repeat its request."
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    for (int round = 0; round < 20; ++round) {
+        sys.spawn([](Proc &p, Addr addr) -> Task {
+            co_await p.store(addr, 1);
+            co_await p.dropCopy(addr);
+        }(sys.proc(0), a));
+        sys.spawn([](Proc &p, Addr addr) -> Task {
+            co_await p.store(addr, 2);
+        }(sys.proc(1), a));
+        runAll(sys);
+    }
+    // No deadlock, and the line is readable with a sane value.
+    Word v = sys.debugRead(a);
+    EXPECT_TRUE(v == 1 || v == 2);
+}
+
+TEST(ProtocolRaces, EvictionRacesWithForward)
+{
+    // Tiny cache forces eviction of exclusive lines while other procs
+    // request them, exercising FWD_NACK_WB.
+    Config cfg = smallConfig();
+    cfg.machine.cache_sets = 1;
+    cfg.machine.cache_ways = 1;
+    System sys(cfg);
+    Addr a = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    Addr b = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    Addr c = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr x, Addr y, Addr z, int rounds) -> Task {
+            for (int i = 0; i < rounds; ++i) {
+                co_await p.store(x, 1);
+                co_await p.store(y, 2); // evicts x
+                co_await p.store(z, 3); // evicts y
+                co_await p.load(x);
+            }
+        }(sys.proc(n), a, b, c, 25));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 1u);
+    EXPECT_EQ(sys.debugRead(b), 2u);
+    EXPECT_EQ(sys.debugRead(c), 3u);
+}
+
+TEST(ProtocolRaces, UpgradeRace)
+{
+    // Two sharers both try to upgrade; one wins, the other is NACKed,
+    // retries with GET_X, and still completes.
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    sys.writeInit(a, 0);
+    for (int round = 0; round < 25; ++round) {
+        // Both become sharers.
+        sys.spawn(doLoadVoid(sys.proc(0), a));
+        sys.spawn(doLoadVoid(sys.proc(1), a));
+        runAll(sys);
+        // Both upgrade simultaneously.
+        sys.spawn(hammerStores(sys.proc(0), a, 1));
+        sys.spawn(hammerStores(sys.proc(1), a, 1));
+        runAll(sys);
+    }
+    Word v = sys.debugRead(a);
+    EXPECT_TRUE(v == 0u || v == 1000u);
+}
+
+TEST(ProtocolRaces, AtomicContentionUnderEveryPolicy)
+{
+    for (SyncPolicy pol :
+         {SyncPolicy::INV, SyncPolicy::UPD, SyncPolicy::UNC}) {
+        System sys(smallConfig(pol, 8));
+        Addr a = sys.allocSync();
+        for (NodeId n = 0; n < 8; ++n) {
+            sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+                for (int i = 0; i < cnt; ++i)
+                    co_await p.fetchAdd(addr, 1);
+            }(sys.proc(n), a, 40));
+        }
+        RunResult r = sys.run();
+        ASSERT_TRUE(r.completed) << toString(pol);
+        EXPECT_EQ(sys.debugRead(a), 320u) << toString(pol);
+        sys.reapTasks();
+    }
+}
+
+TEST(ProtocolRaces, MixedSyncAndOrdinaryTrafficOnSameHome)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    Addr s = sys.allocSyncAt(2);
+    Addr o = sys.allocAt(2, BLOCK_BYTES);
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr sync_a, Addr ord, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                co_await p.fetchAdd(sync_a, 1);
+                Word v = (co_await p.load(ord)).value;
+                co_await p.store(ord, v + 1);
+            }
+        }(sys.proc(n), s, o, 30));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(s), 120u);
+    // The ordinary counter is racy by design; it just must be sane.
+    EXPECT_LE(sys.debugRead(o), 120u);
+    EXPECT_GE(sys.debugRead(o), 1u);
+}

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Directed edge-case tests for the INVd/INVs compare_and_swap variants
+ * interacting with the rest of the protocol: shared-copy requesters,
+ * LL/SC reservations, drop_copy, eviction pressure, and sequences that
+ * alternate success and failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+Config
+variantConfig(CasVariant v, int procs = 4)
+{
+    Config cfg = smallConfig(SyncPolicy::INV, procs);
+    cfg.sync.cas_variant = v;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CasVariantEdge, InvsFailureGrantsUsableSharedCopy)
+{
+    System sys(variantConfig(CasVariant::SHARE));
+    Addr a = sys.allocSyncAt(3);
+    sys.writeInit(a, 10);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 99, 0).success);
+    // The INVs copy must satisfy subsequent loads locally.
+    auto msgs = sys.mesh().stats().messages;
+    EXPECT_EQ(runOp(sys, 0, AtomicOp::LOAD, a).value, 10u);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs);
+}
+
+TEST(CasVariantEdge, InvdFailureLeavesRequesterWithoutCopy)
+{
+    System sys(variantConfig(CasVariant::DENY));
+    Addr a = sys.allocSyncAt(3);
+    sys.writeInit(a, 10);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 99, 0).success);
+    EXPECT_EQ(sys.ctrl(0).cache().peek(a), nullptr);
+    // A subsequent load must fetch over the network.
+    auto msgs = sys.mesh().stats().messages;
+    EXPECT_EQ(runOp(sys, 0, AtomicOp::LOAD, a).value, 10u);
+    EXPECT_GT(sys.mesh().stats().messages, msgs);
+}
+
+TEST(CasVariantEdge, RequesterWithSharedCopyKeepsItOnInvdFailure)
+{
+    System sys(variantConfig(CasVariant::DENY));
+    Addr a = sys.allocSyncAt(3);
+    sys.writeInit(a, 10);
+    runOp(sys, 0, AtomicOp::LOAD, a); // requester holds a shared copy
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 99, 0).success);
+    // "No *new* copy is provided" -- the existing one stays valid.
+    const CacheLine *line = sys.ctrl(0).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::SHARED);
+}
+
+TEST(CasVariantEdge, RepeatedFailuresKeepOwnerExclusive)
+{
+    // Under INVd, a stream of failing CAS requests from many nodes must
+    // never disturb the owner's exclusive copy.
+    System sys(variantConfig(CasVariant::DENY));
+    Addr a = sys.allocSyncAt(3);
+    runOp(sys, 1, AtomicOp::STORE, a, 42);
+    for (int round = 0; round < 3; ++round) {
+        for (NodeId n : {0, 2, 3})
+            EXPECT_FALSE(runOp(sys, n, AtomicOp::CAS, a, 7, 0).success);
+    }
+    const CacheLine *line = sys.ctrl(1).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::EXCLUSIVE);
+    EXPECT_EQ(line->readWord(a), 42u);
+}
+
+TEST(CasVariantEdge, InvsOwnerFailureDowngradesOnce)
+{
+    // After an INVs failure against a remote owner, both hold shared
+    // copies; a second failing CAS is then decided at the home from
+    // memory with no further forwarding.
+    System sys(variantConfig(CasVariant::SHARE));
+    Addr a = sys.allocSyncAt(3);
+    runOp(sys, 1, AtomicOp::STORE, a, 42);
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 7, 0).success);
+    EXPECT_EQ(sys.ctrl(1).cache().peek(a)->state, LineState::SHARED);
+    clearStats(sys);
+    EXPECT_FALSE(runOp(sys, 2, AtomicOp::CAS, a, 7, 0).success);
+    // Home decided from memory: 2 serialized messages, no forward.
+    EXPECT_EQ(sys.stats().chain_length.max(), 2u);
+}
+
+TEST(CasVariantEdge, SuccessAfterFailureTransfersOwnership)
+{
+    for (CasVariant v : {CasVariant::DENY, CasVariant::SHARE}) {
+        System sys(variantConfig(v));
+        Addr a = sys.allocSyncAt(3);
+        runOp(sys, 1, AtomicOp::STORE, a, 5);
+        EXPECT_FALSE(runOp(sys, 0, AtomicOp::CAS, a, 9, 4).success);
+        EXPECT_TRUE(runOp(sys, 0, AtomicOp::CAS, a, 6, 5).success);
+        EXPECT_TRUE(runOp(sys, 0, AtomicOp::CAS, a, 7, 6).success);
+        EXPECT_EQ(sys.debugRead(a), 7u);
+        // The second CAS was a local hit on the acquired line.
+        const CacheLine *line = sys.ctrl(0).cache().peek(a);
+        ASSERT_NE(line, nullptr);
+        EXPECT_EQ(line->state, LineState::EXCLUSIVE);
+    }
+}
+
+TEST(CasVariantEdge, VariantsInteractWithLlsc)
+{
+    // LL/SC on the same variable as variant CAS: an LL-reserved copy
+    // invalidated by a successful CAS must fail its SC.
+    for (CasVariant v : {CasVariant::DENY, CasVariant::SHARE}) {
+        System sys(variantConfig(v));
+        Addr a = sys.allocSyncAt(3);
+        sys.writeInit(a, 1);
+        runOp(sys, 2, AtomicOp::LL, a);
+        EXPECT_TRUE(runOp(sys, 0, AtomicOp::CAS, a, 2, 1).success);
+        EXPECT_FALSE(runOp(sys, 2, AtomicOp::SC, a, 9).success);
+        EXPECT_EQ(sys.debugRead(a), 2u);
+    }
+}
+
+TEST(CasVariantEdge, DropCopyRaceWithForwardedCas)
+{
+    // The owner drops its exclusive line while a FWD_CAS is in flight:
+    // the request must be NACKed, retried, and decided from memory.
+    for (CasVariant v : {CasVariant::DENY, CasVariant::SHARE}) {
+        System sys(variantConfig(v));
+        Addr a = sys.allocSyncAt(3);
+        for (int round = 0; round < 10; ++round) {
+            sys.spawn([](Proc &p, Addr addr) -> Task {
+                co_await p.store(addr, 1);
+                co_await p.dropCopy(addr);
+            }(sys.proc(1), a));
+            sys.spawn([](Proc &p, Addr addr) -> Task {
+                co_await p.cas(addr, 1, 2);
+            }(sys.proc(0), a));
+            runAll(sys);
+            Word val = sys.debugRead(a);
+            EXPECT_TRUE(val == 1 || val == 2) << "round " << round;
+            // Reset for the next round.
+            sys.spawn(doStore(sys.proc(2), a, 0));
+            runAll(sys);
+        }
+    }
+}
+
+TEST(CasVariantEdge, EvictionPressureWithVariants)
+{
+    for (CasVariant v : {CasVariant::DENY, CasVariant::SHARE}) {
+        Config cfg = variantConfig(v, 8);
+        cfg.machine.cache_sets = 2;
+        cfg.machine.cache_ways = 1;
+        System sys(cfg);
+        Addr a = sys.allocSync();
+        for (NodeId n = 0; n < 8; ++n) {
+            sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+                for (int i = 0; i < cnt; ++i) {
+                    for (;;) {
+                        Word old = (co_await p.load(addr)).value;
+                        if ((co_await p.cas(addr, old, old + 1))
+                                .success)
+                            break;
+                    }
+                }
+            }(sys.proc(n), a, 20));
+        }
+        runAll(sys);
+        EXPECT_EQ(sys.debugRead(a), 160u);
+    }
+}
+
+// ----- UPD edge cases -----
+
+TEST(UpdEdge, LoadExclusiveDegeneratesToLoad)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 3);
+    OpResult r = runOp(sys, 0, AtomicOp::LOAD_EXCL, a);
+    EXPECT_EQ(r.value, 3u);
+    const CacheLine *line = sys.ctrl(0).cache().peek(a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_EQ(line->state, LineState::SHARED); // never exclusive
+}
+
+TEST(UpdEdge, EvictedSharerStillAcked)
+{
+    // A silently evicted UPD sharer stays in the directory; updates to
+    // it must still be acknowledged and the system must stay coherent.
+    Config cfg = smallConfig(SyncPolicy::UPD);
+    cfg.machine.cache_sets = 1;
+    cfg.machine.cache_ways = 1;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    Addr filler = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    runOp(sys, 1, AtomicOp::LOAD, a);      // node 1 becomes a sharer
+    runOp(sys, 1, AtomicOp::LOAD, filler); // and silently evicts it
+    runOp(sys, 0, AtomicOp::FAA, a, 5);    // update to the stale sharer
+    EXPECT_EQ(sys.debugRead(a), 5u);
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD, a).value, 5u);
+}
+
+TEST(UpdEdge, ManyWritersInterleaveCoherently)
+{
+    System sys(smallConfig(SyncPolicy::UPD, 8));
+    Addr a = sys.allocSync();
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                co_await p.fetchAdd(addr, 1);
+                co_await p.load(addr); // exercise the refreshed copy
+            }
+        }(sys.proc(n), a, 20));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 160u);
+}
+
+TEST(UpdEdge, MonotoneReadsOfSharedCopy)
+{
+    // Under UPD with a single writer, a reader's cached copy must only
+    // move forward through the writer's values.
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    sys.spawn([](Proc &p, Addr addr) -> Task {
+        for (int i = 1; i <= 60; ++i)
+            co_await p.store(addr, static_cast<Word>(i));
+    }(sys.proc(0), a));
+    bool backwards = false;
+    sys.spawn([](Proc &p, Addr addr, bool *bad) -> Task {
+        Word prev = 0;
+        for (int i = 0; i < 80; ++i) {
+            Word v = (co_await p.load(addr)).value;
+            if (v < prev)
+                *bad = true;
+            prev = v;
+        }
+    }(sys.proc(1), a, &backwards));
+    runAll(sys);
+    EXPECT_FALSE(backwards);
+    EXPECT_EQ(sys.debugRead(a), 60u);
+}

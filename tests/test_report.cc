@@ -1,0 +1,46 @@
+/** @file Tests for System::report() and SysStats::report(). */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+TEST(Report, MentionsConfigurationAndDomains)
+{
+    Config cfg = smallConfig(SyncPolicy::UNC);
+    cfg.sync.use_drop_copy = true;
+    System sys(cfg);
+    Addr a = sys.allocSyncAt(3);
+    runOp(sys, 0, AtomicOp::FAA, a, 1);
+    std::string r = sys.report();
+    EXPECT_NE(r.find("4 procs (2x2 mesh)"), std::string::npos);
+    EXPECT_NE(r.find("UNC+dc"), std::string::npos);
+    EXPECT_NE(r.find("network:"), std::string::npos);
+    EXPECT_NE(r.find("memory:"), std::string::npos);
+    EXPECT_NE(r.find("caches:"), std::string::npos);
+    EXPECT_NE(r.find("fetch_and_add"), std::string::npos);
+}
+
+TEST(Report, CountsMatchUnderlyingStats)
+{
+    System sys(smallConfig(SyncPolicy::INV));
+    Addr a = sys.alloc(WORD_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 1);
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    std::string r = sys.report();
+    auto msgs = sys.mesh().stats().messages;
+    EXPECT_NE(r.find(csprintf("%llu messages",
+                              (unsigned long long)msgs)),
+              std::string::npos);
+}
+
+TEST(Report, OpLatencyLinesOnlyForUsedOps)
+{
+    System sys(smallConfig());
+    Addr a = sys.alloc(WORD_BYTES);
+    runOp(sys, 0, AtomicOp::STORE, a, 1);
+    std::string r = sys.stats().report();
+    EXPECT_NE(r.find("store"), std::string::npos);
+    EXPECT_EQ(r.find("compare_and_swap"), std::string::npos);
+}

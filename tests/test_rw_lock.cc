@@ -1,0 +1,101 @@
+/** @file Reader-writer lock tests across primitives. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "sync/rw_lock.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+struct RwState
+{
+    int readers = 0;
+    int writers = 0;
+    bool violation = false;
+};
+
+Task
+readerTask(Proc &p, RwLock &lock, RwState &st, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await lock.readerAcquire(p);
+        ++st.readers;
+        if (st.writers > 0)
+            st.violation = true;
+        co_await p.compute(5);
+        --st.readers;
+        co_await lock.readerRelease(p);
+        co_await p.compute(3);
+    }
+}
+
+Task
+writerTask(Proc &p, RwLock &lock, RwState &st, Addr data, int rounds)
+{
+    for (int i = 0; i < rounds; ++i) {
+        co_await lock.writerAcquire(p);
+        ++st.writers;
+        if (st.writers != 1 || st.readers != 0)
+            st.violation = true;
+        Word v = (co_await p.load(data)).value;
+        co_await p.compute(4);
+        co_await p.store(data, v + 1);
+        --st.writers;
+        co_await lock.writerRelease(p);
+        co_await p.compute(7);
+    }
+}
+
+} // namespace
+
+class RwLockPrim : public testing::TestWithParam<Primitive>
+{
+};
+
+TEST_P(RwLockPrim, ReadersExcludeWriters)
+{
+    System sys(smallConfig(SyncPolicy::INV, 8));
+    RwLock lock(sys, GetParam());
+    RwState st;
+    Addr data = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    const int w_rounds = 6, r_rounds = 10;
+    // 2 writers, 6 readers.
+    sys.spawn(writerTask(sys.proc(0), lock, st, data, w_rounds));
+    sys.spawn(writerTask(sys.proc(1), lock, st, data, w_rounds));
+    for (NodeId n = 2; n < 8; ++n)
+        sys.spawn(readerTask(sys.proc(n), lock, st, r_rounds));
+    runAll(sys);
+    EXPECT_FALSE(st.violation);
+    EXPECT_EQ(sys.debugRead(data), 2u * w_rounds);
+    EXPECT_EQ(sys.debugRead(lock.addr()), 0u); // fully released
+}
+
+TEST_P(RwLockPrim, ReadersMayOverlap)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    RwLock lock(sys, GetParam());
+    int max_readers = 0;
+    int cur = 0;
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, RwLock &l, int *c, int *mx) -> Task {
+            co_await l.readerAcquire(p);
+            ++*c;
+            if (*c > *mx)
+                *mx = *c;
+            co_await p.compute(200); // long read section to force overlap
+            --*c;
+            co_await l.readerRelease(p);
+        }(sys.proc(n), lock, &cur, &max_readers));
+    }
+    runAll(sys);
+    EXPECT_GT(max_readers, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Prims, RwLockPrim,
+                         testing::Values(Primitive::FAP, Primitive::CAS,
+                                         Primitive::LLSC),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Tests for the serial-number LL/SC primitive (Section 3.1, option 4)
+ * and the limited-reservation option (option 3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "sync/mcs_lock.hh"
+
+using namespace dsmtest;
+
+class SerialLlsc : public testing::TestWithParam<SyncPolicy>
+{
+  protected:
+    System sys{smallConfig(GetParam())};
+};
+
+TEST_P(SerialLlsc, PairSucceedsUncontested)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 7);
+    OpResult ll = runOp(sys, 0, AtomicOp::LLS, a);
+    EXPECT_EQ(ll.value, 7u);
+    OpResult sc = runOp(sys, 0, AtomicOp::SCS, a, 8, ll.serial);
+    EXPECT_TRUE(sc.success);
+    EXPECT_EQ(sys.debugRead(a), 8u);
+}
+
+TEST_P(SerialLlsc, SerialAdvancesPerWrite)
+{
+    Addr a = sys.allocSync();
+    Word s0 = runOp(sys, 0, AtomicOp::LLS, a).serial;
+    runOp(sys, 1, AtomicOp::STORE, a, 1);
+    runOp(sys, 2, AtomicOp::FAA, a, 1);
+    Word s1 = runOp(sys, 0, AtomicOp::LLS, a).serial;
+    EXPECT_EQ(s1, s0 + 2);
+}
+
+TEST_P(SerialLlsc, StaleSerialFails)
+{
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    OpResult ll = runOp(sys, 0, AtomicOp::LLS, a);
+    runOp(sys, 1, AtomicOp::STORE, a, 2); // intervening write
+    OpResult sc = runOp(sys, 0, AtomicOp::SCS, a, 9, ll.serial);
+    EXPECT_FALSE(sc.success);
+    EXPECT_EQ(sys.debugRead(a), 2u);
+}
+
+TEST_P(SerialLlsc, AbaIsDetected)
+{
+    // The pointer problem: the value returns to its original state, but
+    // the serial number exposes the intervening writes -- exactly what
+    // plain compare_and_swap cannot see (Section 2.2).
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 5);
+    OpResult ll = runOp(sys, 0, AtomicOp::LLS, a);
+    runOp(sys, 1, AtomicOp::STORE, a, 6);
+    runOp(sys, 1, AtomicOp::STORE, a, 5); // back to the original value
+    // CAS would succeed here...
+    EXPECT_TRUE(runOp(sys, 2, AtomicOp::CAS, a, 5, 5).success);
+    // ...but the serial-number SC correctly fails.
+    OpResult sc = runOp(sys, 0, AtomicOp::SCS, a, 9, ll.serial);
+    EXPECT_FALSE(sc.success);
+}
+
+TEST_P(SerialLlsc, BareStoreConditional)
+{
+    // "a process that expects a particular value (and serial number) in
+    // memory can issue a bare store_conditional."
+    Addr a = sys.allocSync();
+    OpResult w = runOp(sys, 0, AtomicOp::FAS, a, 10);
+    // The swap's response reports the post-write serial.
+    OpResult sc = runOp(sys, 0, AtomicOp::SCS, a, 11, w.serial);
+    EXPECT_TRUE(sc.success);
+    EXPECT_EQ(sys.debugRead(a), 11u);
+    // A second bare SC with the same (now stale) serial fails.
+    EXPECT_FALSE(runOp(sys, 0, AtomicOp::SCS, a, 12, w.serial).success);
+}
+
+TEST_P(SerialLlsc, FailureReportsCurrentSerial)
+{
+    Addr a = sys.allocSync();
+    runOp(sys, 0, AtomicOp::STORE, a, 1);
+    runOp(sys, 0, AtomicOp::STORE, a, 2);
+    OpResult sc = runOp(sys, 1, AtomicOp::SCS, a, 9, 0);
+    EXPECT_FALSE(sc.success);
+    EXPECT_EQ(sc.serial, 2u);
+    // Retrying with the reported serial succeeds.
+    EXPECT_TRUE(runOp(sys, 1, AtomicOp::SCS, a, 9, sc.serial).success);
+}
+
+TEST_P(SerialLlsc, RetryLoopImplementsFetchAdd)
+{
+    Addr a = sys.allocSync();
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                for (;;) {
+                    OpResult r = co_await p.llSerial(addr);
+                    OpResult s = co_await p.scSerial(addr, r.value + 1,
+                                                     r.serial);
+                    if (s.success)
+                        break;
+                }
+            }
+        }(sys.proc(n), a, 25));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(InMemoryPolicies, SerialLlsc,
+                         testing::Values(SyncPolicy::UNC, SyncPolicy::UPD),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+TEST(SerialLlscDeath, InvPolicyIsRejected)
+{
+    System sys(smallConfig(SyncPolicy::INV));
+    Addr a = sys.allocSync();
+    EXPECT_EXIT(runOp(sys, 0, AtomicOp::LLS, a),
+                testing::ExitedWithCode(1), "in-memory primitive");
+}
+
+// ----- MCS lock with the bare-SC release (the paper's example) -----
+
+class SerialMcs : public testing::TestWithParam<SyncPolicy>
+{
+};
+
+TEST_P(SerialMcs, MutualExclusionHolds)
+{
+    Config cfg = smallConfig(GetParam(), 8);
+    System sys(cfg);
+    McsLock lock(sys, Primitive::LLSC, true);
+    Addr counter = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
+    const int per_proc = 10;
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, McsLock &l, Addr c, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                co_await l.acquire(p);
+                Word v = (co_await p.load(c)).value;
+                co_await p.compute(3);
+                co_await p.store(c, v + 1);
+                co_await l.release(p);
+            }
+        }(sys.proc(n), lock, counter, per_proc));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(counter), 80u);
+    EXPECT_EQ(sys.debugRead(lock.tailAddr()), 0u);
+}
+
+TEST_P(SerialMcs, UncontendedReleaseSavesAMemoryAccess)
+{
+    // Count home-memory accesses for one acquire/release pair: the
+    // bare-SC release needs one access where LL+SC needs two.
+    auto measure = [&](bool serial) {
+        Config cfg = smallConfig(GetParam(), 4);
+        System sys(cfg);
+        McsLock lock(sys, Primitive::LLSC, serial);
+        NodeId home = sys.homeOf(lock.tailAddr());
+        sys.spawn([](Proc &p, McsLock &l) -> Task {
+            co_await l.acquire(p);
+            co_await l.release(p);
+        }(sys.proc((home + 1) % 4), lock));
+        RunResult r = sys.run();
+        EXPECT_TRUE(r.completed);
+        return sys.mem(home).accesses();
+    };
+    auto with_serial = measure(true);
+    auto without = measure(false);
+    EXPECT_EQ(with_serial + 1, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(InMemoryPolicies, SerialMcs,
+                         testing::Values(SyncPolicy::UNC, SyncPolicy::UPD),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });
+
+// ----- Limited reservations (Section 3.1, option 3) -----
+
+class LimitedResv : public testing::TestWithParam<SyncPolicy>
+{
+};
+
+TEST_P(LimitedResv, BeyondLimitLlIsDenied)
+{
+    Config cfg = smallConfig(GetParam());
+    cfg.machine.max_memory_reservations = 2;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::LL, a).success);
+    EXPECT_TRUE(runOp(sys, 1, AtomicOp::LL, a).success);
+    EXPECT_FALSE(runOp(sys, 2, AtomicOp::LL, a).success); // beyond limit
+    // Holders can still succeed.
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::SC, a, 5).success);
+}
+
+TEST_P(LimitedResv, DeniedScFailsLocallyWithoutTraffic)
+{
+    Config cfg = smallConfig(GetParam());
+    cfg.machine.max_memory_reservations = 1;
+    System sys(cfg);
+    Addr a = sys.allocSyncAt(3);
+    runOp(sys, 0, AtomicOp::LL, a);
+    EXPECT_FALSE(runOp(sys, 1, AtomicOp::LL, a).success);
+    auto msgs = sys.mesh().stats().messages;
+    clearStats(sys);
+    EXPECT_FALSE(runOp(sys, 1, AtomicOp::SC, a, 9).success);
+    EXPECT_EQ(sys.mesh().stats().messages, msgs); // fails locally
+    EXPECT_EQ(sys.stats().sc_local_failures, 1u);
+}
+
+TEST_P(LimitedResv, WritesFreeSlotsAgain)
+{
+    Config cfg = smallConfig(GetParam());
+    cfg.machine.max_memory_reservations = 1;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::LL, a).success);
+    EXPECT_FALSE(runOp(sys, 1, AtomicOp::LL, a).success);
+    runOp(sys, 2, AtomicOp::STORE, a, 1); // clears the vector
+    EXPECT_TRUE(runOp(sys, 1, AtomicOp::LL, a).success);
+    EXPECT_TRUE(runOp(sys, 1, AtomicOp::SC, a, 2).success);
+}
+
+TEST_P(LimitedResv, ReacquiringOwnReservationIsNotDenied)
+{
+    Config cfg = smallConfig(GetParam());
+    cfg.machine.max_memory_reservations = 1;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::LL, a).success);
+    EXPECT_TRUE(runOp(sys, 0, AtomicOp::LL, a).success); // same holder
+}
+
+TEST_P(LimitedResv, ProgressUnderContention)
+{
+    // Lock-freedom is compromised in theory (the paper says so), but
+    // writes clear the vector, so in practice counters still complete.
+    Config cfg = smallConfig(GetParam(), 8);
+    cfg.machine.max_memory_reservations = 2;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                for (;;) {
+                    Word old = (co_await p.ll(addr)).value;
+                    if ((co_await p.sc(addr, old + 1)).success)
+                        break;
+                    co_await p.compute(20);
+                }
+            }
+        }(sys.proc(n), a, 15));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 120u);
+}
+
+INSTANTIATE_TEST_SUITE_P(InMemoryPolicies, LimitedResv,
+                         testing::Values(SyncPolicy::UNC, SyncPolicy::UPD),
+                         [](const auto &info) {
+                             return toString(info.param);
+                         });

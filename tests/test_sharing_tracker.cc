@@ -1,0 +1,104 @@
+/** @file Unit tests for the sharing-pattern trackers (Section 4.2). */
+
+#include <gtest/gtest.h>
+
+#include "stats/sharing_tracker.hh"
+
+using namespace dsm;
+
+TEST(SharingTracker, SingleWriterRunEndsOnOtherAccess)
+{
+    SharingTracker t;
+    t.recordAccess(0x40, 0, true);
+    t.recordAccess(0x40, 0, true);
+    t.recordAccess(0x40, 0, true);
+    t.recordAccess(0x40, 1, false); // read by another proc ends the run
+    EXPECT_EQ(t.writeRuns().samples(), 1u);
+    EXPECT_DOUBLE_EQ(t.averageWriteRun(), 3.0);
+}
+
+TEST(SharingTracker, OwnReadDoesNotBreakRun)
+{
+    SharingTracker t;
+    t.recordAccess(0x40, 2, true);
+    t.recordAccess(0x40, 2, false); // own read
+    t.recordAccess(0x40, 2, true);
+    t.finalize();
+    EXPECT_EQ(t.writeRuns().samples(), 1u);
+    EXPECT_DOUBLE_EQ(t.averageWriteRun(), 2.0);
+}
+
+TEST(SharingTracker, AlternatingWritersGiveRunsOfOne)
+{
+    SharingTracker t;
+    for (int i = 0; i < 10; ++i)
+        t.recordAccess(0x40, i % 2, true);
+    t.finalize();
+    EXPECT_EQ(t.writeRuns().samples(), 10u);
+    EXPECT_DOUBLE_EQ(t.averageWriteRun(), 1.0);
+}
+
+TEST(SharingTracker, LocationsAreIndependent)
+{
+    SharingTracker t;
+    t.recordAccess(0x40, 0, true);
+    t.recordAccess(0x80, 1, true); // different location
+    t.recordAccess(0x40, 0, true);
+    t.finalize();
+    EXPECT_EQ(t.writeRuns().samples(), 2u);
+    // Runs: {2} at 0x40 and {1} at 0x80 -> mean 1.5.
+    EXPECT_DOUBLE_EQ(t.averageWriteRun(), 1.5);
+}
+
+TEST(SharingTracker, AcquireReleasePatternGivesRunsOfTwo)
+{
+    // A processor acquiring (write) then releasing (write) a lock with
+    // no interference produces write runs of exactly 2 -- the paper's
+    // LocusRoute/Cholesky observation.
+    SharingTracker t;
+    for (int p = 0; p < 4; ++p) {
+        t.recordAccess(0x40, p, true); // acquire
+        t.recordAccess(0x40, p, true); // release
+    }
+    t.finalize();
+    EXPECT_DOUBLE_EQ(t.averageWriteRun(), 2.0);
+}
+
+TEST(SharingTracker, ContentionHistogramCountsOverlap)
+{
+    SharingTracker t;
+    t.beginAttempt(0x40, 0); // samples 1
+    t.beginAttempt(0x40, 1); // samples 2
+    t.beginAttempt(0x40, 2); // samples 3
+    t.endAttempt(0x40, 1);
+    t.beginAttempt(0x40, 3); // samples 3 again
+    EXPECT_EQ(t.contention().samples(), 4u);
+    EXPECT_EQ(t.contention().count(1), 1u);
+    EXPECT_EQ(t.contention().count(2), 1u);
+    EXPECT_EQ(t.contention().count(3), 2u);
+}
+
+TEST(SharingTracker, ContentionIsPerLocation)
+{
+    SharingTracker t;
+    t.beginAttempt(0x40, 0);
+    t.beginAttempt(0x80, 1); // other location: contention 1
+    EXPECT_EQ(t.contention().count(1), 2u);
+    EXPECT_EQ(t.contention().count(2), 0u);
+}
+
+TEST(SharingTracker, ClearForgetsEverything)
+{
+    SharingTracker t;
+    t.recordAccess(0x40, 0, true);
+    t.beginAttempt(0x40, 0);
+    t.clear();
+    EXPECT_EQ(t.writeRuns().samples(), 0u);
+    EXPECT_EQ(t.contention().samples(), 0u);
+}
+
+TEST(SharingTrackerDeath, UnbalancedEndAttemptPanics)
+{
+    SharingTracker t;
+    EXPECT_DEATH(t.endAttempt(0x40, 0), "endAttempt");
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for spurious reservation invalidation (Section 2.1): on real
+ * processors reservations vanish on context switches; retrying LL/SC
+ * loops must still make progress, and the UPD-policy suppression of
+ * same-value updates must not mask real writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+
+using namespace dsmtest;
+
+TEST(SpuriousResv, ScFailsAfterSpuriousInvalidation)
+{
+    Config cfg = smallConfig(SyncPolicy::INV);
+    cfg.machine.spurious_resv_period = 40;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    OpResult sc;
+    sys.spawn([](Proc &p, Addr addr, OpResult *out) -> Task {
+        co_await p.ll(addr);
+        co_await p.compute(100); // straddles an invalidation tick
+        *out = co_await p.sc(addr, 7);
+    }(sys.proc(0), a, &sc));
+    runAll(sys);
+    EXPECT_FALSE(sc.success);
+    EXPECT_EQ(sys.debugRead(a), 0u);
+}
+
+TEST(SpuriousResv, RetryLoopsStillMakeProgress)
+{
+    // "We can ignore these spurious invalidations with respect to
+    // lock-freedom, so long as we always try again."
+    Config cfg = smallConfig(SyncPolicy::INV, 8);
+    cfg.machine.spurious_resv_period = 25;
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, Addr addr, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i) {
+                for (;;) {
+                    Word old = (co_await p.ll(addr)).value;
+                    if ((co_await p.sc(addr, old + 1)).success)
+                        break;
+                }
+            }
+        }(sys.proc(n), a, 15));
+    }
+    runAll(sys);
+    EXPECT_EQ(sys.debugRead(a), 120u);
+    EXPECT_GT(sys.stats().sc_failures + sys.stats().sc_local_failures,
+              0u);
+}
+
+TEST(SpuriousResv, DisabledByDefault)
+{
+    Config cfg = smallConfig(SyncPolicy::INV);
+    EXPECT_EQ(cfg.machine.spurious_resv_period, 0u);
+    System sys(cfg);
+    Addr a = sys.allocSync();
+    OpResult sc;
+    sys.spawn([](Proc &p, Addr addr, OpResult *out) -> Task {
+        co_await p.ll(addr);
+        co_await p.compute(1000);
+        *out = co_await p.sc(addr, 7);
+    }(sys.proc(0), a, &sc));
+    runAll(sys);
+    EXPECT_TRUE(sc.success);
+}
+
+// ----- UPD same-value update suppression (Section 4.3.1) -----
+
+TEST(UpdSuppression, SameValueWriteSendsNoUpdates)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 1);
+    runOp(sys, 1, AtomicOp::LOAD, a); // a remote sharer
+    clearStats(sys);
+    runOp(sys, 0, AtomicOp::TAS, a); // failed TAS: writes 1 over 1
+    EXPECT_EQ(sys.stats().updates, 0u);
+}
+
+TEST(UpdSuppression, ChangedValueStillUpdates)
+{
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    runOp(sys, 1, AtomicOp::LOAD, a);
+    clearStats(sys);
+    runOp(sys, 0, AtomicOp::TAS, a); // successful TAS: 0 -> 1
+    EXPECT_EQ(sys.stats().updates, 1u);
+    // The sharer's copy was refreshed.
+    EXPECT_EQ(runOp(sys, 1, AtomicOp::LOAD, a).value, 1u);
+}
+
+TEST(UpdSuppression, SerialStillAdvancesOnSameValueWrite)
+{
+    // Suppressing update *messages* must not suppress the write count:
+    // serial-number SC semantics depend on it.
+    System sys(smallConfig(SyncPolicy::UPD));
+    Addr a = sys.allocSync();
+    sys.writeInit(a, 5);
+    Word s0 = runOp(sys, 0, AtomicOp::LLS, a).serial;
+    runOp(sys, 1, AtomicOp::STORE, a, 5); // same value
+    OpResult sc = runOp(sys, 0, AtomicOp::SCS, a, 9, s0);
+    EXPECT_FALSE(sc.success); // the intervening write is visible
+}

@@ -1,0 +1,98 @@
+/** @file Tests of the LocusRoute/Cholesky stand-in workloads. */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "workloads/task_queue_apps.hh"
+
+using namespace dsmtest;
+
+namespace {
+
+TaskQueueConfig
+quickConfig(Primitive prim)
+{
+    TaskQueueConfig cfg;
+    cfg.prim = prim;
+    cfg.num_tasks = 48;
+    cfg.work_min = 400;
+    cfg.work_max = 1200;
+    return cfg;
+}
+
+} // namespace
+
+class TaskQueuePrimPolicy
+    : public testing::TestWithParam<std::tuple<Primitive, SyncPolicy>>
+{
+};
+
+TEST_P(TaskQueuePrimPolicy, LocusLikeRunsEveryTaskOnce)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 8));
+    TaskQueueResult r = runLocusLike(sys, quickConfig(prim));
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.tasks_run, 48u);
+    EXPECT_GT(r.elapsed, 0u);
+}
+
+TEST_P(TaskQueuePrimPolicy, CholeskyLikeRunsEveryTaskOnce)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 8));
+    TaskQueueResult r = runCholeskyLike(sys, quickConfig(prim));
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.correct);
+    EXPECT_EQ(r.tasks_run, 48u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TaskQueuePrimPolicy,
+    testing::Combine(testing::Values(Primitive::FAP, Primitive::CAS,
+                                     Primitive::LLSC),
+                     testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                     SyncPolicy::UNC)),
+    [](const auto &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+TEST(TaskQueueApps, LockWriteRunsAreNearTwo)
+{
+    // Section 4.2: "a processor usually acquires and releases a lock
+    // without intervening accesses by other processors, but it is
+    // unlikely to re-acquire it without intervention" -- write runs
+    // between 1 and about 2.
+    System sys(smallConfig(SyncPolicy::INV, 16));
+    TaskQueueConfig cfg = quickConfig(Primitive::FAP);
+    cfg.num_tasks = 128;
+    cfg.work_min = 20000;
+    cfg.work_max = 50000;
+    TaskQueueResult r = runLocusLike(sys, cfg);
+    ASSERT_TRUE(r.correct);
+    EXPECT_GT(r.avg_write_run, 1.4);
+    EXPECT_LE(r.avg_write_run, 2.05);
+}
+
+TEST(TaskQueueApps, NoContentionDominatesWithAmpleWork)
+{
+    System sys(smallConfig(SyncPolicy::INV, 16));
+    TaskQueueConfig cfg = quickConfig(Primitive::FAP);
+    cfg.num_tasks = 96;
+    cfg.work_min = 20000;
+    cfg.work_max = 50000;
+    TaskQueueResult r = runLocusLike(sys, cfg);
+    ASSERT_TRUE(r.correct);
+    EXPECT_GT(r.pct_no_contention, 50.0);
+}
+
+TEST(TaskQueueApps, CholeskySpreadsLoadAcrossColumnLocks)
+{
+    System sys(smallConfig(SyncPolicy::INV, 8));
+    TaskQueueConfig cfg = quickConfig(Primitive::CAS);
+    cfg.num_locks = 6;
+    TaskQueueResult r = runCholeskyLike(sys, cfg);
+    EXPECT_TRUE(r.correct);
+}

@@ -1,0 +1,112 @@
+/** @file Tests of the Transitive Closure application (Figure 1). */
+
+#include <gtest/gtest.h>
+
+#include "helpers.hh"
+#include "workloads/transitive_closure.hh"
+
+using namespace dsmtest;
+
+TEST(TransitiveClosure, ReferenceClosureBasics)
+{
+    // 0 -> 1 -> 2: closure adds 0 -> 2.
+    int n = 3;
+    std::vector<std::uint8_t> e(9, 0);
+    e[0 * 3 + 1] = 1;
+    e[1 * 3 + 2] = 1;
+    auto c = referenceClosure(e, n);
+    EXPECT_EQ(c[0 * 3 + 1], 1);
+    EXPECT_EQ(c[1 * 3 + 2], 1);
+    EXPECT_EQ(c[0 * 3 + 2], 1);
+    EXPECT_EQ(c[2 * 3 + 0], 0);
+}
+
+TEST(TransitiveClosure, ReferenceClosureCycle)
+{
+    int n = 4;
+    std::vector<std::uint8_t> e(16, 0);
+    e[0 * 4 + 1] = 1;
+    e[1 * 4 + 2] = 1;
+    e[2 * 4 + 0] = 1;
+    auto c = referenceClosure(e, n);
+    // All pairs within the cycle are reachable.
+    for (int a : {0, 1, 2}) {
+        for (int b : {0, 1, 2}) {
+            if (a != b) {
+                EXPECT_EQ(c[a * 4 + b], 1) << a << "->" << b;
+            }
+        }
+    }
+    EXPECT_EQ(c[3 * 4 + 0], 0);
+}
+
+class TcPrimPolicy
+    : public testing::TestWithParam<std::tuple<Primitive, SyncPolicy>>
+{
+};
+
+TEST_P(TcPrimPolicy, ParallelMatchesSequential)
+{
+    auto [prim, pol] = GetParam();
+    System sys(smallConfig(pol, 8));
+    TcConfig cfg;
+    cfg.size = 20;
+    cfg.prim = prim;
+    cfg.edge_pct = 10;
+    cfg.seed = 77;
+    TcResult r = runTransitiveClosure(sys, cfg);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.correct);
+    EXPECT_GT(r.counter_fetches, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TcPrimPolicy,
+    testing::Combine(testing::Values(Primitive::FAP, Primitive::CAS,
+                                     Primitive::LLSC),
+                     testing::Values(SyncPolicy::INV, SyncPolicy::UPD,
+                                     SyncPolicy::UNC)),
+    [](const auto &info) {
+        return std::string(toString(std::get<0>(info.param))) + "_" +
+               toString(std::get<1>(info.param));
+    });
+
+TEST(TransitiveClosure, DenseGraphFullClosure)
+{
+    System sys(smallConfig(SyncPolicy::UNC, 4));
+    TcConfig cfg;
+    cfg.size = 12;
+    cfg.prim = Primitive::FAP;
+    cfg.edge_pct = 60;
+    cfg.seed = 5;
+    TcResult r = runTransitiveClosure(sys, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+TEST(TransitiveClosure, EmptyGraphIsFixedPoint)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    TcConfig cfg;
+    cfg.size = 10;
+    cfg.prim = Primitive::CAS;
+    cfg.edge_pct = 0;
+    TcResult r = runTransitiveClosure(sys, cfg);
+    EXPECT_TRUE(r.correct);
+}
+
+TEST(TransitiveClosure, HighContentionOnCounterIsObserved)
+{
+    // The paper attributes TC's very high contention to the frequent
+    // barriers aligning all processors onto the counter at once.
+    System sys(smallConfig(SyncPolicy::UNC, 16));
+    TcConfig cfg;
+    cfg.size = 24;
+    cfg.prim = Primitive::FAP;
+    cfg.edge_pct = 10;
+    TcResult r = runTransitiveClosure(sys, cfg);
+    ASSERT_TRUE(r.correct);
+    sys.sharing().finalize();
+    EXPECT_GE(sys.sharing().contention().max(), 8u);
+    // Write runs on the counter stay near 1 (Section 4.2).
+    EXPECT_LT(sys.sharing().averageWriteRun(), 1.6);
+}

@@ -1,0 +1,192 @@
+/** @file Treiber stack tests, including the Section 2.2 ABA scenario. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "helpers.hh"
+#include "sync/treiber_stack.hh"
+
+using namespace dsmtest;
+
+class StackPrim : public testing::TestWithParam<Primitive>
+{
+};
+
+TEST_P(StackPrim, PushPopSingleThread)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    TreiberStack st(sys, GetParam(), 8);
+    sys.spawn([](Proc &p, TreiberStack &s) -> Task {
+        co_await s.push(p, 0, 100);
+        co_await s.push(p, 1, 101);
+        co_await s.push(p, 2, 102);
+        EXPECT_EQ(co_await s.pop(p), 2);
+        EXPECT_EQ(co_await s.pop(p), 1);
+        EXPECT_EQ(co_await s.pop(p), 0);
+        EXPECT_EQ(co_await s.pop(p), -1); // empty
+    }(sys.proc(0), st));
+    runAll(sys);
+}
+
+TEST_P(StackPrim, ConcurrentPushesAllLand)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    const int per_proc = 8;
+    TreiberStack st(sys, GetParam(), 4 * per_proc);
+    for (NodeId n = 0; n < 4; ++n) {
+        sys.spawn([](Proc &p, TreiberStack &s, int base, int cnt) -> Task {
+            for (int i = 0; i < cnt; ++i)
+                co_await s.push(p, base + i,
+                                static_cast<Word>(base + i + 1000));
+        }(sys.proc(n), st, n * per_proc, per_proc));
+    }
+    runAll(sys);
+    // Pop everything on one proc; we must see each node exactly once.
+    std::set<int> popped;
+    sys.spawn([](Proc &p, TreiberStack &s, std::set<int> *out) -> Task {
+        for (;;) {
+            int id = co_await s.pop(p);
+            if (id < 0)
+                break;
+            out->insert(id);
+        }
+    }(sys.proc(0), st, &popped));
+    runAll(sys);
+    EXPECT_EQ(popped.size(), static_cast<size_t>(4 * per_proc));
+}
+
+TEST_P(StackPrim, ConcurrentMixedTraffic)
+{
+    System sys(smallConfig(SyncPolicy::INV, 8));
+    const int nodes_per_proc = 4;
+    TreiberStack st(sys, GetParam(), 8 * nodes_per_proc);
+    std::uint64_t pops = 0;
+    for (NodeId n = 0; n < 8; ++n) {
+        sys.spawn([](Proc &p, TreiberStack &s, int base,
+                     std::uint64_t *pop_count) -> Task {
+            // Each proc owns its nodes, pushing and popping repeatedly;
+            // node ownership transfers via the stack, so reuse a private
+            // pool slot only after popping something.
+            for (int i = 0; i < nodes_per_proc; ++i)
+                co_await s.push(p, base + i, static_cast<Word>(base + i));
+            for (int round = 0; round < 10; ++round) {
+                int got = co_await s.pop(p);
+                if (got >= 0) {
+                    ++*pop_count;
+                    co_await s.push(p, got, static_cast<Word>(got));
+                }
+            }
+        }(sys.proc(n), st, n * nodes_per_proc, &pops));
+    }
+    runAll(sys);
+    EXPECT_GT(pops, 0u);
+    // Drain and verify no duplicates / losses.
+    std::set<int> popped;
+    sys.spawn([](Proc &p, TreiberStack &s, std::set<int> *out) -> Task {
+        for (;;) {
+            int id = co_await s.pop(p);
+            if (id < 0)
+                break;
+            EXPECT_TRUE(out->insert(id).second) << "duplicate node";
+        }
+    }(sys.proc(0), st, &popped));
+    runAll(sys);
+    EXPECT_EQ(popped.size(), static_cast<size_t>(8 * nodes_per_proc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Prims, StackPrim,
+                         testing::Values(Primitive::CAS, Primitive::LLSC),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+// ----- The pointer (ABA) problem, Section 2.2 -----
+//
+// Stack is [A, B] (A on top). A slow popper reads head=A and next=B.
+// Meanwhile another processor pops A, pops B, and pushes A back: the
+// stack is [A] and B is free. With CAS, the slow pop's compare succeeds
+// (head is again A) and installs B as the new head -- resurrecting a
+// freed node. With LL/SC the intervening writes invalidate the
+// reservation, so the SC fails and the popper retries correctly.
+
+namespace {
+
+Task
+slowPop(Proc &p, TreiberStack &st, SyncBarrier &g1, SyncBarrier &g2,
+        Primitive prim, OpResult *attempt, Word *observed_head)
+{
+    Addr head = st.headAddr();
+    Word h = prim == Primitive::CAS ? (co_await p.load(head)).value
+                                    : (co_await p.ll(head)).value;
+    *observed_head = h;
+    Word next = (co_await p.load(st.nodeNextAddr(
+                     static_cast<int>(h) - 1))).value;
+    co_await g1.arrive();
+    co_await g2.arrive(); // interference happens between the gates
+    if (prim == Primitive::CAS)
+        *attempt = co_await p.cas(head, h, next);
+    else
+        *attempt = co_await p.sc(head, next);
+}
+
+Task
+interferer(Proc &p, TreiberStack &st, SyncBarrier &g1, SyncBarrier &g2)
+{
+    co_await g1.arrive();
+    int a = co_await st.pop(p); // pops A
+    int b = co_await st.pop(p); // pops B
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    co_await st.push(p, a, 500); // pushes A back; B stays free
+    co_await g2.arrive();
+}
+
+} // namespace
+
+TEST(StackAba, CasSuffersAba)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    TreiberStack st(sys, Primitive::CAS, 4);
+    sys.spawn([](Proc &p, TreiberStack &s) -> Task {
+        co_await s.push(p, 1, 200); // B deeper
+        co_await s.push(p, 0, 100); // A on top
+    }(sys.proc(0), st));
+    runAll(sys);
+
+    SyncBarrier g1(sys, 2), g2(sys, 2);
+    OpResult attempt;
+    Word observed = 0;
+    sys.spawn(slowPop(sys.proc(1), st, g1, g2, Primitive::CAS, &attempt,
+                      &observed));
+    sys.spawn(interferer(sys.proc(2), st, g1, g2));
+    runAll(sys);
+
+    EXPECT_EQ(observed, 1u);         // saw A on top
+    EXPECT_TRUE(attempt.success);    // ABA: the CAS wrongly succeeds
+    // The head now points at B, which was popped (freed) -- corruption.
+    EXPECT_EQ(sys.debugRead(st.headAddr()), 2u);
+}
+
+TEST(StackAba, LlScIsImmune)
+{
+    System sys(smallConfig(SyncPolicy::INV, 4));
+    TreiberStack st(sys, Primitive::LLSC, 4);
+    sys.spawn([](Proc &p, TreiberStack &s) -> Task {
+        co_await s.push(p, 1, 200);
+        co_await s.push(p, 0, 100);
+    }(sys.proc(0), st));
+    runAll(sys);
+
+    SyncBarrier g1(sys, 2), g2(sys, 2);
+    OpResult attempt;
+    Word observed = 0;
+    sys.spawn(slowPop(sys.proc(1), st, g1, g2, Primitive::LLSC, &attempt,
+                      &observed));
+    sys.spawn(interferer(sys.proc(2), st, g1, g2));
+    runAll(sys);
+
+    EXPECT_EQ(observed, 1u);
+    EXPECT_FALSE(attempt.success);   // the reservation caught the writes
+    EXPECT_EQ(sys.debugRead(st.headAddr()), 1u); // stack intact: [A]
+}
