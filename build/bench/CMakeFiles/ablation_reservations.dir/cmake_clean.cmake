@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reservations.dir/ablation_reservations.cc.o"
+  "CMakeFiles/ablation_reservations.dir/ablation_reservations.cc.o.d"
+  "ablation_reservations"
+  "ablation_reservations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reservations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_serial_llsc.dir/ablation_serial_llsc.cc.o"
+  "CMakeFiles/ablation_serial_llsc.dir/ablation_serial_llsc.cc.o.d"
+  "ablation_serial_llsc"
+  "ablation_serial_llsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_serial_llsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_contention_histograms.dir/fig2_contention_histograms.cc.o"
+  "CMakeFiles/fig2_contention_histograms.dir/fig2_contention_histograms.cc.o.d"
+  "fig2_contention_histograms"
+  "fig2_contention_histograms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_contention_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lockfree_counter.dir/fig3_lockfree_counter.cc.o"
+  "CMakeFiles/fig3_lockfree_counter.dir/fig3_lockfree_counter.cc.o.d"
+  "fig3_lockfree_counter"
+  "fig3_lockfree_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lockfree_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_tts_counter.dir/fig4_tts_counter.cc.o"
+  "CMakeFiles/fig4_tts_counter.dir/fig4_tts_counter.cc.o.d"
+  "fig4_tts_counter"
+  "fig4_tts_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_tts_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

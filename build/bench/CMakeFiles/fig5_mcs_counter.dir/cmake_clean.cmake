@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mcs_counter.dir/fig5_mcs_counter.cc.o"
+  "CMakeFiles/fig5_mcs_counter.dir/fig5_mcs_counter.cc.o.d"
+  "fig5_mcs_counter"
+  "fig5_mcs_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mcs_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

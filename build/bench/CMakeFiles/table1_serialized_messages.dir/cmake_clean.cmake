@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_serialized_messages.dir/table1_serialized_messages.cc.o"
+  "CMakeFiles/table1_serialized_messages.dir/table1_serialized_messages.cc.o.d"
+  "table1_serialized_messages"
+  "table1_serialized_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_serialized_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

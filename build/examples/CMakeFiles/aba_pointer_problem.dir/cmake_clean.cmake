@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aba_pointer_problem.dir/aba_pointer_problem.cpp.o"
+  "CMakeFiles/aba_pointer_problem.dir/aba_pointer_problem.cpp.o.d"
+  "aba_pointer_problem"
+  "aba_pointer_problem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aba_pointer_problem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for aba_pointer_problem.
+# This may be replaced when dependencies are built.

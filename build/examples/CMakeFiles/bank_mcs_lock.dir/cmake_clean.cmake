@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_mcs_lock.dir/bank_mcs_lock.cpp.o"
+  "CMakeFiles/bank_mcs_lock.dir/bank_mcs_lock.cpp.o.d"
+  "bank_mcs_lock"
+  "bank_mcs_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_mcs_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_queue.dir/pipeline_queue.cpp.o"
+  "CMakeFiles/pipeline_queue.dir/pipeline_queue.cpp.o.d"
+  "pipeline_queue"
+  "pipeline_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/primitive_shootout.dir/primitive_shootout.cpp.o"
+  "CMakeFiles/primitive_shootout.dir/primitive_shootout.cpp.o.d"
+  "primitive_shootout"
+  "primitive_shootout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/primitive_shootout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

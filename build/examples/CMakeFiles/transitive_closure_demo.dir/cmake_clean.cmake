@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitive_closure_demo.dir/transitive_closure_demo.cpp.o"
+  "CMakeFiles/transitive_closure_demo.dir/transitive_closure_demo.cpp.o.d"
+  "transitive_closure_demo"
+  "transitive_closure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitive_closure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/dsm.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cpu/proc.cc" "src/CMakeFiles/dsm.dir/cpu/proc.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cpu/proc.cc.o.d"
+  "/root/repo/src/cpu/sync_barrier.cc" "src/CMakeFiles/dsm.dir/cpu/sync_barrier.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cpu/sync_barrier.cc.o.d"
+  "/root/repo/src/cpu/system.cc" "src/CMakeFiles/dsm.dir/cpu/system.cc.o" "gcc" "src/CMakeFiles/dsm.dir/cpu/system.cc.o.d"
+  "/root/repo/src/mem/backing_store.cc" "src/CMakeFiles/dsm.dir/mem/backing_store.cc.o" "gcc" "src/CMakeFiles/dsm.dir/mem/backing_store.cc.o.d"
+  "/root/repo/src/mem/directory.cc" "src/CMakeFiles/dsm.dir/mem/directory.cc.o" "gcc" "src/CMakeFiles/dsm.dir/mem/directory.cc.o.d"
+  "/root/repo/src/mem/mem_module.cc" "src/CMakeFiles/dsm.dir/mem/mem_module.cc.o" "gcc" "src/CMakeFiles/dsm.dir/mem/mem_module.cc.o.d"
+  "/root/repo/src/net/mesh.cc" "src/CMakeFiles/dsm.dir/net/mesh.cc.o" "gcc" "src/CMakeFiles/dsm.dir/net/mesh.cc.o.d"
+  "/root/repo/src/net/msg.cc" "src/CMakeFiles/dsm.dir/net/msg.cc.o" "gcc" "src/CMakeFiles/dsm.dir/net/msg.cc.o.d"
+  "/root/repo/src/proto/checker.cc" "src/CMakeFiles/dsm.dir/proto/checker.cc.o" "gcc" "src/CMakeFiles/dsm.dir/proto/checker.cc.o.d"
+  "/root/repo/src/proto/controller.cc" "src/CMakeFiles/dsm.dir/proto/controller.cc.o" "gcc" "src/CMakeFiles/dsm.dir/proto/controller.cc.o.d"
+  "/root/repo/src/proto/controller_cpu.cc" "src/CMakeFiles/dsm.dir/proto/controller_cpu.cc.o" "gcc" "src/CMakeFiles/dsm.dir/proto/controller_cpu.cc.o.d"
+  "/root/repo/src/proto/controller_home.cc" "src/CMakeFiles/dsm.dir/proto/controller_home.cc.o" "gcc" "src/CMakeFiles/dsm.dir/proto/controller_home.cc.o.d"
+  "/root/repo/src/proto/controller_net.cc" "src/CMakeFiles/dsm.dir/proto/controller_net.cc.o" "gcc" "src/CMakeFiles/dsm.dir/proto/controller_net.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/dsm.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/dsm.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/dsm.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sim/logging.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/dsm.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/dsm.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/sharing_tracker.cc" "src/CMakeFiles/dsm.dir/stats/sharing_tracker.cc.o" "gcc" "src/CMakeFiles/dsm.dir/stats/sharing_tracker.cc.o.d"
+  "/root/repo/src/stats/stat_set.cc" "src/CMakeFiles/dsm.dir/stats/stat_set.cc.o" "gcc" "src/CMakeFiles/dsm.dir/stats/stat_set.cc.o.d"
+  "/root/repo/src/sync/backoff.cc" "src/CMakeFiles/dsm.dir/sync/backoff.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/backoff.cc.o.d"
+  "/root/repo/src/sync/central_barrier.cc" "src/CMakeFiles/dsm.dir/sync/central_barrier.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/central_barrier.cc.o.d"
+  "/root/repo/src/sync/clh_lock.cc" "src/CMakeFiles/dsm.dir/sync/clh_lock.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/clh_lock.cc.o.d"
+  "/root/repo/src/sync/lockfree_counter.cc" "src/CMakeFiles/dsm.dir/sync/lockfree_counter.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/lockfree_counter.cc.o.d"
+  "/root/repo/src/sync/mcs_lock.cc" "src/CMakeFiles/dsm.dir/sync/mcs_lock.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/mcs_lock.cc.o.d"
+  "/root/repo/src/sync/ms_queue.cc" "src/CMakeFiles/dsm.dir/sync/ms_queue.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/ms_queue.cc.o.d"
+  "/root/repo/src/sync/priority_lock.cc" "src/CMakeFiles/dsm.dir/sync/priority_lock.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/priority_lock.cc.o.d"
+  "/root/repo/src/sync/rw_lock.cc" "src/CMakeFiles/dsm.dir/sync/rw_lock.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/rw_lock.cc.o.d"
+  "/root/repo/src/sync/ticket_lock.cc" "src/CMakeFiles/dsm.dir/sync/ticket_lock.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/ticket_lock.cc.o.d"
+  "/root/repo/src/sync/tree_barrier.cc" "src/CMakeFiles/dsm.dir/sync/tree_barrier.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/tree_barrier.cc.o.d"
+  "/root/repo/src/sync/treiber_stack.cc" "src/CMakeFiles/dsm.dir/sync/treiber_stack.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/treiber_stack.cc.o.d"
+  "/root/repo/src/sync/tts_lock.cc" "src/CMakeFiles/dsm.dir/sync/tts_lock.cc.o" "gcc" "src/CMakeFiles/dsm.dir/sync/tts_lock.cc.o.d"
+  "/root/repo/src/workloads/counter_apps.cc" "src/CMakeFiles/dsm.dir/workloads/counter_apps.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workloads/counter_apps.cc.o.d"
+  "/root/repo/src/workloads/task_queue_apps.cc" "src/CMakeFiles/dsm.dir/workloads/task_queue_apps.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workloads/task_queue_apps.cc.o.d"
+  "/root/repo/src/workloads/transitive_closure.cc" "src/CMakeFiles/dsm.dir/workloads/transitive_closure.cc.o" "gcc" "src/CMakeFiles/dsm.dir/workloads/transitive_closure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/test_backing_store.cc.o"
+  "CMakeFiles/test_mem.dir/test_backing_store.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_directory.cc.o"
+  "CMakeFiles/test_mem.dir/test_directory.cc.o.d"
+  "CMakeFiles/test_mem.dir/test_mem_module.cc.o"
+  "CMakeFiles/test_mem.dir/test_mem_module.cc.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

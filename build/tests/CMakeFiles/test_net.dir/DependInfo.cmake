@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/test_net.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_msg.cc" "tests/CMakeFiles/test_net.dir/test_msg.cc.o" "gcc" "tests/CMakeFiles/test_net.dir/test_msg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_param_sweeps.cc" "tests/CMakeFiles/test_protocol.dir/test_param_sweeps.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_param_sweeps.cc.o.d"
+  "/root/repo/tests/test_protocol_atomics.cc" "tests/CMakeFiles/test_protocol.dir/test_protocol_atomics.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_protocol_atomics.cc.o.d"
+  "/root/repo/tests/test_protocol_basic.cc" "tests/CMakeFiles/test_protocol.dir/test_protocol_basic.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_protocol_basic.cc.o.d"
+  "/root/repo/tests/test_protocol_llsc.cc" "tests/CMakeFiles/test_protocol.dir/test_protocol_llsc.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_protocol_llsc.cc.o.d"
+  "/root/repo/tests/test_protocol_races.cc" "tests/CMakeFiles/test_protocol.dir/test_protocol_races.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_protocol_races.cc.o.d"
+  "/root/repo/tests/test_protocol_variants.cc" "tests/CMakeFiles/test_protocol.dir/test_protocol_variants.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_protocol_variants.cc.o.d"
+  "/root/repo/tests/test_serial_llsc.cc" "tests/CMakeFiles/test_protocol.dir/test_serial_llsc.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_serial_llsc.cc.o.d"
+  "/root/repo/tests/test_spurious_resv.cc" "tests/CMakeFiles/test_protocol.dir/test_spurious_resv.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_spurious_resv.cc.o.d"
+  "/root/repo/tests/test_table1.cc" "tests/CMakeFiles/test_protocol.dir/test_table1.cc.o" "gcc" "tests/CMakeFiles/test_protocol.dir/test_table1.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

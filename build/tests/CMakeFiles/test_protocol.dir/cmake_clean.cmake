@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_protocol.dir/test_param_sweeps.cc.o"
+  "CMakeFiles/test_protocol.dir/test_param_sweeps.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_protocol_atomics.cc.o"
+  "CMakeFiles/test_protocol.dir/test_protocol_atomics.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_protocol_basic.cc.o"
+  "CMakeFiles/test_protocol.dir/test_protocol_basic.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_protocol_llsc.cc.o"
+  "CMakeFiles/test_protocol.dir/test_protocol_llsc.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_protocol_races.cc.o"
+  "CMakeFiles/test_protocol.dir/test_protocol_races.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_protocol_variants.cc.o"
+  "CMakeFiles/test_protocol.dir/test_protocol_variants.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_serial_llsc.cc.o"
+  "CMakeFiles/test_protocol.dir/test_serial_llsc.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_spurious_resv.cc.o"
+  "CMakeFiles/test_protocol.dir/test_spurious_resv.cc.o.d"
+  "CMakeFiles/test_protocol.dir/test_table1.cc.o"
+  "CMakeFiles/test_protocol.dir/test_table1.cc.o.d"
+  "test_protocol"
+  "test_protocol.pdb"
+  "test_protocol[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_central_barrier.cc" "tests/CMakeFiles/test_sync.dir/test_central_barrier.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_central_barrier.cc.o.d"
+  "/root/repo/tests/test_clh_lock.cc" "tests/CMakeFiles/test_sync.dir/test_clh_lock.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_clh_lock.cc.o.d"
+  "/root/repo/tests/test_counter.cc" "tests/CMakeFiles/test_sync.dir/test_counter.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_counter.cc.o.d"
+  "/root/repo/tests/test_locks.cc" "tests/CMakeFiles/test_sync.dir/test_locks.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_locks.cc.o.d"
+  "/root/repo/tests/test_ms_queue.cc" "tests/CMakeFiles/test_sync.dir/test_ms_queue.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_ms_queue.cc.o.d"
+  "/root/repo/tests/test_priority_lock.cc" "tests/CMakeFiles/test_sync.dir/test_priority_lock.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_priority_lock.cc.o.d"
+  "/root/repo/tests/test_rw_lock.cc" "tests/CMakeFiles/test_sync.dir/test_rw_lock.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_rw_lock.cc.o.d"
+  "/root/repo/tests/test_tree_barrier.cc" "tests/CMakeFiles/test_sync.dir/test_tree_barrier.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_tree_barrier.cc.o.d"
+  "/root/repo/tests/test_treiber_stack.cc" "tests/CMakeFiles/test_sync.dir/test_treiber_stack.cc.o" "gcc" "tests/CMakeFiles/test_sync.dir/test_treiber_stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

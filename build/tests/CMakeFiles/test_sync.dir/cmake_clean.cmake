@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync.dir/test_central_barrier.cc.o"
+  "CMakeFiles/test_sync.dir/test_central_barrier.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_clh_lock.cc.o"
+  "CMakeFiles/test_sync.dir/test_clh_lock.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_counter.cc.o"
+  "CMakeFiles/test_sync.dir/test_counter.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_locks.cc.o"
+  "CMakeFiles/test_sync.dir/test_locks.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_ms_queue.cc.o"
+  "CMakeFiles/test_sync.dir/test_ms_queue.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_priority_lock.cc.o"
+  "CMakeFiles/test_sync.dir/test_priority_lock.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_rw_lock.cc.o"
+  "CMakeFiles/test_sync.dir/test_rw_lock.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_tree_barrier.cc.o"
+  "CMakeFiles/test_sync.dir/test_tree_barrier.cc.o.d"
+  "CMakeFiles/test_sync.dir/test_treiber_stack.cc.o"
+  "CMakeFiles/test_sync.dir/test_treiber_stack.cc.o.d"
+  "test_sync"
+  "test_sync.pdb"
+  "test_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/test_report.cc.o"
+  "CMakeFiles/test_system.dir/test_report.cc.o.d"
+  "CMakeFiles/test_system.dir/test_system.cc.o"
+  "CMakeFiles/test_system.dir/test_system.cc.o.d"
+  "CMakeFiles/test_system.dir/test_timing.cc.o"
+  "CMakeFiles/test_system.dir/test_timing.cc.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

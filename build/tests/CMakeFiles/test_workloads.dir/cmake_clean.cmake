@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workloads.dir/test_counter_apps.cc.o"
+  "CMakeFiles/test_workloads.dir/test_counter_apps.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_task_queue_apps.cc.o"
+  "CMakeFiles/test_workloads.dir/test_task_queue_apps.cc.o.d"
+  "CMakeFiles/test_workloads.dir/test_transitive_closure.cc.o"
+  "CMakeFiles/test_workloads.dir/test_transitive_closure.cc.o.d"
+  "test_workloads"
+  "test_workloads.pdb"
+  "test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
