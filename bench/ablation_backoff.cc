@@ -25,10 +25,17 @@ main()
                                 static_cast<unsigned long long>(cap)));
     printHeader("", cols);
 
+    BenchReport rep("ablation_backoff");
+    rep.meta("app", "TTS counter");
+    rep.meta("contention", 64);
+    addMachineMeta(rep, paperConfig());
+
     for (SyncPolicy pol :
          {SyncPolicy::UNC, SyncPolicy::INV, SyncPolicy::UPD}) {
         for (Primitive prim :
              {Primitive::FAP, Primitive::LLSC, Primitive::CAS}) {
+            std::string label =
+                std::string(toString(pol)) + " " + toString(prim);
             std::vector<double> vals;
             for (Tick cap : caps) {
                 Config cfg = paperConfig(pol);
@@ -46,10 +53,16 @@ main()
                               toString(pol), toString(prim),
                               static_cast<unsigned long long>(cap));
                 vals.push_back(r.avg_cycles_per_update);
+                rep.row()
+                    .set("impl", label)
+                    .set("backoff_cap", static_cast<std::uint64_t>(cap))
+                    .set("avg_cycles_per_update",
+                         r.avg_cycles_per_update)
+                    .metrics(collectRunMetrics(sys));
             }
-            printRow(std::string(toString(pol)) + " " + toString(prim),
-                     vals);
+            printRow(label, vals);
         }
     }
+    writeReport(rep);
     return 0;
 }

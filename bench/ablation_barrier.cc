@@ -21,7 +21,7 @@ namespace {
 constexpr int ROUNDS = 20;
 
 double
-runTree()
+runTree(RunMetrics *metrics)
 {
     System sys(paperConfig(SyncPolicy::INV));
     TreeBarrier bar(sys, sys.numProcs());
@@ -35,11 +35,12 @@ runTree()
     RunResult r = sys.run();
     if (!r.completed || bar.roundsCompleted() != ROUNDS)
         dsm_fatal("tree barrier ablation failed");
+    *metrics = collectRunMetrics(sys);
     return static_cast<double>(sys.now() - t0) / ROUNDS;
 }
 
 double
-runCentral(SyncPolicy pol, Primitive prim)
+runCentral(SyncPolicy pol, Primitive prim, RunMetrics *metrics)
 {
     System sys(paperConfig(pol));
     CentralBarrier bar(sys, prim, sys.numProcs());
@@ -54,6 +55,7 @@ runCentral(SyncPolicy pol, Primitive prim)
     if (!r.completed || bar.roundsCompleted() != ROUNDS)
         dsm_fatal("central barrier ablation failed (%s %s)",
                   toString(pol), toString(prim));
+    *metrics = collectRunMetrics(sys);
     return static_cast<double>(sys.now() - t0) / ROUNDS;
 }
 
@@ -64,18 +66,39 @@ main()
 {
     std::printf("Ablation: barrier episode cost on 64 procs "
                 "(cycles per barrier round)\n\n");
-    std::printf("MCS tree barrier (loads/stores only): %10.1f\n\n",
-                runTree());
+    BenchReport rep("ablation_barrier");
+    rep.meta("rounds", ROUNDS);
+    addMachineMeta(rep, paperConfig());
+    {
+        RunMetrics m;
+        double cycles = runTree(&m);
+        std::printf("MCS tree barrier (loads/stores only): %10.1f\n\n",
+                    cycles);
+        rep.row()
+            .set("barrier", "tree")
+            .set("cycles_per_round", cycles)
+            .metrics(m);
+    }
     std::printf("central sense-reversing barrier:\n");
     std::printf("%-6s %10s %10s %10s\n", "", "FAP", "LLSC", "CAS");
     for (SyncPolicy pol :
          {SyncPolicy::UNC, SyncPolicy::INV, SyncPolicy::UPD}) {
         std::printf("%-6s", toString(pol));
         for (Primitive prim :
-             {Primitive::FAP, Primitive::LLSC, Primitive::CAS})
-            std::printf(" %10.1f", runCentral(pol, prim));
+             {Primitive::FAP, Primitive::LLSC, Primitive::CAS}) {
+            RunMetrics m;
+            double cycles = runCentral(pol, prim, &m);
+            std::printf(" %10.1f", cycles);
+            rep.row()
+                .set("barrier", "central")
+                .set("policy", toString(pol))
+                .set("prim", toString(prim))
+                .set("cycles_per_round", cycles)
+                .metrics(m);
+        }
         std::printf("\n");
     }
+    writeReport(rep);
     std::printf("\nThe tree barrier's point-to-point flags avoid the "
                 "hot spot that the\ncentral counter and sense word "
                 "create at 64 processors.\n");

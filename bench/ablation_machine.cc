@@ -15,7 +15,7 @@ using namespace dsmbench;
 namespace {
 
 double
-point(Config cfg, Primitive prim, int contention)
+point(Config cfg, Primitive prim, int contention, RunMetrics *metrics)
 {
     System sys(cfg);
     CounterAppConfig app;
@@ -26,6 +26,7 @@ point(Config cfg, Primitive prim, int contention)
     CounterAppResult r = runCounterApp(sys, app);
     if (!r.completed || !r.correct)
         dsm_fatal("ablation point failed");
+    *metrics = collectRunMetrics(sys);
     return r.avg_cycles_per_update;
 }
 
@@ -38,7 +39,7 @@ implConfig(SyncPolicy pol, bool lx)
 }
 
 void
-sweepRow(const char *name,
+sweepRow(BenchReport &rep, const char *name,
          const std::function<void(Config &)> &tweak)
 {
     struct Impl
@@ -61,9 +62,20 @@ sweepRow(const char *name,
         int procs = cfg.machine.num_procs;
         int c_low = procs < 16 ? procs : 16;
         int c_high = procs < 64 ? procs : 64;
+        double vals[2];
+        const int cs[] = {c_low, c_high};
+        for (int i = 0; i < 2; ++i) {
+            RunMetrics m;
+            vals[i] = point(cfg, im.prim, cs[i], &m);
+            rep.row()
+                .set("sweep", name)
+                .set("impl", im.label)
+                .set("contention", cs[i])
+                .set("avg_cycles_per_update", vals[i])
+                .metrics(m);
+        }
         std::printf("  %-12s c=%-2d: %10.1f   c=%-2d: %10.1f\n",
-                    im.label, c_low, point(cfg, im.prim, c_low), c_high,
-                    point(cfg, im.prim, c_high));
+                    im.label, c_low, vals[0], c_high, vals[1]);
     }
 }
 
@@ -75,20 +87,24 @@ main()
     std::printf("Ablation: machine-parameter sensitivity of the "
                 "contended lock-free counter\n");
 
-    sweepRow("baseline (mem=20, hop=2, p=64)", [](Config &) {});
-    sweepRow("slow memory (mem=40)", [](Config &c) {
+    BenchReport rep("ablation_machine");
+    rep.meta("app", "lock-free counter");
+
+    sweepRow(rep, "baseline (mem=20, hop=2, p=64)", [](Config &) {});
+    sweepRow(rep, "slow memory (mem=40)", [](Config &c) {
         c.machine.mem_service_time = 40;
     });
-    sweepRow("fast memory (mem=10)", [](Config &c) {
+    sweepRow(rep, "fast memory (mem=10)", [](Config &c) {
         c.machine.mem_service_time = 10;
     });
-    sweepRow("slow network (hop=4)", [](Config &c) {
+    sweepRow(rep, "slow network (hop=4)", [](Config &c) {
         c.machine.hop_latency = 4;
     });
-    sweepRow("small machine (p=16, 4x4)", [](Config &c) {
+    sweepRow(rep, "small machine (p=16, 4x4)", [](Config &c) {
         c.machine.num_procs = 16;
         c.machine.mesh_x = 4;
         c.machine.mesh_y = 4;
     });
+    writeReport(rep);
     return 0;
 }

@@ -24,8 +24,16 @@ main()
 
     std::printf("%-4s %-10s %14s %14s %16s %14s\n", "pol", "limit",
                 "c=8", "c=64", "sc local fails", "msgs(c=64)");
+    BenchReport rep("ablation_reservations");
+    rep.meta("app", "LL/SC lock-free counter");
+    addMachineMeta(rep, paperConfig());
     for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
         for (int limit : limits) {
+            char label[32];
+            std::snprintf(label, sizeof label, "%s",
+                          limit == 0 ? "bitvec" : "");
+            if (limit != 0)
+                std::snprintf(label, sizeof label, "K=%d", limit);
             double cyc8 = 0, cyc64 = 0;
             std::uint64_t local_fails = 0, msgs = 0;
             for (int c : {8, 64}) {
@@ -48,17 +56,22 @@ main()
                     local_fails = sys.stats().sc_local_failures;
                     msgs = sys.mesh().stats().messages;
                 }
+                rep.row()
+                    .set("policy", toString(pol))
+                    .set("limit", label)
+                    .set("contention", c)
+                    .set("avg_cycles_per_update",
+                         r.avg_cycles_per_update)
+                    .set("sc_local_failures",
+                         sys.stats().sc_local_failures)
+                    .metrics(collectRunMetrics(sys));
             }
-            char label[32];
-            std::snprintf(label, sizeof label, "%s",
-                          limit == 0 ? "bitvec" : "");
-            if (limit != 0)
-                std::snprintf(label, sizeof label, "K=%d", limit);
             std::printf("%-4s %-10s %14.1f %14.1f %16llu %14llu\n",
                         toString(pol), label, cyc8, cyc64,
                         static_cast<unsigned long long>(local_fails),
                         static_cast<unsigned long long>(msgs));
         }
     }
+    writeReport(rep);
     return 0;
 }

@@ -19,6 +19,7 @@ struct Point
 {
     double cycles_per_update;
     std::uint64_t messages;
+    RunMetrics metrics;
 };
 
 Point
@@ -63,6 +64,7 @@ runMcsCounter(SyncPolicy pol, bool serial, int contention)
     pt.cycles_per_update = static_cast<double>(sys.now() - t0) /
                            static_cast<double>(updates);
     pt.messages = sys.mesh().stats().messages;
+    pt.metrics = collectRunMetrics(sys);
     return pt;
 }
 
@@ -76,19 +78,34 @@ main()
                 "p=64\n\n");
     std::printf("%-4s %-18s %12s %12s %12s %12s\n", "pol", "variant",
                 "c=1", "c=8", "c=64", "msgs(c=1)");
+    BenchReport rep("ablation_serial_llsc");
+    rep.meta("app", "MCS counter");
+    addMachineMeta(rep, paperConfig());
     for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
         for (bool serial : {false, true}) {
-            Point p1 = runMcsCounter(pol, serial, 1);
-            Point p8 = runMcsCounter(pol, serial, 8);
-            Point p64 = runMcsCounter(pol, serial, 64);
+            const char *variant = serial ? "LLSC+serial" : "LLSC";
+            Point pts[3];
+            const int cs[] = {1, 8, 64};
+            for (int i = 0; i < 3; ++i) {
+                pts[i] = runMcsCounter(pol, serial, cs[i]);
+                rep.row()
+                    .set("policy", toString(pol))
+                    .set("variant", variant)
+                    .set("contention", cs[i])
+                    .set("avg_cycles_per_update",
+                         pts[i].cycles_per_update)
+                    .metrics(pts[i].metrics);
+            }
             std::printf("%-4s %-18s %12.1f %12.1f %12.1f %12llu\n",
-                        toString(pol),
-                        serial ? "LLSC+serial" : "LLSC",
-                        p1.cycles_per_update, p8.cycles_per_update,
-                        p64.cycles_per_update,
-                        static_cast<unsigned long long>(p1.messages));
+                        toString(pol), variant,
+                        pts[0].cycles_per_update,
+                        pts[1].cycles_per_update,
+                        pts[2].cycles_per_update,
+                        static_cast<unsigned long long>(
+                            pts[0].messages));
         }
     }
+    writeReport(rep);
     std::printf("\nThe serial variant's release is a single bare SC: "
                 "fewer messages and\nlower latency per uncontended "
                 "acquire/release pair.\n");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cpu/system.hh"
+#include "stats/bench_report.hh"
 
 namespace dsmbench {
 
@@ -106,6 +107,24 @@ applicationImplementations()
         }
     }
     return v;
+}
+
+/** Record the simulated-machine shape in a report's meta object. */
+inline void
+addMachineMeta(BenchReport &rep, const Config &cfg)
+{
+    rep.meta("procs", cfg.machine.num_procs);
+    rep.meta("mesh_x", cfg.machine.mesh_x);
+    rep.meta("mesh_y", cfg.machine.mesh_y);
+}
+
+/** Write @p rep next to the text output and say where it went. */
+inline void
+writeReport(const BenchReport &rep)
+{
+    std::string path = rep.write();
+    if (!path.empty())
+        std::printf("\nwrote %s\n", path.c_str());
 }
 
 /** Print a header row for a sweep table. */

@@ -19,14 +19,19 @@ using namespace dsmbench;
 namespace {
 
 void
-printHistogram(const char *app, const char *policy, System &sys,
-               double write_run)
+printHistogram(BenchReport &rep, const char *app, const char *policy,
+               System &sys, double write_run)
 {
     sys.sharing().finalize();
     const Histogram &h = sys.sharing().contention();
     std::printf("%-18s %-4s  write-run=%.2f  accesses=%llu\n", app,
                 policy, write_run,
                 static_cast<unsigned long long>(h.samples()));
+    BenchRow &row = rep.row();
+    row.set("app", app)
+        .set("policy", policy)
+        .set("write_run", write_run)
+        .set("accesses", h.samples());
     std::printf("  level:");
     const int levels[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
     for (int l : levels)
@@ -40,9 +45,11 @@ printHistogram(const char *app, const char *policy, System &sys,
         for (int v = prev + 1; v <= l; ++v)
             pct += 100.0 * h.fraction(static_cast<std::uint64_t>(v));
         std::printf(" %6.2f", pct);
+        row.set(csprintf("pct_le_%d", l), pct);
         prev = l;
     }
     std::printf("\n\n");
+    row.metrics(collectRunMetrics(sys));
 }
 
 TaskQueueConfig
@@ -87,6 +94,10 @@ main()
                 "Cholesky 1.59-1.62,\nTransitive Closure slightly above "
                 "1.00 with very high contention.\n\n");
 
+    BenchReport rep("fig2_contention_histograms");
+    rep.meta("figure", "Figure 2");
+    addMachineMeta(rep, paperConfig());
+
     for (SyncPolicy pol :
          {SyncPolicy::INV, SyncPolicy::UNC, SyncPolicy::UPD}) {
         {
@@ -95,7 +106,7 @@ main()
                                                       Primitive::FAP));
             if (!r.correct)
                 dsm_fatal("LocusRoute-like run failed");
-            printHistogram("LocusRoute-like", toString(pol), sys,
+            printHistogram(rep, "LocusRoute-like", toString(pol), sys,
                            r.avg_write_run);
         }
         {
@@ -104,7 +115,7 @@ main()
                                                          Primitive::FAP));
             if (!r.correct)
                 dsm_fatal("Cholesky-like run failed");
-            printHistogram("Cholesky-like", toString(pol), sys,
+            printHistogram(rep, "Cholesky-like", toString(pol), sys,
                            r.avg_write_run);
         }
         {
@@ -117,9 +128,10 @@ main()
             if (!r.correct)
                 dsm_fatal("Transitive Closure run failed");
             sys.sharing().finalize();
-            printHistogram("TransitiveClosure", toString(pol), sys,
+            printHistogram(rep, "TransitiveClosure", toString(pol), sys,
                            sys.sharing().averageWriteRun());
         }
     }
+    writeReport(rep);
     return 0;
 }

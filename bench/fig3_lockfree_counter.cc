@@ -9,6 +9,7 @@
 int
 main()
 {
-    dsmbench::runFigure("Figure 3", dsm::CounterKind::LOCK_FREE);
+    dsmbench::runFigure("fig3_lockfree_counter", "Figure 3",
+                        dsm::CounterKind::LOCK_FREE);
     return 0;
 }

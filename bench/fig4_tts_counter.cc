@@ -10,6 +10,7 @@
 int
 main()
 {
-    dsmbench::runFigure("Figure 4", dsm::CounterKind::TTS);
+    dsmbench::runFigure("fig4_tts_counter", "Figure 4",
+                        dsm::CounterKind::TTS);
     return 0;
 }

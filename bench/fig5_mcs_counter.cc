@@ -10,6 +10,7 @@
 int
 main()
 {
-    dsmbench::runFigure("Figure 5", dsm::CounterKind::MCS);
+    dsmbench::runFigure("fig5_mcs_counter", "Figure 5",
+                        dsm::CounterKind::MCS);
     return 0;
 }

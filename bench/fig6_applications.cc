@@ -16,7 +16,7 @@ using namespace dsmbench;
 namespace {
 
 double
-runLocus(const ImplCase &impl)
+runLocus(const ImplCase &impl, RunMetrics *metrics)
 {
     Config cfg = paperConfig(impl.sync.policy);
     cfg.sync = impl.sync;
@@ -29,11 +29,12 @@ runLocus(const ImplCase &impl)
     TaskQueueResult r = runLocusLike(sys, app);
     if (!r.completed || !r.correct)
         dsm_fatal("locus-like failed under %s", impl.label.c_str());
+    *metrics = collectRunMetrics(sys);
     return static_cast<double>(r.elapsed);
 }
 
 double
-runCholesky(const ImplCase &impl)
+runCholesky(const ImplCase &impl, RunMetrics *metrics)
 {
     Config cfg = paperConfig(impl.sync.policy);
     cfg.sync = impl.sync;
@@ -48,11 +49,12 @@ runCholesky(const ImplCase &impl)
     TaskQueueResult r = runCholeskyLike(sys, app);
     if (!r.completed || !r.correct)
         dsm_fatal("cholesky-like failed under %s", impl.label.c_str());
+    *metrics = collectRunMetrics(sys);
     return static_cast<double>(r.elapsed);
 }
 
 double
-runTc(const ImplCase &impl)
+runTc(const ImplCase &impl, RunMetrics *metrics)
 {
     Config cfg = paperConfig(impl.sync.policy);
     cfg.sync = impl.sync;
@@ -65,6 +67,7 @@ runTc(const ImplCase &impl)
     if (!r.completed || !r.correct)
         dsm_fatal("transitive closure failed under %s",
                   impl.label.c_str());
+    *metrics = collectRunMetrics(sys);
     return static_cast<double>(r.elapsed);
 }
 
@@ -80,12 +83,27 @@ main()
     std::vector<std::string> cols = {"LocusRoute", "Cholesky",
                                      "TransClosure"};
     printHeader("", cols);
+
+    BenchReport rep("fig6_applications");
+    rep.meta("figure", "Figure 6");
+    addMachineMeta(rep, paperConfig());
+
+    using RunFn = double (*)(const ImplCase &, RunMetrics *);
+    const RunFn fns[] = {runLocus, runCholesky, runTc};
     for (const ImplCase &impl : applicationImplementations()) {
         std::vector<double> vals;
-        vals.push_back(runLocus(impl));
-        vals.push_back(runCholesky(impl));
-        vals.push_back(runTc(impl));
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+            RunMetrics m;
+            double elapsed = fns[i](impl, &m);
+            vals.push_back(elapsed);
+            rep.row()
+                .set("impl", impl.label)
+                .set("app", cols[i])
+                .set("elapsed", elapsed)
+                .metrics(m);
+        }
         printRow(impl.label, vals);
     }
+    writeReport(rep);
     return 0;
 }

@@ -27,7 +27,7 @@ phasesFor(int contention)
 
 inline double
 runPoint(const ImplCase &impl, CounterKind kind, int contention,
-         double write_run)
+         double write_run, RunMetrics *metrics = nullptr)
 {
     Config cfg = paperConfig(impl.sync.policy);
     cfg.sync = impl.sync;
@@ -45,11 +45,13 @@ runPoint(const ImplCase &impl, CounterKind kind, int contention,
     if (!r.correct)
         dsm_fatal("%s produced a wrong count (c=%d a=%.1f)",
                   impl.label.c_str(), contention, write_run);
+    if (metrics != nullptr)
+        *metrics = collectRunMetrics(sys);
     return r.avg_cycles_per_update;
 }
 
 inline void
-runFigure(const char *figure, CounterKind kind)
+runFigure(const char *bench, const char *figure, CounterKind kind)
 {
     std::printf("%s: average cycles per counter update, %s counter, "
                 "p=64\n", figure, toString(kind));
@@ -68,14 +70,32 @@ runFigure(const char *figure, CounterKind kind)
         cols.push_back(csprintf("c=%d", c));
     printHeader("", cols);
 
+    BenchReport rep(bench);
+    rep.meta("figure", figure);
+    rep.meta("app", toString(kind));
+    addMachineMeta(rep, paperConfig());
+
     for (const ImplCase &impl : figureImplementations()) {
         std::vector<double> vals;
-        for (double a : write_runs)
-            vals.push_back(runPoint(impl, kind, 1, a));
-        for (int c : contentions)
-            vals.push_back(runPoint(impl, kind, c, 1.0));
+        auto addPoint = [&](const std::string &point, int c, double a) {
+            RunMetrics m;
+            double v = runPoint(impl, kind, c, a, &m);
+            vals.push_back(v);
+            rep.row()
+                .set("impl", impl.label)
+                .set("point", point)
+                .set("contention", c)
+                .set("write_run", a)
+                .set("avg_cycles_per_update", v)
+                .metrics(m);
+        };
+        for (std::size_t i = 0; i < std::size(write_runs); ++i)
+            addPoint(cols[i], 1, write_runs[i]);
+        for (std::size_t i = 0; i < std::size(contentions); ++i)
+            addPoint(cols[std::size(write_runs) + i], contentions[i], 1.0);
         printRow(impl.label, vals);
     }
+    writeReport(rep);
 }
 
 } // namespace dsmbench

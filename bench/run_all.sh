@@ -1,0 +1,54 @@
+#!/bin/sh
+# Run every benchmark binary and collect the machine-readable outputs.
+#
+# Usage: bench/run_all.sh [build-dir] [output-dir]
+#
+# Each binary prints its usual text tables and writes BENCH_<name>.json
+# (schema dsm-bench-v1; simcore_microbench writes google-benchmark's
+# JSON) into the output directory, which defaults to ./bench-results.
+set -eu
+
+build_dir=${1:-build}
+out_dir=${2:-bench-results}
+
+if [ ! -d "$build_dir/bench" ]; then
+    echo "error: $build_dir/bench not found -- build the project first" >&2
+    echo "  cmake -B $build_dir -S . && cmake --build $build_dir -j" >&2
+    exit 1
+fi
+
+mkdir -p "$out_dir"
+DSM_BENCH_DIR=$(cd "$out_dir" && pwd)
+export DSM_BENCH_DIR
+# Keep the logs focused on the tables; dsm_inform chatter is off.
+DSM_QUIET=1
+export DSM_QUIET
+
+benches="
+table1_serialized_messages
+fig2_contention_histograms
+fig3_lockfree_counter
+fig4_tts_counter
+fig5_mcs_counter
+fig6_applications
+ablation_backoff
+ablation_machine
+ablation_serial_llsc
+ablation_reservations
+ablation_barrier
+simcore_microbench
+"
+
+for b in $benches; do
+    bin="$build_dir/bench/$b"
+    if [ ! -x "$bin" ]; then
+        echo "skipping $b (not built)" >&2
+        continue
+    fi
+    echo "==> $b"
+    "$bin" | tee "$DSM_BENCH_DIR/$b.txt"
+    echo
+done
+
+echo "collected reports in $DSM_BENCH_DIR:"
+ls -1 "$DSM_BENCH_DIR"/BENCH_*.json

@@ -8,6 +8,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "cpu/system.hh"
 #include "sync/lockfree_counter.hh"
 
@@ -90,4 +95,33 @@ BENCHMARK(BM_MeshMessageThroughput);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but defaults the JSON side-output to
+// BENCH_simcore_microbench.json (in $DSM_BENCH_DIR if set) so this
+// binary matches the machine-readable-output convention of the
+// simulated-machine benches. Explicit --benchmark_out flags win.
+int
+main(int argc, char **argv)
+{
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        has_out |= std::strncmp(argv[i], "--benchmark_out=", 16) == 0;
+
+    const char *dir = std::getenv("DSM_BENCH_DIR");
+    std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
+    std::string out_flag =
+        "--benchmark_out=" + d + "/BENCH_simcore_microbench.json";
+    std::string fmt_flag = "--benchmark_out_format=json";
+
+    std::vector<char *> args(argv, argv + argc);
+    if (!has_out) {
+        args.push_back(out_flag.data());
+        args.push_back(fmt_flag.data());
+    }
+    int args_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&args_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -42,12 +42,25 @@ run(System &sys, Task t)
     sys.reapTasks();
 }
 
-/** Measure the serialized-message chain of a store by proc 0. */
+/**
+ * Measure the serialized-message chain of a store by proc 0. The
+ * registry snapshot/diff isolates the network traffic of the measured
+ * store from the setup traffic (mesh counters are not reset by
+ * clearStats).
+ */
 int
-measure(System &sys, Addr a)
+measure(System &sys, Addr a, RunMetrics *metrics = nullptr)
 {
-    sys.stats() = SysStats{};
+    sys.clearStats();
+    StatsRegistry::Snapshot before = sys.registry().snapshot();
     run(sys, storeOnce(sys.proc(0), a));
+    if (metrics != nullptr) {
+        *metrics = collectRunMetrics(sys);
+        StatsRegistry::Snapshot delta =
+            StatsRegistry::diff(sys.registry().snapshot(), before);
+        metrics->messages = delta["net.messages"];
+        metrics->flits = delta["net.flits"];
+    }
     return static_cast<int>(sys.stats().chain_length.max());
 }
 
@@ -56,6 +69,7 @@ struct Row
     const char *name;
     int paper;
     int measured;
+    RunMetrics metrics;
 };
 
 } // namespace
@@ -68,53 +82,71 @@ main()
     {
         System sys(paperConfig(SyncPolicy::UNC));
         Addr a = sys.allocSyncAt(9);
-        rows.push_back({"UNC", 2, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"UNC", 2, measure(sys, a, &m), m});
     }
     {
         System sys(paperConfig(SyncPolicy::INV));
         Addr a = sys.allocSyncAt(9);
         run(sys, storeOnce(sys.proc(0), a)); // proc 0 takes ownership
-        rows.push_back({"INV to cached exclusive", 0, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"INV to cached exclusive", 0,
+                        measure(sys, a, &m), m});
     }
     {
         System sys(paperConfig(SyncPolicy::INV));
         Addr a = sys.allocSyncAt(9);
         run(sys, storeOnce(sys.proc(5), a)); // remote owner
-        rows.push_back({"INV to remote exclusive", 4, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"INV to remote exclusive", 4,
+                        measure(sys, a, &m), m});
     }
     {
         System sys(paperConfig(SyncPolicy::INV));
         Addr a = sys.allocSyncAt(9);
         run(sys, loadOnce(sys.proc(5), a));
         run(sys, loadOnce(sys.proc(6), a)); // remote shared copies
-        rows.push_back({"INV to remote shared", 3, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"INV to remote shared", 3,
+                        measure(sys, a, &m), m});
     }
     {
         System sys(paperConfig(SyncPolicy::INV));
         Addr a = sys.allocSyncAt(9);
-        rows.push_back({"INV to uncached", 2, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"INV to uncached", 2, measure(sys, a, &m), m});
     }
     {
         System sys(paperConfig(SyncPolicy::UPD));
         Addr a = sys.allocSyncAt(9);
         run(sys, loadOnce(sys.proc(5), a)); // a remote cached copy
-        rows.push_back({"UPD to cached", 3, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"UPD to cached", 3, measure(sys, a, &m), m});
     }
     {
         System sys(paperConfig(SyncPolicy::UPD));
         Addr a = sys.allocSyncAt(9);
-        rows.push_back({"UPD to uncached", 2, measure(sys, a)});
+        RunMetrics m;
+        rows.push_back({"UPD to uncached", 2, measure(sys, a, &m), m});
     }
 
     std::printf("Table 1: serialized network messages for stores to "
                 "shared memory\n\n");
     std::printf("%-28s %8s %10s\n", "case", "paper", "measured");
     std::printf("------------------------------------------------\n");
+    BenchReport rep("table1_serialized_messages");
+    rep.meta("table", "Table 1");
+    addMachineMeta(rep, paperConfig());
     bool all_match = true;
     for (const Row &r : rows) {
         std::printf("%-28s %8d %10d%s\n", r.name, r.paper, r.measured,
                     r.paper == r.measured ? "" : "   <-- MISMATCH");
         all_match &= r.paper == r.measured;
+        rep.row()
+            .set("case", r.name)
+            .set("paper", r.paper)
+            .set("measured", r.measured)
+            .metrics(r.metrics);
     }
 
     // Supplementary: the drop_copy effect the paper derives from these
@@ -125,11 +157,19 @@ main()
         Addr a = sys.allocSyncAt(9);
         run(sys, storeOnce(sys.proc(5), a));
         run(sys, dropOnce(sys.proc(5), a));
+        RunMetrics m;
+        int chain = measure(sys, a, &m);
         std::printf("\nwith drop_copy after remote exclusive: store "
                     "takes %d serialized messages (vs 4 without)\n",
-                    measure(sys, a));
+                    chain);
+        rep.row()
+            .set("case", "INV remote exclusive + drop_copy")
+            .set("paper", 2)
+            .set("measured", chain)
+            .metrics(m);
     }
 
+    writeReport(rep);
     std::printf("\n%s\n", all_match ? "ALL ROWS MATCH TABLE 1"
                                     : "SOME ROWS MISMATCH");
     return all_match ? 0 : 1;

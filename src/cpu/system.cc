@@ -14,6 +14,7 @@ System::System(const Config &cfg)
     int n = _cfg.machine.num_procs;
     _mems.reserve(n);
     _dirs.resize(n);
+    _node_stats.resize(n);
     for (int i = 0; i < n; ++i)
         _mems.emplace_back(_cfg.machine.mem_service_time);
     for (int i = 0; i < n; ++i) {
@@ -24,8 +25,75 @@ System::System(const Config &cfg)
         Controller *c = _ctrls[i].get();
         _mesh.setHandler(i, [c](const Msg &m) { c->handleMsg(m); });
     }
+    _tracer.configure(_cfg.trace);
+    _mesh.setTracer(&_tracer);
+    buildRegistry();
     if (_cfg.machine.spurious_resv_period > 0)
         scheduleSpuriousInvalidation();
+}
+
+void
+System::buildRegistry()
+{
+    // Global simulation and network counters.
+    _registry.addCounter("sim.ticks", [this] { return _eq.now(); });
+    _registry.addCounter("sim.events",
+                         [this] { return _eq.eventsExecuted(); });
+    const MeshStats &ms = _mesh.stats();
+    _registry.addCounter("net.messages", &ms.messages);
+    _registry.addCounter("net.flits", &ms.flits);
+    _registry.addCounter("net.local", &ms.local);
+    _registry.addCounter("net.hop_sum", &ms.hop_sum);
+
+    // Per-node component counters. All pointed-to storage lives in
+    // containers sized once by the constructor, so addresses are stable.
+    for (int i = 0; i < numProcs(); ++i) {
+        std::string p = csprintf("node%d.", i);
+
+        const SysStats &st = _node_stats[i];
+        _registry.addCounter(p + "proto.nacks", &st.nacks);
+        _registry.addCounter(p + "proto.retries", &st.retries);
+        _registry.addCounter(p + "proto.invalidations", &st.invalidations);
+        _registry.addCounter(p + "proto.updates", &st.updates);
+        _registry.addCounter(p + "proto.writebacks", &st.writebacks);
+        _registry.addCounter(p + "proto.drop_notifies", &st.drop_notifies);
+        _registry.addCounter(p + "proto.sc_successes", &st.sc_successes);
+        _registry.addCounter(p + "proto.sc_failures", &st.sc_failures);
+        _registry.addCounter(p + "proto.cas_successes", &st.cas_successes);
+        _registry.addCounter(p + "proto.cas_failures", &st.cas_failures);
+        _registry.addHistogram(p + "proto.chain_length", &st.chain_length);
+        for (int op = 0; op < NUM_ATOMIC_OPS; ++op)
+            _registry.addLatency(
+                p + "proto.ops." + toString(static_cast<AtomicOp>(op)),
+                &st.op_latency[op]);
+
+        const CacheStats &cs = _ctrls[i]->cache().stats();
+        _registry.addCounter(p + "cache.hits", &cs.hits);
+        _registry.addCounter(p + "cache.misses", &cs.misses);
+        _registry.addCounter(p + "cache.evictions", &cs.evictions);
+        _registry.addCounter(p + "cache.invalidations_received",
+                             &cs.invalidations_received);
+
+        const MemModule &mm = _mems[i];
+        _registry.addCounter(p + "mem.accesses",
+                             [&mm] { return mm.accesses(); });
+        _registry.addCounter(p + "mem.queue_cycles",
+                             [&mm] { return mm.queueCycles(); });
+        _registry.addCounter(p + "mem.busy_cycles",
+                             [&mm] { return mm.busyCycles(); });
+        _registry.addHistogram(p + "mem.queue_wait", &mm.queueWait());
+
+        _registry.addCounter(p + "dir.transitions",
+                             &_dirs[i].transitions());
+
+        _registry.addCounter(p + "net.inj_msgs", &_mesh.injMsgs(i));
+        _registry.addCounter(p + "net.ej_msgs", &_mesh.ejMsgs(i));
+        _registry.addCounter(p + "net.inj_flits", &_mesh.injFlits(i));
+
+        const Proc &pr = *_procs[i];
+        _registry.addCounter(p + "proc.ops_issued",
+                             [&pr] { return pr.opsIssued(); });
+    }
 }
 
 void
@@ -166,7 +234,7 @@ System::report() const
                     (unsigned long long)hits, (unsigned long long)misses,
                     (unsigned long long)evictions,
                     (unsigned long long)invs);
-    out += _stats.report();
+    out += stats().report();
     return out;
 }
 

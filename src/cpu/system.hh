@@ -25,8 +25,10 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "stats/registry.hh"
 #include "stats/sharing_tracker.hh"
 #include "stats/stat_set.hh"
+#include "trace/trace.hh"
 
 namespace dsm {
 
@@ -57,11 +59,49 @@ class System
     Directory &dir(NodeId n) { return _dirs[n]; }
     Controller &ctrl(NodeId n) { return *_ctrls[n]; }
     Proc &proc(NodeId n) { return *_procs[n]; }
-    SysStats &stats() { return _stats; }
     SharingTracker &sharing() { return _sharing; }
     Rng &rng() { return _rng; }
     int numProcs() const { return _cfg.machine.num_procs; }
     Tick now() const { return _eq.now(); }
+    /** @} */
+
+    /** @name Statistics and tracing. @{ */
+
+    /** Mutable protocol statistics of node @p n (the hot-path sink). */
+    SysStats &
+    stats(NodeId n)
+    {
+        return _node_stats[static_cast<std::size_t>(n)];
+    }
+
+    /** System-wide aggregate: every node's statistics merged. */
+    SysStats
+    stats() const
+    {
+        SysStats agg;
+        for (const SysStats &s : _node_stats)
+            agg.merge(s);
+        return agg;
+    }
+
+    /** Reset every node's protocol statistics (e.g. after warmup). */
+    void
+    clearStats()
+    {
+        for (SysStats &s : _node_stats)
+            s = SysStats{};
+    }
+
+    /** The hierarchical stats registry (per-node and global entries). */
+    StatsRegistry &registry() { return _registry; }
+    const StatsRegistry &registry() const { return _registry; }
+
+    /** The protocol event tracer. */
+    Tracer &tracer() { return _tracer; }
+
+    /** The full registry rendered as nested JSON. */
+    std::string statsJson() const { return _registry.toJson(); }
+
     /** @} */
 
     /** Home node of the block containing @p a (block-interleaved). */
@@ -153,6 +193,9 @@ class System
     /** Periodic reservation clearing (MachineConfig::spurious_resv_period). */
     void scheduleSpuriousInvalidation();
 
+    /** Populate the stats registry with per-node and global entries. */
+    void buildRegistry();
+
     Config _cfg;
     EventQueue _eq;
     Mesh _mesh;
@@ -161,7 +204,10 @@ class System
     std::vector<Directory> _dirs;
     std::vector<std::unique_ptr<Controller>> _ctrls;
     std::vector<std::unique_ptr<Proc>> _procs;
-    SysStats _stats;
+    /** Per-node protocol stats; sized once, addresses stable. */
+    std::vector<SysStats> _node_stats;
+    StatsRegistry _registry;
+    Tracer _tracer;
     SharingTracker _sharing;
     Rng _rng;
 

@@ -107,8 +107,15 @@ class Directory
         return _entries;
     }
 
+    /** Record one stable-state transition (called by the controller). */
+    void noteTransition() { ++_transitions; }
+
+    /** Stable-state transitions recorded at this directory. */
+    const std::uint64_t &transitions() const { return _transitions; }
+
   private:
     std::unordered_map<Addr, DirEntry> _entries;
+    std::uint64_t _transitions = 0;
 };
 
 } // namespace dsm

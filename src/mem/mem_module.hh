@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "sim/types.hh"
+#include "stats/histogram.hh"
 
 namespace dsm {
 
@@ -36,8 +37,10 @@ class MemModule
         _free = start + _service;
         ++_accesses;
         _busy_cycles += _service;
-        if (start > now)
-            _queue_cycles += start - now;
+        Tick wait = start - now;
+        if (wait > 0)
+            _queue_cycles += wait;
+        _queue_wait.add(wait);
         return _free;
     }
 
@@ -47,6 +50,8 @@ class MemModule
     std::uint64_t queueCycles() const { return _queue_cycles; }
     /** Total cycles the bank spent servicing requests. */
     std::uint64_t busyCycles() const { return _busy_cycles; }
+    /** Per-request queue-wait distribution (cycles). */
+    const Histogram &queueWait() const { return _queue_wait; }
 
   private:
     Tick _service;
@@ -54,6 +59,7 @@ class MemModule
     std::uint64_t _accesses = 0;
     std::uint64_t _queue_cycles = 0;
     std::uint64_t _busy_cycles = 0;
+    Histogram _queue_wait;
 };
 
 } // namespace dsm

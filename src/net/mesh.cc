@@ -1,8 +1,10 @@
 #include "net/mesh.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "sim/logging.hh"
+#include "trace/trace.hh"
 
 namespace dsm {
 
@@ -10,7 +12,10 @@ Mesh::Mesh(EventQueue &eq, const MachineConfig &cfg)
     : _eq(eq), _cfg(cfg),
       _handlers(cfg.num_procs),
       _inj_free(cfg.num_procs, 0),
-      _ej_free(cfg.num_procs, 0)
+      _ej_free(cfg.num_procs, 0),
+      _inj_msgs(cfg.num_procs, 0),
+      _ej_msgs(cfg.num_procs, 0),
+      _inj_flits(cfg.num_procs, 0)
 {
 }
 
@@ -20,6 +25,15 @@ Mesh::setHandler(NodeId n, Handler h)
     dsm_assert(n >= 0 && n < static_cast<NodeId>(_handlers.size()),
                "bad node id %d", n);
     _handlers[n] = std::move(h);
+}
+
+void
+Mesh::clearStats()
+{
+    _stats = MeshStats{};
+    std::fill(_inj_msgs.begin(), _inj_msgs.end(), 0);
+    std::fill(_ej_msgs.begin(), _ej_msgs.end(), 0);
+    std::fill(_inj_flits.begin(), _inj_flits.end(), 0);
 }
 
 int
@@ -47,34 +61,68 @@ Mesh::send(const Msg &msg)
     dsm_assert(h != nullptr, "no handler at node %d", msg.dst);
 
     Tick now = _eq.now();
-    if (msg.src == msg.dst) {
+    Msg m = msg;
+    Tracer *tr = _tracer;
+    if (tr != nullptr && tr->on(TraceCat::MSG_SEND)) {
+        m.trace_id = tr->nextFlowId();
+        TraceEvent ev;
+        ev.tick = now;
+        ev.cat = TraceCat::MSG_SEND;
+        ev.node = static_cast<std::int16_t>(m.src);
+        ev.peer = static_cast<std::int16_t>(m.dst);
+        ev.op = static_cast<std::uint8_t>(m.type);
+        ev.addr = m.addr;
+        ev.flow = m.trace_id;
+        tr->record(ev);
+    }
+
+    // When the lambda runs, _eq.now() is the delivery tick.
+    auto deliver_fn = [this, &h, tr, m] {
+        if (tr != nullptr && tr->on(TraceCat::MSG_RECV)) {
+            TraceEvent ev;
+            ev.tick = _eq.now();
+            ev.cat = TraceCat::MSG_RECV;
+            ev.node = static_cast<std::int16_t>(m.dst);
+            ev.peer = static_cast<std::int16_t>(m.src);
+            ev.op = static_cast<std::uint8_t>(m.type);
+            ev.addr = m.addr;
+            ev.flow = m.trace_id;
+            tr->record(ev);
+        }
+        h(m);
+    };
+
+    if (m.src == m.dst) {
         ++_stats.local;
-        _eq.schedule(now + _cfg.local_latency,
-                     [&h, msg] { h(msg); });
+        Tick at = now + _cfg.local_latency;
+        _eq.schedule(at, [deliver_fn] { deliver_fn(); });
         return;
     }
 
-    unsigned flits = flitsFor(msg);
+    unsigned flits = flitsFor(m);
     Tick ser = static_cast<Tick>(flits) * _cfg.flit_latency;
 
     // Injection port: serialized among messages leaving this node.
-    Tick depart = std::max(now, _inj_free[msg.src]);
-    _inj_free[msg.src] = depart + ser;
+    Tick depart = std::max(now, _inj_free[m.src]);
+    _inj_free[m.src] = depart + ser;
 
     // In-flight time: head latency over the dimension-order path.
-    int nhops = hops(msg.src, msg.dst);
+    int nhops = hops(m.src, m.dst);
     Tick head_arrive = depart + static_cast<Tick>(nhops) * _cfg.hop_latency;
 
     // Ejection port: serialized among messages entering the destination.
-    Tick start = std::max(head_arrive, _ej_free[msg.dst]);
+    Tick start = std::max(head_arrive, _ej_free[m.dst]);
     Tick deliver = start + ser;
-    _ej_free[msg.dst] = deliver;
+    _ej_free[m.dst] = deliver;
 
     ++_stats.messages;
     _stats.flits += flits;
     _stats.hop_sum += static_cast<std::uint64_t>(nhops);
+    ++_inj_msgs[m.src];
+    ++_ej_msgs[m.dst];
+    _inj_flits[m.src] += flits;
 
-    _eq.schedule(deliver, [&h, msg] { h(msg); });
+    _eq.schedule(deliver, [deliver_fn] { deliver_fn(); });
 }
 
 } // namespace dsm

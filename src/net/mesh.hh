@@ -26,6 +26,8 @@
 
 namespace dsm {
 
+class Tracer;
+
 /** Aggregate network statistics. */
 struct MeshStats
 {
@@ -60,7 +62,16 @@ class Mesh
     int hops(NodeId a, NodeId b) const;
 
     const MeshStats &stats() const { return _stats; }
-    void clearStats() { _stats = MeshStats{}; }
+    void clearStats();
+
+    /** Attach the event tracer (records MSG_SEND/MSG_RECV). */
+    void setTracer(Tracer *t) { _tracer = t; }
+
+    /** @name Per-node port counters (for the stats registry). @{ */
+    const std::uint64_t &injMsgs(NodeId n) const { return _inj_msgs[n]; }
+    const std::uint64_t &ejMsgs(NodeId n) const { return _ej_msgs[n]; }
+    const std::uint64_t &injFlits(NodeId n) const { return _inj_flits[n]; }
+    /** @} */
 
   private:
     unsigned flitsFor(const Msg &msg) const;
@@ -71,6 +82,10 @@ class Mesh
     std::vector<Tick> _inj_free; ///< next tick each injection port is free
     std::vector<Tick> _ej_free;  ///< next tick each ejection port is free
     MeshStats _stats;
+    std::vector<std::uint64_t> _inj_msgs; ///< messages injected per node
+    std::vector<std::uint64_t> _ej_msgs;  ///< messages ejected per node
+    std::vector<std::uint64_t> _inj_flits;///< flits injected per node
+    Tracer *_tracer = nullptr;
 };
 
 } // namespace dsm

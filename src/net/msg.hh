@@ -139,6 +139,12 @@ struct Msg
      * (1 for a request issued by a processor). Used to verify Table 1.
      */
     int chain = 1;
+    /**
+     * Flow correlation id for the event tracer (0 = untraced). Assigned
+     * by Mesh::send when message tracing is on; lets the Chrome trace
+     * exporter link each send to its receive as a flow arrow.
+     */
+    std::uint32_t trace_id = 0;
 
     /** Payload size in bytes (excluding the per-message header). */
     unsigned sizeBytes() const;

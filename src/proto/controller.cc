@@ -130,10 +130,78 @@ Controller::reply(const Msg &req, Msg resp)
 void
 Controller::sendNack(const Msg &req)
 {
-    ++_sys.stats().nacks;
+    ++_sys.stats(_id).nacks;
+    traceNack(req.src, req.addr, req.type);
     Msg n;
     n.type = MsgType::NACK;
     reply(req, n);
+}
+
+void
+Controller::traceLineState(Addr block, LineState from, LineState to)
+{
+    Tracer &tr = _sys.tracer();
+    if (!tr.on(TraceCat::LINE_STATE) || from == to)
+        return;
+    TraceEvent ev;
+    ev.tick = now();
+    ev.cat = TraceCat::LINE_STATE;
+    ev.node = static_cast<std::int16_t>(_id);
+    ev.addr = block;
+    ev.arg_a = static_cast<std::uint8_t>(from);
+    ev.arg_b = static_cast<std::uint8_t>(to);
+    tr.record(ev);
+}
+
+void
+Controller::setDirState(DirEntry &e, Addr block, DirState to)
+{
+    DirState from = e.state;
+    e.state = to;
+    if (from == to)
+        return;
+    _sys.dir(_id).noteTransition();
+    Tracer &tr = _sys.tracer();
+    if (!tr.on(TraceCat::DIR_STATE))
+        return;
+    TraceEvent ev;
+    ev.tick = now();
+    ev.cat = TraceCat::DIR_STATE;
+    ev.node = static_cast<std::int16_t>(_id);
+    ev.addr = block;
+    ev.arg_a = static_cast<std::uint8_t>(from);
+    ev.arg_b = static_cast<std::uint8_t>(to);
+    tr.record(ev);
+}
+
+void
+Controller::traceResv(TraceCat cat, Addr block)
+{
+    Tracer &tr = _sys.tracer();
+    if (!tr.on(cat))
+        return;
+    TraceEvent ev;
+    ev.tick = now();
+    ev.cat = cat;
+    ev.node = static_cast<std::int16_t>(_id);
+    ev.addr = block;
+    tr.record(ev);
+}
+
+void
+Controller::traceNack(NodeId victim, Addr block, MsgType req_type)
+{
+    Tracer &tr = _sys.tracer();
+    if (!tr.on(TraceCat::NACK))
+        return;
+    TraceEvent ev;
+    ev.tick = now();
+    ev.cat = TraceCat::NACK;
+    ev.node = static_cast<std::int16_t>(_id);
+    ev.peer = static_cast<std::int16_t>(victim);
+    ev.addr = block;
+    ev.op = static_cast<std::uint8_t>(req_type);
+    tr.record(ev);
 }
 
 Word
@@ -179,14 +247,18 @@ Controller::installLine(Addr addr, LineState state,
 {
     Addr base = blockBase(addr);
     CacheLine *line = _cache.lookup(base);
+    LineState prev = LineState::INVALID;
     if (line == nullptr) {
         Victim victim;
         line = _cache.allocate(base, &victim);
         if (victim.valid)
             evictVictim(victim);
+    } else {
+        prev = line->state;
     }
     line->state = state;
     line->data = data;
+    traceLineState(base, prev, state);
     return line;
 }
 
@@ -195,7 +267,7 @@ Controller::evictVictim(const Victim &v)
 {
     if (v.state != LineState::EXCLUSIVE)
         return; // shared lines are dropped silently (DASH-style)
-    ++_sys.stats().writebacks;
+    ++_sys.stats(_id).writebacks;
     Msg wb;
     wb.type = MsgType::WB_DATA;
     wb.dst = _sys.homeOf(v.base);

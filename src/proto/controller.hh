@@ -33,9 +33,11 @@
 #include <functional>
 
 #include "cache/cache.hh"
+#include "mem/directory.hh"
 #include "net/msg.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
+#include "trace/trace.hh"
 
 namespace dsm {
 
@@ -112,6 +114,7 @@ class Controller
         Word resp_serial = 0;
         int max_chain = 0;       ///< longest serialized message chain
         int retries = 0;
+        std::uint32_t trace_flow = 0; ///< tracer flow id for this op
     };
 
     // ===================== CPU side (controller_cpu.cc) ==================
@@ -208,6 +211,17 @@ class Controller
 
     void send(Msg m);
     Tick now() const;
+
+    // ===================== Trace hooks ====================================
+
+    /** Record a cache-line state transition (LINE_STATE category). */
+    void traceLineState(Addr block, LineState from, LineState to);
+    /** Change a directory entry's stable state, counting + tracing. */
+    void setDirState(DirEntry &e, Addr block, DirState to);
+    /** Record an LL reservation set/clear at this node. */
+    void traceResv(TraceCat cat, Addr block);
+    /** Record a NACK aimed at @p victim. */
+    void traceNack(NodeId victim, Addr block, MsgType req_type);
 
     /** Chain length of a message sent with parent chain @p parent. */
     static int

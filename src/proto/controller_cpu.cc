@@ -29,6 +29,18 @@ Controller::cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
     _txn.expected = expected;
     _txn.done = std::move(done);
     _txn.start = now();
+    Tracer &tr = _sys.tracer();
+    if (tr.on(TraceCat::ATOMIC_START)) {
+        _txn.trace_flow = tr.nextFlowId();
+        TraceEvent ev;
+        ev.tick = now();
+        ev.cat = TraceCat::ATOMIC_START;
+        ev.node = static_cast<std::int16_t>(_id);
+        ev.op = static_cast<std::uint8_t>(op);
+        ev.addr = addr;
+        ev.flow = _txn.trace_flow;
+        tr.record(ev);
+    }
     beginTxn();
 }
 
@@ -52,8 +64,20 @@ void
 Controller::finishTxn(Word value, bool success, Word serial)
 {
     dsm_assert(_txn.active, "finish without an active transaction");
-    SysStats &st = _sys.stats();
+    SysStats &st = _sys.stats(_id);
     st.sampleOp(_txn.op, now() - _txn.start, _txn.max_chain);
+    Tracer &tr = _sys.tracer();
+    if (tr.on(TraceCat::ATOMIC_COMPLETE)) {
+        TraceEvent ev;
+        ev.tick = now();
+        ev.cat = TraceCat::ATOMIC_COMPLETE;
+        ev.node = static_cast<std::int16_t>(_id);
+        ev.op = static_cast<std::uint8_t>(_txn.op);
+        ev.addr = _txn.addr;
+        ev.value = now() - _txn.start;
+        ev.flow = _txn.trace_flow;
+        tr.record(ev);
+    }
     if (_txn.op == AtomicOp::CAS) {
         if (success)
             ++st.cas_successes;
@@ -84,7 +108,19 @@ Controller::retryTxn()
 {
     dsm_assert(_txn.active, "retry without an active transaction");
     ++_txn.retries;
-    ++_sys.stats().retries;
+    ++_sys.stats(_id).retries;
+    Tracer &tr = _sys.tracer();
+    if (tr.on(TraceCat::RETRY)) {
+        TraceEvent ev;
+        ev.tick = now();
+        ev.cat = TraceCat::RETRY;
+        ev.node = static_cast<std::int16_t>(_id);
+        ev.op = static_cast<std::uint8_t>(_txn.op);
+        ev.addr = _txn.addr;
+        ev.value = static_cast<std::uint64_t>(_txn.retries);
+        ev.flow = _txn.trace_flow;
+        tr.record(ev);
+    }
     _txn.waiting = false;
     _txn.resp_seen = false;
     _txn.acks_needed = 0;
@@ -147,6 +183,7 @@ Controller::beginInv()
         if (line != nullptr) {
             ++_cache.stats().hits;
             _cache.setReservation(a);
+            traceResv(TraceCat::RESV_SET, blockBase(a));
             finishTxnAfter(hit, line->readWord(a), true);
         } else {
             ++_cache.stats().misses;
@@ -214,13 +251,14 @@ Controller::beginInv()
                         _cache.reservationAddr() == blockBase(a);
         if (!reserved) {
             // Fails locally without causing any network traffic.
-            ++_sys.stats().sc_local_failures;
+            ++_sys.stats(_id).sc_local_failures;
             finishTxnAfter(hit, 0, false);
         } else if (line != nullptr &&
                    line->state == LineState::EXCLUSIVE) {
             ++_cache.stats().hits;
             line->writeWord(a, _txn.value);
             _cache.clearReservation();
+            traceResv(TraceCat::RESV_CLEAR, blockBase(a));
             finishTxnAfter(hit, 0, true);
         } else {
             dsm_assert(line != nullptr,
@@ -245,7 +283,7 @@ Controller::beginInv()
             v.state = line->state;
             v.data = line->data;
             if (line->state == LineState::SHARED) {
-                ++_sys.stats().drop_notifies;
+                ++_sys.stats(_id).drop_notifies;
                 Msg d;
                 d.type = MsgType::DROP_NOTIFY;
                 d.dst = _sys.homeOf(a);
@@ -278,7 +316,7 @@ Controller::beginUnc()
         // option): the store_conditional is doomed, so it fails locally
         // without causing any network traffic (Section 3.1).
         _resv_denied = false;
-        ++_sys.stats().sc_local_failures;
+        ++_sys.stats(_id).sc_local_failures;
         finishTxnAfter(_sys.cfg().machine.cache_hit_latency, 0, false);
         return;
     }
@@ -309,7 +347,7 @@ Controller::beginUpd()
 
       case AtomicOp::DROP_COPY:
         if (line != nullptr) {
-            ++_sys.stats().drop_notifies;
+            ++_sys.stats(_id).drop_notifies;
             Msg d;
             d.type = MsgType::DROP_NOTIFY;
             d.dst = _sys.homeOf(a);
@@ -326,7 +364,7 @@ Controller::beginUpd()
       case AtomicOp::SC:
         if (_resv_denied && _resv_denied_block == blockBase(a)) {
             _resv_denied = false;
-            ++_sys.stats().sc_local_failures;
+            ++_sys.stats(_id).sc_local_failures;
             finishTxnAfter(hit, 0, false);
             break;
         }
@@ -361,8 +399,10 @@ Controller::cpuResponse(const Msg &m)
 
       case MsgType::DATA_S: {
         CacheLine *line = installLine(m.addr, LineState::SHARED, m.data);
-        if (_txn.op == AtomicOp::LL)
+        if (_txn.op == AtomicOp::LL) {
             _cache.setReservation(_txn.addr);
+            traceResv(TraceCat::RESV_SET, m.addr);
+        }
         finishTxn(line->readWord(_txn.addr), true);
         break;
       }
@@ -379,6 +419,7 @@ Controller::cpuResponse(const Msg &m)
         dsm_assert(line != nullptr && line->state == LineState::SHARED,
                    "upgrade granted without a shared copy");
         line->state = LineState::EXCLUSIVE;
+        traceLineState(m.addr, LineState::SHARED, LineState::EXCLUSIVE);
         _txn.resp_seen = true;
         _txn.acks_needed = m.ack_count;
         maybeComplete();
@@ -388,6 +429,7 @@ Controller::cpuResponse(const Msg &m)
       case MsgType::SC_RESP:
         if (!m.success) {
             _cache.clearReservation();
+            traceResv(TraceCat::RESV_CLEAR, m.addr);
             finishTxn(0, false);
         } else {
             CacheLine *line = _cache.lookup(_txn.addr);
@@ -395,6 +437,8 @@ Controller::cpuResponse(const Msg &m)
                        line->state == LineState::SHARED,
                        "SC success without a shared copy");
             line->state = LineState::EXCLUSIVE;
+            traceLineState(m.addr, LineState::SHARED,
+                           LineState::EXCLUSIVE);
             _txn.resp_seen = true;
             _txn.acks_needed = m.ack_count;
             maybeComplete();
@@ -509,6 +553,7 @@ Controller::completeExclusive()
       case AtomicOp::SC:
         line->writeWord(a, _txn.value);
         _cache.clearReservation();
+        traceResv(TraceCat::RESV_CLEAR, blockBase(a));
         finishTxn(0, true);
         break;
       default:

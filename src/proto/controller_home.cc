@@ -93,7 +93,7 @@ Controller::homeGetS(const Msg &m)
     switch (e.state) {
       case DirState::UNCACHED:
       case DirState::SHARED: {
-        e.state = DirState::SHARED;
+        setDirState(e, m.addr, DirState::SHARED);
         e.addSharer(m.src);
         Msg r;
         r.type = MsgType::DATA_S;
@@ -133,7 +133,7 @@ Controller::homeGetX(const Msg &m)
     }
     switch (e.state) {
       case DirState::UNCACHED: {
-        e.state = DirState::EXCLUSIVE;
+        setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         Msg r;
         r.type = MsgType::DATA_X;
@@ -145,7 +145,7 @@ Controller::homeGetX(const Msg &m)
       }
       case DirState::SHARED: {
         std::uint64_t others = e.sharers & ~bit(m.src);
-        e.state = DirState::EXCLUSIVE;
+        setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         e.sharers = 0;
         Msg r;
@@ -183,7 +183,7 @@ Controller::sendInvalidations(std::uint64_t targets, const Msg &req)
     for (NodeId n = 0; n < _sys.numProcs(); ++n) {
         if (!(targets & bit(n)))
             continue;
-        ++_sys.stats().invalidations;
+        ++_sys.stats(_id).invalidations;
         Msg inv;
         inv.type = MsgType::INV;
         inv.dst = n;
@@ -206,7 +206,7 @@ Controller::homeUpgrade(const Msg &m)
         return;
     }
     std::uint64_t others = e.sharers & ~bit(m.src);
-    e.state = DirState::EXCLUSIVE;
+    setDirState(e, m.addr, DirState::EXCLUSIVE);
     e.owner = m.src;
     e.sharers = 0;
     Msg r;
@@ -237,7 +237,7 @@ Controller::homeCasHome(const Msg &m)
             // the requester perform the swap locally.
             std::uint64_t others =
                 e.state == DirState::SHARED ? e.sharers & ~bit(m.src) : 0;
-            e.state = DirState::EXCLUSIVE;
+            setDirState(e, m.addr, DirState::EXCLUSIVE);
             e.owner = m.src;
             e.sharers = 0;
             Msg r;
@@ -254,7 +254,7 @@ Controller::homeCasHome(const Msg &m)
             r.result = old;
             reply(m, r);
         } else { // CasVariant::SHARE
-            e.state = DirState::SHARED;
+            setDirState(e, m.addr, DirState::SHARED);
             e.addSharer(m.src);
             Msg r;
             r.type = MsgType::CAS_FAIL_S;
@@ -300,9 +300,11 @@ Controller::homeScReq(const Msg &m)
         // Success: the requester still holds a valid copy. Grant
         // exclusivity and invalidate the other holders (Section 3).
         std::uint64_t others = e.sharers & ~bit(m.src);
-        e.state = DirState::EXCLUSIVE;
+        setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         e.sharers = 0;
+        if (e.reservations != 0)
+            traceResv(TraceCat::RESV_CLEAR, m.addr);
         e.clearReservations();
         e.bumpSerial();
         Msg r;
@@ -346,6 +348,7 @@ Controller::memoryOp(const Msg &m)
             success = false;
         } else {
             e.setReservation(m.src);
+            traceResv(TraceCat::RESV_SET, m.addr);
         }
         break;
       }
@@ -407,6 +410,8 @@ Controller::memoryOp(const Msg &m)
     if (wrote) {
         // Any write or successful SC clears the reservation vector
         // (Section 3) and bumps the block's write serial number.
+        if (e.reservations != 0)
+            traceResv(TraceCat::RESV_CLEAR, m.addr);
         e.clearReservations();
         e.bumpSerial();
     }
@@ -446,7 +451,7 @@ Controller::homeUpdReq(const Msg &m)
         for (NodeId n = 0; n < _sys.numProcs(); ++n) {
             if (n == m.src || !e.isSharer(n))
                 continue;
-            ++_sys.stats().updates;
+            ++_sys.stats(_id).updates;
             ++nupdates;
             Msg u;
             u.type = MsgType::UPDATE;
@@ -461,7 +466,7 @@ Controller::homeUpdReq(const Msg &m)
     }
 
     // The requester retains (or obtains) a shared copy.
-    e.state = DirState::SHARED;
+    setDirState(e, m.addr, DirState::SHARED);
     e.addSharer(m.src);
 
     Msg r;
@@ -485,7 +490,7 @@ Controller::homeWbData(const Msg &m)
                toString(e.state));
     _sys.store().writeBlock(m.addr, m.data);
     if (!e.busy) {
-        e.state = DirState::UNCACHED;
+        setDirState(e, m.addr, DirState::UNCACHED);
         e.owner = INVALID_NODE;
         return;
     }
@@ -495,7 +500,7 @@ Controller::homeWbData(const Msg &m)
     if (e.await_wb) {
         // The bounce already arrived; finish the transaction now.
         NodeId req = e.pending_requester;
-        e.state = DirState::UNCACHED;
+        setDirState(e, m.addr, DirState::UNCACHED);
         e.owner = INVALID_NODE;
         e.busy = false;
         e.await_wb = false;
@@ -508,7 +513,8 @@ Controller::homeWbData(const Msg &m)
 void
 Controller::nackNode(NodeId n, Addr block)
 {
-    ++_sys.stats().nacks;
+    ++_sys.stats(_id).nacks;
+    traceNack(n, block, MsgType::NACK);
     Msg r;
     r.type = MsgType::NACK;
     r.dst = n;
@@ -526,7 +532,7 @@ Controller::homeDropNotify(const Msg &m)
     if (e.state == DirState::SHARED && e.isSharer(m.src)) {
         e.removeSharer(m.src);
         if (e.sharers == 0)
-            e.state = DirState::UNCACHED;
+            setDirState(e, m.addr, DirState::UNCACHED);
     }
     // Otherwise the notification raced with a state change; ignore it.
 }
@@ -552,7 +558,7 @@ Controller::homeOwnerReply(const Msg &m)
     switch (m.type) {
       case MsgType::OWNER_DATA_S: {
         _sys.store().writeBlock(m.addr, m.data);
-        e.state = DirState::SHARED;
+        setDirState(e, m.addr, DirState::SHARED);
         e.sharers = bit(m.src) | bit(req);
         e.owner = INVALID_NODE;
         e.busy = false;
@@ -590,7 +596,7 @@ Controller::homeOwnerReply(const Msg &m)
       case MsgType::CAS_OWNER_FAIL_S: {
         // INVs: the owner downgraded; both nodes share the line.
         _sys.store().writeBlock(m.addr, m.data);
-        e.state = DirState::SHARED;
+        setDirState(e, m.addr, DirState::SHARED);
         e.sharers = bit(m.src) | bit(req);
         e.owner = INVALID_NODE;
         e.busy = false;
@@ -611,7 +617,7 @@ Controller::homeOwnerReply(const Msg &m)
       }
       case MsgType::FWD_NACK_WB: {
         if (e.wb_received) {
-            e.state = DirState::UNCACHED;
+            setDirState(e, m.addr, DirState::UNCACHED);
             e.owner = INVALID_NODE;
             e.busy = false;
             e.wb_received = false;

@@ -25,6 +25,7 @@ Controller::handleInv(const Msg &m)
                    "invalidation hit an exclusive line at node %d", _id);
         ++_cache.stats().invalidations_received;
         _cache.invalidate(m.addr);
+        traceLineState(m.addr, LineState::SHARED, LineState::INVALID);
     }
 
     Msg ack;
@@ -104,6 +105,7 @@ Controller::handleFwd(const Msg &m)
       case MsgType::FWD_GET_S: {
         // Downgrade and keep a shared copy.
         line->state = LineState::SHARED;
+        traceLineState(m.addr, LineState::EXCLUSIVE, LineState::SHARED);
         Msg r;
         r.type = MsgType::OWNER_DATA_S;
         r.data = line->data;
@@ -117,6 +119,7 @@ Controller::handleFwd(const Msg &m)
         r.data = line->data;
         r.has_data = true;
         _cache.invalidate(m.addr);
+        traceLineState(m.addr, LineState::EXCLUSIVE, LineState::INVALID);
         respond(r);
         break;
       }
@@ -130,6 +133,8 @@ Controller::handleFwd(const Msg &m)
             r.data = line->data;
             r.has_data = true;
             _cache.invalidate(m.addr);
+            traceLineState(m.addr, LineState::EXCLUSIVE,
+                           LineState::INVALID);
             respond(r);
         } else if (_sys.cfg().sync.cas_variant == CasVariant::DENY) {
             // INVd: the failing request gets no copy; ours stays intact.
@@ -140,6 +145,8 @@ Controller::handleFwd(const Msg &m)
         } else {
             // INVs: downgrade and give the requester a read-only copy.
             line->state = LineState::SHARED;
+            traceLineState(m.addr, LineState::EXCLUSIVE,
+                           LineState::SHARED);
             Msg r;
             r.type = MsgType::CAS_OWNER_FAIL_S;
             r.result = old;

@@ -123,11 +123,26 @@ struct MachineConfig
     void validate() const;
 };
 
+/**
+ * Event-tracer configuration. Tracing is off by default; when enabled,
+ * the categories mask selects which TraceCat bits are recorded (see
+ * trace/trace.hh) and capacity bounds the ring buffer.
+ */
+struct TraceConfig
+{
+    bool enabled = false;
+    /** Category bitmask applied when enabled (default: everything). */
+    std::uint32_t categories = 0xffffffffu;
+    /** Ring-buffer capacity in records. */
+    std::size_t capacity = 1u << 16;
+};
+
 /** Complete simulation configuration. */
 struct Config
 {
     MachineConfig machine;
     SyncConfig sync;
+    TraceConfig trace;
 };
 
 } // namespace dsm

@@ -1,0 +1,155 @@
+#include "sim/json.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::element()
+{
+    if (_have_key) {
+        // A key was just emitted; this element is its value.
+        _have_key = false;
+        return;
+    }
+    if (!_first.empty()) {
+        if (!_first.back())
+            _out += ',';
+        _first.back() = false;
+    }
+}
+
+void
+JsonWriter::beginObject()
+{
+    element();
+    _out += '{';
+    _first.push_back(true);
+}
+
+void
+JsonWriter::endObject()
+{
+    dsm_assert(!_first.empty() && !_have_key, "mismatched endObject");
+    _out += '}';
+    _first.pop_back();
+}
+
+void
+JsonWriter::beginArray()
+{
+    element();
+    _out += '[';
+    _first.push_back(true);
+}
+
+void
+JsonWriter::endArray()
+{
+    dsm_assert(!_first.empty() && !_have_key, "mismatched endArray");
+    _out += ']';
+    _first.pop_back();
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    dsm_assert(!_have_key, "two keys in a row: %s", k.c_str());
+    element();
+    _out += '"';
+    _out += jsonEscape(k);
+    _out += "\":";
+    _have_key = true;
+}
+
+void
+JsonWriter::value(const std::string &s)
+{
+    element();
+    _out += '"';
+    _out += jsonEscape(s);
+    _out += '"';
+}
+
+void
+JsonWriter::value(const char *s)
+{
+    value(std::string(s));
+}
+
+void
+JsonWriter::value(double d)
+{
+    element();
+    // JSON has no NaN/Inf; clamp to null-like zero.
+    if (!std::isfinite(d))
+        d = 0.0;
+    std::string t = csprintf("%.10g", d);
+    _out += t;
+}
+
+void
+JsonWriter::value(std::uint64_t v)
+{
+    element();
+    _out += csprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+void
+JsonWriter::value(std::int64_t v)
+{
+    element();
+    _out += csprintf("%lld", static_cast<long long>(v));
+}
+
+void
+JsonWriter::value(int v)
+{
+    value(static_cast<std::int64_t>(v));
+}
+
+void
+JsonWriter::value(unsigned v)
+{
+    value(static_cast<std::uint64_t>(v));
+}
+
+void
+JsonWriter::value(bool b)
+{
+    element();
+    _out += b ? "true" : "false";
+}
+
+void
+JsonWriter::raw(const std::string &json)
+{
+    element();
+    _out += json;
+}
+
+} // namespace dsm

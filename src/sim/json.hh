@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal streaming JSON emitter used by the stats registry, the trace
+ * exporters, and the bench binaries' machine-readable output. Emits
+ * compact, valid JSON; no parsing (tests carry their own tiny parser).
+ */
+
+#ifndef DSM_SIM_JSON_HH
+#define DSM_SIM_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+/** Escape a string for inclusion inside JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer. Call begin/end/key/value in document order;
+ * separators and quoting are handled here. Misuse (a value where a key
+ * is required) is a programming error and asserts.
+ */
+class JsonWriter
+{
+  public:
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    /** Object member key; must be followed by exactly one value. */
+    void key(const std::string &k);
+
+    void value(const std::string &s);
+    void value(const char *s);
+    void value(double d);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v);
+    void value(unsigned v);
+    void value(bool b);
+
+    /** Splice an already-rendered JSON fragment as one value. */
+    void raw(const std::string &json);
+
+    /** key() + value() in one call. */
+    template <typename T>
+    void
+    kv(const std::string &k, T v)
+    {
+        key(k);
+        value(v);
+    }
+
+    /** The document so far. */
+    const std::string &str() const { return _out; }
+
+  private:
+    /** Emit a separator before a new element if one is needed. */
+    void element();
+
+    std::string _out;
+    std::vector<bool> _first; ///< per open container: no elements yet
+    bool _have_key = false;
+};
+
+} // namespace dsm
+
+#endif // DSM_SIM_JSON_HH

@@ -23,9 +23,38 @@ csprintf(const char *fmt, ...)
     return out;
 }
 
+namespace {
+
+bool
+envQuiet()
+{
+    const char *v = std::getenv("DSM_QUIET");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+// -1 = follow DSM_QUIET; 0/1 = explicit programmatic override.
+int quiet_override = -1;
+
+} // anonymous namespace
+
+void
+setLogQuiet(bool quiet)
+{
+    quiet_override = quiet ? 1 : 0;
+}
+
+bool
+logQuiet()
+{
+    return quiet_override >= 0 ? quiet_override != 0 : envQuiet();
+}
+
 void
 logMessage(const char *level, const std::string &msg)
 {
+    if (logQuiet())
+        return;
     std::fprintf(stderr, "%s: %s\n", level, msg.c_str());
 }
 

@@ -20,6 +20,17 @@ namespace dsm {
 /** Formatted message sink used by the logging helpers below. */
 void logMessage(const char *level, const std::string &msg);
 
+/**
+ * Suppress (or restore) info/warn output. Quiet mode keeps stderr clean
+ * for scripted bench runs whose real product is BENCH_*.json; panic and
+ * fatal always print. Also enabled by the DSM_QUIET environment
+ * variable (any non-empty value other than "0").
+ */
+void setLogQuiet(bool quiet);
+
+/** Current quiet state (programmatic setting or DSM_QUIET). */
+bool logQuiet();
+
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const char *file, int line,

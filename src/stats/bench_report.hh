@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Machine-readable benchmark output.
+ *
+ * Every bench binary builds a BenchReport and writes BENCH_<name>.json
+ * next to (or instead of) its plain-text tables, so figure/table data
+ * can be consumed by scripts without screen-scraping. The schema is
+ * "dsm-bench-v1": a meta object describing the run plus a flat results
+ * array of rows, each row naming the implementation, the sweep point,
+ * and the measured metrics (mean latency, percentiles, message counts).
+ */
+
+#ifndef DSM_STATS_BENCH_REPORT_HH
+#define DSM_STATS_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** Metrics harvested from one measured run window. */
+struct RunMetrics
+{
+    std::uint64_t ops = 0;       ///< completed processor operations
+    double mean_latency = 0.0;   ///< mean op latency (cycles)
+    Tick p50 = 0;
+    Tick p95 = 0;
+    Tick p99 = 0;
+    Tick max_latency = 0;
+    std::uint64_t messages = 0;  ///< network messages
+    std::uint64_t flits = 0;
+    std::uint64_t nacks = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t updates = 0;
+    Tick ticks = 0;              ///< simulated time at harvest
+};
+
+/** Harvest the standard metrics from a system after a run. */
+RunMetrics collectRunMetrics(System &sys);
+
+/** One result row: ordered key -> rendered-JSON-value pairs. */
+class BenchRow
+{
+  public:
+    BenchRow &set(const std::string &k, const std::string &v);
+    BenchRow &set(const std::string &k, const char *v);
+    BenchRow &set(const std::string &k, double v);
+    BenchRow &set(const std::string &k, std::uint64_t v);
+    BenchRow &set(const std::string &k, int v);
+
+    /** Splice the standard metric keys of @p m into this row. */
+    BenchRow &metrics(const RunMetrics &m);
+
+  private:
+    friend class BenchReport;
+    std::vector<std::pair<std::string, std::string>> _fields;
+};
+
+/**
+ * Accumulates rows for one bench binary and writes BENCH_<name>.json.
+ * The output directory comes from $DSM_BENCH_DIR (default: the current
+ * working directory).
+ */
+class BenchReport
+{
+  public:
+    explicit BenchReport(std::string name);
+
+    /** Add a run-level metadata entry (rendered under "meta"). */
+    void meta(const std::string &k, const std::string &v);
+    void meta(const std::string &k, double v);
+    void meta(const std::string &k, std::uint64_t v);
+    void meta(const std::string &k, int v);
+
+    /** Append and return a new result row. */
+    BenchRow &row();
+
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** The full document. */
+    std::string toJson() const;
+
+    /** Path the report will be written to. */
+    std::string outputPath() const;
+
+    /**
+     * Write toJson() to outputPath().
+     * @return the path written, or "" on I/O failure (warned).
+     */
+    std::string write() const;
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, std::string>> _meta;
+    std::vector<BenchRow> _rows;
+};
+
+} // namespace dsm
+
+#endif // DSM_STATS_BENCH_REPORT_HH

@@ -57,6 +57,14 @@ Histogram::percentile(double q) const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    for (std::uint64_t v = 0; v < other._buckets.size(); ++v)
+        if (other._buckets[v] != 0)
+            add(v, other._buckets[v]);
+}
+
+void
 Histogram::clear()
 {
     _buckets.clear();

@@ -41,6 +41,15 @@ class Histogram
     /** Smallest v such that at least @p q of samples are <= v. */
     std::uint64_t percentile(double q) const;
 
+    /** @name Standard report percentiles. @{ */
+    std::uint64_t p50() const { return percentile(0.50); }
+    std::uint64_t p95() const { return percentile(0.95); }
+    std::uint64_t p99() const { return percentile(0.99); }
+    /** @} */
+
+    /** Fold another histogram's samples into this one. */
+    void merge(const Histogram &other);
+
     /** Forget everything. */
     void clear();
 

@@ -1,0 +1,157 @@
+#include "stats/registry.hh"
+
+#include <vector>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+std::vector<std::string>
+splitPath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t dot = path.find('.', start);
+        if (dot == std::string::npos) {
+            parts.push_back(path.substr(start));
+            return parts;
+        }
+        parts.push_back(path.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+} // anonymous namespace
+
+void
+StatsRegistry::addCounter(const std::string &path, Getter getter)
+{
+    dsm_assert(!_entries.count(path), "duplicate stat path %s", path.c_str());
+    Entry e;
+    e.getter = std::move(getter);
+    _entries.emplace(path, std::move(e));
+}
+
+void
+StatsRegistry::addCounter(const std::string &path,
+                          const std::uint64_t *counter)
+{
+    addCounter(path, [counter] { return *counter; });
+}
+
+void
+StatsRegistry::addHistogram(const std::string &path, const Histogram *hist)
+{
+    dsm_assert(!_entries.count(path), "duplicate stat path %s", path.c_str());
+    Entry e;
+    e.hist = hist;
+    _entries.emplace(path, std::move(e));
+}
+
+void
+StatsRegistry::addLatency(const std::string &path, const LatencyStat *lat)
+{
+    dsm_assert(!_entries.count(path), "duplicate stat path %s", path.c_str());
+    Entry e;
+    e.lat = lat;
+    _entries.emplace(path, std::move(e));
+}
+
+StatsRegistry::Snapshot
+StatsRegistry::snapshot() const
+{
+    Snapshot snap;
+    for (const auto &[path, e] : _entries) {
+        if (e.hist) {
+            snap[path + ".samples"] = e.hist->samples();
+            snap[path + ".sum"] = e.hist->sum();
+        } else if (e.lat) {
+            snap[path + ".count"] = e.lat->count;
+            snap[path + ".sum"] = e.lat->sum;
+        } else {
+            snap[path] = e.getter();
+        }
+    }
+    return snap;
+}
+
+StatsRegistry::Snapshot
+StatsRegistry::diff(const Snapshot &after, const Snapshot &before)
+{
+    Snapshot out;
+    for (const auto &[path, v] : after) {
+        auto it = before.find(path);
+        std::uint64_t base = it == before.end() ? 0 : it->second;
+        out[path] = v - base;
+    }
+    return out;
+}
+
+void
+StatsRegistry::writeJson(JsonWriter &w) const
+{
+    // Sorted iteration keeps prefix groups contiguous, so the tree can
+    // be rendered with a single open-segment stack.
+    std::vector<std::string> open;
+    w.beginObject();
+    for (const auto &[path, e] : _entries) {
+        std::vector<std::string> parts = splitPath(path);
+        dsm_assert(!parts.empty(), "empty stat path");
+
+        std::size_t common = 0;
+        while (common < open.size() && common + 1 < parts.size() &&
+               open[common] == parts[common])
+            ++common;
+        while (open.size() > common) {
+            w.endObject();
+            open.pop_back();
+        }
+        while (open.size() + 1 < parts.size()) {
+            w.key(parts[open.size()]);
+            w.beginObject();
+            open.push_back(parts[open.size()]);
+        }
+
+        w.key(parts.back());
+        if (e.hist) {
+            w.beginObject();
+            w.kv("samples", e.hist->samples());
+            w.kv("mean", e.hist->mean());
+            w.kv("max", e.hist->max());
+            w.kv("p50", e.hist->p50());
+            w.kv("p95", e.hist->p95());
+            w.kv("p99", e.hist->p99());
+            w.endObject();
+        } else if (e.lat) {
+            w.beginObject();
+            w.kv("count", e.lat->count);
+            w.kv("mean", e.lat->mean());
+            w.kv("max", static_cast<std::uint64_t>(e.lat->max));
+            w.kv("p50", static_cast<std::uint64_t>(e.lat->p50()));
+            w.kv("p95", static_cast<std::uint64_t>(e.lat->p95()));
+            w.kv("p99", static_cast<std::uint64_t>(e.lat->p99()));
+            w.endObject();
+        } else {
+            w.value(e.getter());
+        }
+    }
+    while (!open.empty()) {
+        w.endObject();
+        open.pop_back();
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::toJson() const
+{
+    JsonWriter w;
+    writeJson(w);
+    return w.str();
+}
+
+} // namespace dsm

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Hierarchical statistics registry.
+ *
+ * Components register named counters and histograms under dotted paths
+ * ("node3.cache.hits", "net.flits"). The registry does not own any
+ * storage: counters are either getter callbacks or pointers into the
+ * component's own counters, so registration costs nothing on the hot
+ * path. Consumers take scalar snapshots (for warmup-vs-measurement
+ * diffs) or render the whole tree as nested JSON.
+ */
+
+#ifndef DSM_STATS_REGISTRY_HH
+#define DSM_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "stats/histogram.hh"
+#include "stats/stat_set.hh"
+
+namespace dsm {
+
+class JsonWriter;
+
+class StatsRegistry
+{
+  public:
+    using Getter = std::function<std::uint64_t()>;
+
+    /** Scalar view of the registry at one instant: path -> value. */
+    using Snapshot = std::map<std::string, std::uint64_t>;
+
+    /** Register a scalar counter computed on demand. */
+    void addCounter(const std::string &path, Getter getter);
+
+    /** Register a scalar counter read through a stable pointer. */
+    void addCounter(const std::string &path, const std::uint64_t *counter);
+
+    /** Register a histogram (rendered as a distribution summary). */
+    void addHistogram(const std::string &path, const Histogram *hist);
+
+    /** Register a latency accumulator (mean + percentiles in JSON). */
+    void addLatency(const std::string &path, const LatencyStat *lat);
+
+    /**
+     * Scalar snapshot of every entry. Histograms contribute
+     * "<path>.samples" and "<path>.sum"; latencies contribute
+     * "<path>.count" and "<path>.sum".
+     */
+    Snapshot snapshot() const;
+
+    /**
+     * Per-key difference @p after - @p before (keys missing from
+     * @p before count as zero). Used to isolate the measurement phase
+     * from warmup.
+     */
+    static Snapshot diff(const Snapshot &after, const Snapshot &before);
+
+    /** Render the whole registry as a nested JSON object. */
+    void writeJson(JsonWriter &w) const;
+
+    /** writeJson() into a fresh document. */
+    std::string toJson() const;
+
+    /** Number of registered entries. */
+    std::size_t size() const { return _entries.size(); }
+
+  private:
+    struct Entry
+    {
+        // Exactly one of these is set.
+        Getter getter;
+        const Histogram *hist = nullptr;
+        const LatencyStat *lat = nullptr;
+    };
+
+    // std::map keeps paths sorted; '.' < [0-9a-z] so every dotted
+    // prefix group is contiguous, which writeJson() relies on.
+    std::map<std::string, Entry> _entries;
+};
+
+} // namespace dsm
+
+#endif // DSM_STATS_REGISTRY_HH

@@ -1,8 +1,30 @@
 #include "stats/stat_set.hh"
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace dsm {
+
+void
+SysStats::merge(const SysStats &o)
+{
+    nacks += o.nacks;
+    retries += o.retries;
+    invalidations += o.invalidations;
+    updates += o.updates;
+    writebacks += o.writebacks;
+    drop_notifies += o.drop_notifies;
+    sc_failures += o.sc_failures;
+    sc_local_failures += o.sc_local_failures;
+    sc_successes += o.sc_successes;
+    cas_failures += o.cas_failures;
+    cas_successes += o.cas_successes;
+    for (int i = 0; i < NUM_ATOMIC_OPS; ++i) {
+        op_count[i] += o.op_count[i];
+        op_latency[i].merge(o.op_latency[i]);
+    }
+    chain_length.merge(o.chain_length);
+}
 
 std::string
 SysStats::report() const
@@ -26,13 +48,59 @@ SysStats::report() const
     for (int i = 0; i < NUM_ATOMIC_OPS; ++i) {
         if (op_count[i] == 0)
             continue;
-        out += csprintf("%-18s n=%-10llu mean=%8.1f max=%llu\n",
+        const LatencyStat &lat = op_latency[i];
+        out += csprintf("%-18s n=%-10llu mean=%8.1f "
+                        "p50=%-6llu p95=%-6llu p99=%-6llu max=%llu\n",
                         toString(static_cast<AtomicOp>(i)),
                         (unsigned long long)op_count[i],
-                        op_latency[i].mean(),
-                        (unsigned long long)op_latency[i].max);
+                        lat.mean(),
+                        (unsigned long long)lat.p50(),
+                        (unsigned long long)lat.p95(),
+                        (unsigned long long)lat.p99(),
+                        (unsigned long long)lat.max);
     }
     return out;
+}
+
+void
+SysStats::writeJson(JsonWriter &w) const
+{
+    w.beginObject();
+    w.kv("nacks", nacks);
+    w.kv("retries", retries);
+    w.kv("invalidations", invalidations);
+    w.kv("updates", updates);
+    w.kv("writebacks", writebacks);
+    w.kv("drop_notifies", drop_notifies);
+    w.kv("sc_successes", sc_successes);
+    w.kv("sc_failures", sc_failures);
+    w.kv("sc_local_failures", sc_local_failures);
+    w.kv("cas_successes", cas_successes);
+    w.kv("cas_failures", cas_failures);
+    w.key("ops");
+    w.beginObject();
+    for (int i = 0; i < NUM_ATOMIC_OPS; ++i) {
+        if (op_count[i] == 0)
+            continue;
+        const LatencyStat &lat = op_latency[i];
+        w.key(toString(static_cast<AtomicOp>(i)));
+        w.beginObject();
+        w.kv("count", op_count[i]);
+        w.kv("mean_latency", lat.mean());
+        w.kv("p50", static_cast<std::uint64_t>(lat.p50()));
+        w.kv("p95", static_cast<std::uint64_t>(lat.p95()));
+        w.kv("p99", static_cast<std::uint64_t>(lat.p99()));
+        w.kv("max_latency", static_cast<std::uint64_t>(lat.max));
+        w.endObject();
+    }
+    w.endObject();
+    w.key("chain_length");
+    w.beginObject();
+    w.kv("samples", chain_length.samples());
+    w.kv("mean", chain_length.mean());
+    w.kv("max", chain_length.max());
+    w.endObject();
+    w.endObject();
 }
 
 } // namespace dsm

@@ -1,6 +1,10 @@
 /**
  * @file
- * System-wide protocol statistics and per-operation latency accounting.
+ * Protocol statistics and per-operation latency accounting.
+ *
+ * Since the observability rework every node carries its own SysStats
+ * instance (System::stats(NodeId)); the aggregate view used by reports
+ * and tests (System::stats()) is the merge of all per-node instances.
  */
 
 #ifndef DSM_STATS_STAT_SET_HH
@@ -15,12 +19,22 @@
 
 namespace dsm {
 
-/** Sum/count/max accumulator for latencies. */
+class JsonWriter;
+
+/**
+ * Sum/count/max accumulator for latencies, with a bucketed sample
+ * distribution for percentile reporting.
+ */
 struct LatencyStat
 {
+    /** Samples are bucketed at this granularity for percentiles. */
+    static constexpr unsigned BUCKET_SHIFT = 3;
+
     std::uint64_t count = 0;
     std::uint64_t sum = 0;
     Tick max = 0;
+    /** Sample distribution in (1 << BUCKET_SHIFT)-cycle buckets. */
+    Histogram dist;
 
     void
     sample(Tick t)
@@ -29,6 +43,7 @@ struct LatencyStat
         sum += t;
         if (t > max)
             max = t;
+        dist.add(t >> BUCKET_SHIFT);
     }
 
     double
@@ -38,12 +53,41 @@ struct LatencyStat
                           : static_cast<double>(sum) /
                                 static_cast<double>(count);
     }
+
+    /**
+     * Approximate percentile: the upper edge of the bucketed
+     * distribution's percentile bucket, capped at the true max (so the
+     * error is at most one bucket width).
+     */
+    Tick
+    percentile(double q) const
+    {
+        if (count == 0)
+            return 0;
+        Tick edge = ((dist.percentile(q) + 1) << BUCKET_SHIFT) - 1;
+        return edge > max ? max : edge;
+    }
+
+    Tick p50() const { return percentile(0.50); }
+    Tick p95() const { return percentile(0.95); }
+    Tick p99() const { return percentile(0.99); }
+
+    /** Fold another accumulator's samples into this one. */
+    void
+    merge(const LatencyStat &o)
+    {
+        count += o.count;
+        sum += o.sum;
+        if (o.max > max)
+            max = o.max;
+        dist.merge(o.dist);
+    }
 };
 
 /** Number of distinct AtomicOp values (for per-op arrays). */
 constexpr int NUM_ATOMIC_OPS = static_cast<int>(AtomicOp::SCS) + 1;
 
-/** Protocol-level statistics aggregated across all nodes. */
+/** Protocol-level statistics for one node (or, merged, the system). */
 struct SysStats
 {
     std::uint64_t nacks = 0;            ///< NACK responses sent
@@ -74,8 +118,14 @@ struct SysStats
         chain_length.add(static_cast<std::uint64_t>(chain));
     }
 
+    /** Fold another node's statistics into this instance. */
+    void merge(const SysStats &o);
+
     /** Multi-line human-readable dump. */
     std::string report() const;
+
+    /** Emit this instance as one JSON object value on @p w. */
+    void writeJson(JsonWriter &w) const;
 };
 
 } // namespace dsm

@@ -116,7 +116,7 @@ runOp(System &sys, NodeId proc, AtomicOp op, Addr a, Word v = 0,
 inline void
 clearStats(System &sys)
 {
-    sys.stats() = SysStats{};
+    sys.clearStats();
 }
 
 } // namespace dsmtest

@@ -173,7 +173,7 @@ TEST(Table1, CasVariantChains)
             sys2.run();
             sys2.reapTasks();
         }
-        sys2.stats() = SysStats{};
+        sys2.clearStats();
         OpResult fail;
         sys2.spawn(doOp(sys2.proc(0), AtomicOp::CAS, b, 9, 0, &fail));
         sys2.run();
