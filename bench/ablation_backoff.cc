@@ -6,63 +6,46 @@
  * policy and reports the average cycles per lock-protected update.
  */
 
-#include <cstdio>
-
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "workloads/counter_apps.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: TTS-lock counter, c=64, backoff cap sweep\n");
-    const Tick caps[] = {16, 64, 256, 1024, 4096};
-
-    std::vector<std::string> cols;
-    for (Tick cap : caps)
-        cols.push_back(csprintf("cap=%llu",
-                                static_cast<unsigned long long>(cap)));
-    printHeader("", cols);
-
-    BenchReport rep("ablation_backoff");
-    rep.meta("app", "TTS counter");
-    rep.meta("contention", 64);
-    addMachineMeta(rep, paperConfig());
-
-    for (SyncPolicy pol :
-         {SyncPolicy::UNC, SyncPolicy::INV, SyncPolicy::UPD}) {
-        for (Primitive prim :
-             {Primitive::FAP, Primitive::LLSC, Primitive::CAS}) {
-            std::string label =
-                std::string(toString(pol)) + " " + toString(prim);
-            std::vector<double> vals;
-            for (Tick cap : caps) {
-                Config cfg = paperConfig(pol);
-                System sys(cfg);
-                CounterAppConfig app;
-                app.kind = CounterKind::TTS;
-                app.prim = prim;
-                app.contention = 64;
-                app.phases = 4;
-                app.backoff_base = 16;
-                app.backoff_cap = cap;
-                CounterAppResult r = runCounterApp(sys, app);
-                if (!r.completed || !r.correct)
-                    dsm_fatal("ablation run failed (%s %s cap=%llu)",
-                              toString(pol), toString(prim),
-                              static_cast<unsigned long long>(cap));
-                vals.push_back(r.avg_cycles_per_update);
-                rep.row()
-                    .set("impl", label)
-                    .set("backoff_cap", static_cast<std::uint64_t>(cap))
-                    .set("avg_cycles_per_update",
-                         r.avg_cycles_per_update)
-                    .metrics(collectRunMetrics(sys));
-            }
-            printRow(label, vals);
-        }
-    }
-    writeReport(rep);
+    Experiment::paper64("ablation_backoff")
+        .title("Ablation: TTS-lock counter, c=64, backoff cap sweep")
+        .meta("app", "TTS counter")
+        .meta("contention", 64)
+        .colKey("")
+        .impls(applicationMatrix())
+        .workload([](System &sys, const ImplCase &impl,
+                     const SweepPoint &sp) {
+            Tick cap = static_cast<Tick>(sp.value);
+            CounterAppConfig app;
+            app.kind = CounterKind::TTS;
+            app.prim = impl.prim;
+            app.contention = 64;
+            app.phases = 4;
+            app.backoff_base = 16;
+            app.backoff_cap = cap;
+            CounterAppResult r = runCounterApp(sys, app);
+            if (!r.completed || !r.correct)
+                dsm_fatal("ablation run failed (%s cap=%llu)",
+                          impl.label.c_str(),
+                          static_cast<unsigned long long>(cap));
+            PointResult res;
+            res.value = r.avg_cycles_per_update;
+            res.metrics = collectRunMetrics(sys);
+            res.fields
+                .set("backoff_cap", static_cast<std::uint64_t>(cap))
+                .set("avg_cycles_per_update", r.avg_cycles_per_update);
+            return res;
+        })
+        .sweep("cap", {16, 64, 256, 1024, 4096})
+        .run(parseJobsFlag(argc, argv));
     return 0;
 }

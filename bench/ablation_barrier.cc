@@ -10,20 +10,21 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "sync/central_barrier.hh"
 #include "sync/tree_barrier.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 namespace {
 
 constexpr int ROUNDS = 20;
 
 double
-runTree(RunMetrics *metrics)
+runTree(System &sys)
 {
-    System sys(paperConfig(SyncPolicy::INV));
     TreeBarrier bar(sys, sys.numProcs());
     Tick t0 = sys.now();
     for (NodeId n = 0; n < sys.numProcs(); ++n) {
@@ -35,14 +36,12 @@ runTree(RunMetrics *metrics)
     RunResult r = sys.run();
     if (!r.completed || bar.roundsCompleted() != ROUNDS)
         dsm_fatal("tree barrier ablation failed");
-    *metrics = collectRunMetrics(sys);
     return static_cast<double>(sys.now() - t0) / ROUNDS;
 }
 
 double
-runCentral(SyncPolicy pol, Primitive prim, RunMetrics *metrics)
+runCentral(System &sys, SyncPolicy pol, Primitive prim)
 {
-    System sys(paperConfig(pol));
     CentralBarrier bar(sys, prim, sys.numProcs());
     Tick t0 = sys.now();
     for (NodeId n = 0; n < sys.numProcs(); ++n) {
@@ -55,50 +54,71 @@ runCentral(SyncPolicy pol, Primitive prim, RunMetrics *metrics)
     if (!r.completed || bar.roundsCompleted() != ROUNDS)
         dsm_fatal("central barrier ablation failed (%s %s)",
                   toString(pol), toString(prim));
-    *metrics = collectRunMetrics(sys);
     return static_cast<double>(sys.now() - t0) / ROUNDS;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: barrier episode cost on 64 procs "
-                "(cycles per barrier round)\n\n");
-    BenchReport rep("ablation_barrier");
-    rep.meta("rounds", ROUNDS);
-    addMachineMeta(rep, paperConfig());
-    {
-        RunMetrics m;
-        double cycles = runTree(&m);
-        std::printf("MCS tree barrier (loads/stores only): %10.1f\n\n",
-                    cycles);
-        rep.row()
-            .set("barrier", "tree")
-            .set("cycles_per_round", cycles)
-            .metrics(m);
-    }
-    std::printf("central sense-reversing barrier:\n");
-    std::printf("%-6s %10s %10s %10s\n", "", "FAP", "LLSC", "CAS");
+    Experiment ex = Experiment::paper64("ablation_barrier");
+    ex.title("Ablation: barrier episode cost on 64 procs "
+             "(cycles per barrier round)")
+        .title("")
+        .meta("rounds", ROUNDS)
+        .rowKey("")
+        .colKey("")
+        .table(false);
+
+    ex.point("tree", "", ex.configFor(SyncPolicy::INV),
+             [](System &sys) {
+        double cycles = runTree(sys);
+        PointResult res;
+        res.value = cycles;
+        res.metrics = collectRunMetrics(sys);
+        res.fields.set("barrier", "tree")
+            .set("cycles_per_round", cycles);
+        res.text = csprintf("MCS tree barrier (loads/stores only): "
+                            "%10.1f\n\n", cycles);
+        return res;
+    });
+
+    bool first_central = true;
     for (SyncPolicy pol :
          {SyncPolicy::UNC, SyncPolicy::INV, SyncPolicy::UPD}) {
-        std::printf("%-6s", toString(pol));
         for (Primitive prim :
              {Primitive::FAP, Primitive::LLSC, Primitive::CAS}) {
-            RunMetrics m;
-            double cycles = runCentral(pol, prim, &m);
-            std::printf(" %10.1f", cycles);
-            rep.row()
-                .set("barrier", "central")
-                .set("policy", toString(pol))
-                .set("prim", toString(prim))
-                .set("cycles_per_round", cycles)
-                .metrics(m);
+            bool first_col = prim == Primitive::FAP;
+            bool last_col = prim == Primitive::CAS;
+            bool header = first_central;
+            first_central = false;
+            ex.point(toString(pol), toString(prim), ex.configFor(pol),
+                     [pol, prim, header, first_col,
+                      last_col](System &sys) {
+                double cycles = runCentral(sys, pol, prim);
+                PointResult res;
+                res.value = cycles;
+                res.metrics = collectRunMetrics(sys);
+                res.fields.set("barrier", "central")
+                    .set("policy", toString(pol))
+                    .set("prim", toString(prim))
+                    .set("cycles_per_round", cycles);
+                if (header)
+                    res.text = csprintf(
+                        "central sense-reversing barrier:\n"
+                        "%-6s %10s %10s %10s\n", "", "FAP", "LLSC",
+                        "CAS");
+                if (first_col)
+                    res.text += csprintf("%-6s", toString(pol));
+                res.text += csprintf(" %10.1f", cycles);
+                if (last_col)
+                    res.text += "\n";
+                return res;
+            });
         }
-        std::printf("\n");
     }
-    writeReport(rep);
+    ex.run(parseJobsFlag(argc, argv));
     std::printf("\nThe tree barrier's point-to-point flags avoid the "
                 "hot spot that the\ncentral counter and sense word "
                 "create at 64 processors.\n");

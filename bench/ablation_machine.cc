@@ -6,105 +6,108 @@
  * size. The paper's qualitative ordering should be robust across these.
  */
 
-#include <cstdio>
-
 #include "fig_counter_common.hh"
 
 using namespace dsmbench;
 
 namespace {
 
-double
-point(Config cfg, Primitive prim, int contention, RunMetrics *metrics)
+struct Impl
 {
-    System sys(cfg);
-    CounterAppConfig app;
-    app.kind = CounterKind::LOCK_FREE;
-    app.prim = prim;
-    app.contention = contention;
-    app.phases = phasesFor(contention);
-    CounterAppResult r = runCounterApp(sys, app);
-    if (!r.completed || !r.correct)
-        dsm_fatal("ablation point failed");
-    *metrics = collectRunMetrics(sys);
-    return r.avg_cycles_per_update;
-}
+    const char *label;
+    SyncPolicy pol;
+    Primitive prim;
+    bool lx;
+};
 
-Config
-implConfig(SyncPolicy pol, bool lx)
-{
-    Config cfg = paperConfig(pol);
-    cfg.sync.use_load_exclusive = lx;
-    return cfg;
-}
+constexpr Impl impls[] = {
+    {"UNC FAP", SyncPolicy::UNC, Primitive::FAP, false},
+    {"INV CAS+lx", SyncPolicy::INV, Primitive::CAS, true},
+    {"INV LLSC", SyncPolicy::INV, Primitive::LLSC, false},
+    {"UPD CAS", SyncPolicy::UPD, Primitive::CAS, false},
+};
 
+/**
+ * Add one sweep group: a header line, then for each headline
+ * implementation a (c_low, c_high) pair of points whose text fragments
+ * concatenate into one printed line per implementation.
+ */
 void
-sweepRow(BenchReport &rep, const char *name,
+addGroup(Experiment &ex, const char *name,
          const std::function<void(Config &)> &tweak)
 {
-    struct Impl
-    {
-        const char *label;
-        SyncPolicy pol;
-        Primitive prim;
-        bool lx;
-    };
-    const Impl impls[] = {
-        {"UNC FAP", SyncPolicy::UNC, Primitive::FAP, false},
-        {"INV CAS+lx", SyncPolicy::INV, Primitive::CAS, true},
-        {"INV LLSC", SyncPolicy::INV, Primitive::LLSC, false},
-        {"UPD CAS", SyncPolicy::UPD, Primitive::CAS, false},
-    };
-    std::printf("\n%s\n", name);
     for (const Impl &im : impls) {
-        Config cfg = implConfig(im.pol, im.lx);
+        Config cfg = ex.configFor(im.pol);
+        cfg.sync.use_load_exclusive = im.lx;
         tweak(cfg);
         int procs = cfg.machine.num_procs;
         int c_low = procs < 16 ? procs : 16;
         int c_high = procs < 64 ? procs : 64;
-        double vals[2];
+        bool first = im.label == impls[0].label;
         const int cs[] = {c_low, c_high};
         for (int i = 0; i < 2; ++i) {
-            RunMetrics m;
-            vals[i] = point(cfg, im.prim, cs[i], &m);
-            rep.row()
-                .set("sweep", name)
-                .set("impl", im.label)
-                .set("contention", cs[i])
-                .set("avg_cycles_per_update", vals[i])
-                .metrics(m);
+            int c = cs[i];
+            bool lo = i == 0;
+            std::string row = csprintf("%s | %s", name, im.label);
+            ex.point(row, lo ? "c_lo" : "c_hi", cfg,
+                     [name, im, c, lo, first](System &sys) {
+                CounterAppConfig app;
+                app.kind = CounterKind::LOCK_FREE;
+                app.prim = im.prim;
+                app.contention = c;
+                app.phases = phasesFor(c);
+                CounterAppResult r = runCounterApp(sys, app);
+                if (!r.completed || !r.correct)
+                    dsm_fatal("ablation point failed");
+                PointResult res;
+                res.value = r.avg_cycles_per_update;
+                res.metrics = collectRunMetrics(sys);
+                res.fields.set("sweep", name)
+                    .set("impl", im.label)
+                    .set("contention", c)
+                    .set("avg_cycles_per_update", res.value);
+                if (lo) {
+                    res.text = first ? csprintf("\n%s\n", name) : "";
+                    res.text += csprintf("  %-12s c=%-2d: %10.1f",
+                                         im.label, c, res.value);
+                } else {
+                    res.text = csprintf("   c=%-2d: %10.1f\n", c,
+                                        res.value);
+                }
+                return res;
+            });
         }
-        std::printf("  %-12s c=%-2d: %10.1f   c=%-2d: %10.1f\n",
-                    im.label, c_low, vals[0], c_high, vals[1]);
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: machine-parameter sensitivity of the "
-                "contended lock-free counter\n");
+    Experiment ex = Experiment::paper64("ablation_machine");
+    ex.title("Ablation: machine-parameter sensitivity of the contended "
+             "lock-free counter")
+        .meta("app", "lock-free counter")
+        .rowKey("")
+        .colKey("")
+        .table(false);
 
-    BenchReport rep("ablation_machine");
-    rep.meta("app", "lock-free counter");
-
-    sweepRow(rep, "baseline (mem=20, hop=2, p=64)", [](Config &) {});
-    sweepRow(rep, "slow memory (mem=40)", [](Config &c) {
+    addGroup(ex, "baseline (mem=20, hop=2, p=64)", [](Config &) {});
+    addGroup(ex, "slow memory (mem=40)", [](Config &c) {
         c.machine.mem_service_time = 40;
     });
-    sweepRow(rep, "fast memory (mem=10)", [](Config &c) {
+    addGroup(ex, "fast memory (mem=10)", [](Config &c) {
         c.machine.mem_service_time = 10;
     });
-    sweepRow(rep, "slow network (hop=4)", [](Config &c) {
+    addGroup(ex, "slow network (hop=4)", [](Config &c) {
         c.machine.hop_latency = 4;
     });
-    sweepRow(rep, "small machine (p=16, 4x4)", [](Config &c) {
+    addGroup(ex, "small machine (p=16, 4x4)", [](Config &c) {
         c.machine.num_procs = 16;
         c.machine.mesh_x = 4;
         c.machine.mesh_y = 4;
     });
-    writeReport(rep);
+    ex.run(parseJobsFlag(argc, argv));
     return 0;
 }

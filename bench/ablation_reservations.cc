@@ -8,70 +8,77 @@
  * effect of high contention on performance".
  */
 
-#include <cstdio>
-
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "workloads/counter_apps.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: LL/SC lock-free counter, in-memory "
-                "reservation limit sweep, p=64\n\n");
-    const int limits[] = {0, 16, 4, 1}; // 0 = unlimited bit-vector
+    Experiment ex = Experiment::paper64("ablation_reservations");
+    ex.title("Ablation: LL/SC lock-free counter, in-memory reservation "
+             "limit sweep, p=64")
+        .title("")
+        .title(csprintf("%-4s %-10s %14s %14s %16s %14s", "pol",
+                        "limit", "c=8", "c=64", "sc local fails",
+                        "msgs(c=64)"))
+        .meta("app", "LL/SC lock-free counter")
+        .rowKey("")
+        .colKey("")
+        .table(false);
 
-    std::printf("%-4s %-10s %14s %14s %16s %14s\n", "pol", "limit",
-                "c=8", "c=64", "sc local fails", "msgs(c=64)");
-    BenchReport rep("ablation_reservations");
-    rep.meta("app", "LL/SC lock-free counter");
-    addMachineMeta(rep, paperConfig());
+    const int limits[] = {0, 16, 4, 1}; // 0 = unlimited bit-vector
     for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
         for (int limit : limits) {
-            char label[32];
-            std::snprintf(label, sizeof label, "%s",
-                          limit == 0 ? "bitvec" : "");
-            if (limit != 0)
-                std::snprintf(label, sizeof label, "K=%d", limit);
-            double cyc8 = 0, cyc64 = 0;
-            std::uint64_t local_fails = 0, msgs = 0;
+            std::string label =
+                limit == 0 ? "bitvec" : csprintf("K=%d", limit);
+            Config cfg = ex.configFor(pol);
+            cfg.machine.max_memory_reservations = limit;
+            std::string row =
+                csprintf("%s %s", toString(pol), label.c_str());
             for (int c : {8, 64}) {
-                Config cfg = paperConfig(pol);
-                cfg.machine.max_memory_reservations = limit;
-                System sys(cfg);
-                CounterAppConfig app;
-                app.kind = CounterKind::LOCK_FREE;
-                app.prim = Primitive::LLSC;
-                app.contention = c;
-                app.phases = c > 1 ? (256 / c < 6 ? 6 : 256 / c) : 96;
-                CounterAppResult r = runCounterApp(sys, app);
-                if (!r.completed || !r.correct)
-                    dsm_fatal("reservation ablation failed (limit=%d)",
-                              limit);
-                if (c == 8) {
-                    cyc8 = r.avg_cycles_per_update;
-                } else {
-                    cyc64 = r.avg_cycles_per_update;
-                    local_fails = sys.stats().sc_local_failures;
-                    msgs = sys.mesh().stats().messages;
-                }
-                rep.row()
-                    .set("policy", toString(pol))
-                    .set("limit", label)
-                    .set("contention", c)
-                    .set("avg_cycles_per_update",
-                         r.avg_cycles_per_update)
-                    .set("sc_local_failures",
-                         sys.stats().sc_local_failures)
-                    .metrics(collectRunMetrics(sys));
+                ex.point(row, csprintf("c=%d", c), cfg,
+                         [pol, limit, label, c](System &sys) {
+                    CounterAppConfig app;
+                    app.kind = CounterKind::LOCK_FREE;
+                    app.prim = Primitive::LLSC;
+                    app.contention = c;
+                    app.phases = c > 1 ? (256 / c < 6 ? 6 : 256 / c)
+                                       : 96;
+                    CounterAppResult r = runCounterApp(sys, app);
+                    if (!r.completed || !r.correct)
+                        dsm_fatal("reservation ablation failed "
+                                  "(limit=%d)", limit);
+                    PointResult res;
+                    res.value = r.avg_cycles_per_update;
+                    res.metrics = collectRunMetrics(sys);
+                    res.fields.set("policy", toString(pol))
+                        .set("limit", label)
+                        .set("contention", c)
+                        .set("avg_cycles_per_update",
+                             r.avg_cycles_per_update)
+                        .set("sc_local_failures",
+                             sys.stats().sc_local_failures);
+                    if (c == 8) {
+                        res.text = csprintf("%-4s %-10s %14.1f",
+                                            toString(pol),
+                                            label.c_str(), res.value);
+                    } else {
+                        res.text = csprintf(
+                            " %14.1f %16llu %14llu\n", res.value,
+                            static_cast<unsigned long long>(
+                                sys.stats().sc_local_failures),
+                            static_cast<unsigned long long>(
+                                sys.mesh().stats().messages));
+                    }
+                    return res;
+                });
             }
-            std::printf("%-4s %-10s %14.1f %14.1f %16llu %14llu\n",
-                        toString(pol), label, cyc8, cyc64,
-                        static_cast<unsigned long long>(local_fails),
-                        static_cast<unsigned long long>(msgs));
         }
     }
-    writeReport(rep);
+    ex.run(parseJobsFlag(argc, argv));
     return 0;
 }

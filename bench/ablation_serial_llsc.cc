@@ -8,25 +8,25 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "sync/mcs_lock.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 namespace {
 
-struct Point
+struct McsPoint
 {
     double cycles_per_update;
     std::uint64_t messages;
     RunMetrics metrics;
 };
 
-Point
-runMcsCounter(SyncPolicy pol, bool serial, int contention)
+McsPoint
+runMcsCounter(System &sys, bool serial, int contention)
 {
-    Config cfg = paperConfig(pol);
-    System sys(cfg);
     McsLock lock(sys, Primitive::LLSC, serial);
     Addr counter = sys.alloc(BLOCK_BYTES, BLOCK_BYTES);
     SyncBarrier barrier(sys, sys.numProcs());
@@ -60,7 +60,7 @@ runMcsCounter(SyncPolicy pol, bool serial, int contention)
         dsm_fatal("serial-llsc ablation deadlocked");
     if (sys.debugRead(counter) != updates)
         dsm_fatal("serial-llsc ablation lost updates");
-    Point pt;
+    McsPoint pt;
     pt.cycles_per_update = static_cast<double>(sys.now() - t0) /
                            static_cast<double>(updates);
     pt.messages = sys.mesh().stats().messages;
@@ -71,41 +71,55 @@ runMcsCounter(SyncPolicy pol, bool serial, int contention)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Ablation: MCS-lock counter, in-memory LL/SC vs "
-                "serial-number LL/SC\n(bare-SC release, Section 3.1), "
-                "p=64\n\n");
-    std::printf("%-4s %-18s %12s %12s %12s %12s\n", "pol", "variant",
-                "c=1", "c=8", "c=64", "msgs(c=1)");
-    BenchReport rep("ablation_serial_llsc");
-    rep.meta("app", "MCS counter");
-    addMachineMeta(rep, paperConfig());
+    Experiment ex = Experiment::paper64("ablation_serial_llsc");
+    ex.title("Ablation: MCS-lock counter, in-memory LL/SC vs "
+             "serial-number LL/SC")
+        .title("(bare-SC release, Section 3.1), p=64")
+        .title("")
+        .title(csprintf("%-4s %-18s %12s %12s %12s %12s", "pol",
+                        "variant", "c=1", "msgs(c=1)", "c=8", "c=64"))
+        .meta("app", "MCS counter")
+        .rowKey("")
+        .colKey("")
+        .table(false);
+
     for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
         for (bool serial : {false, true}) {
             const char *variant = serial ? "LLSC+serial" : "LLSC";
-            Point pts[3];
-            const int cs[] = {1, 8, 64};
-            for (int i = 0; i < 3; ++i) {
-                pts[i] = runMcsCounter(pol, serial, cs[i]);
-                rep.row()
-                    .set("policy", toString(pol))
-                    .set("variant", variant)
-                    .set("contention", cs[i])
-                    .set("avg_cycles_per_update",
-                         pts[i].cycles_per_update)
-                    .metrics(pts[i].metrics);
+            std::string row =
+                csprintf("%s %s", toString(pol), variant);
+            for (int c : {1, 8, 64}) {
+                ex.point(row, csprintf("c=%d", c), ex.configFor(pol),
+                         [pol, serial, variant, c](System &sys) {
+                    McsPoint pt = runMcsCounter(sys, serial, c);
+                    PointResult res;
+                    res.value = pt.cycles_per_update;
+                    res.metrics = pt.metrics;
+                    res.fields.set("policy", toString(pol))
+                        .set("variant", variant)
+                        .set("contention", c)
+                        .set("avg_cycles_per_update",
+                             pt.cycles_per_update);
+                    if (c == 1) {
+                        res.text = csprintf(
+                            "%-4s %-18s %12.1f %12llu", toString(pol),
+                            variant, pt.cycles_per_update,
+                            static_cast<unsigned long long>(
+                                pt.messages));
+                    } else {
+                        res.text = csprintf(" %12.1f",
+                                            pt.cycles_per_update);
+                        if (c == 64)
+                            res.text += "\n";
+                    }
+                    return res;
+                });
             }
-            std::printf("%-4s %-18s %12.1f %12.1f %12.1f %12llu\n",
-                        toString(pol), variant,
-                        pts[0].cycles_per_update,
-                        pts[1].cycles_per_update,
-                        pts[2].cycles_per_update,
-                        static_cast<unsigned long long>(
-                            pts[0].messages));
         }
     }
-    writeReport(rep);
+    ex.run(parseJobsFlag(argc, argv));
     std::printf("\nThe serial variant's release is a single bare SC: "
                 "fewer messages and\nlower latency per uncontended "
                 "acquire/release pair.\n");

@@ -8,35 +8,37 @@
  * DESIGN.md); Transitive Closure is the Figure 1 program.
  */
 
-#include <cstdio>
-
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "workloads/task_queue_apps.hh"
 #include "workloads/transitive_closure.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 namespace {
 
-void
-printHistogram(BenchReport &rep, const char *app, const char *policy,
-               System &sys, double write_run)
+/**
+ * Render one finished run's contention histogram as a text block and
+ * fill the point's machine-readable fields.
+ */
+PointResult
+harvest(const char *app, const char *policy, System &sys,
+        double write_run)
 {
     sys.sharing().finalize();
     const Histogram &h = sys.sharing().contention();
-    std::printf("%-18s %-4s  write-run=%.2f  accesses=%llu\n", app,
-                policy, write_run,
-                static_cast<unsigned long long>(h.samples()));
-    BenchRow &row = rep.row();
-    row.set("app", app)
-        .set("policy", policy)
-        .set("write_run", write_run)
-        .set("accesses", h.samples());
-    std::printf("  level:");
+    PointResult res;
+    res.value = write_run;
+    res.text = csprintf("%-18s %-4s  write-run=%.2f  accesses=%llu\n",
+                        app, policy, write_run,
+                        static_cast<unsigned long long>(h.samples()));
+    res.fields.set("write_run", write_run).set("accesses", h.samples());
+    res.text += "  level:";
     const int levels[] = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64};
     for (int l : levels)
-        std::printf(" %6d", l);
-    std::printf("\n  pct:  ");
+        res.text += csprintf(" %6d", l);
+    res.text += "\n  pct:  ";
     // Bucket boundaries: percentage of accesses with contention in
     // (prev, level].
     int prev = 0;
@@ -44,12 +46,13 @@ printHistogram(BenchReport &rep, const char *app, const char *policy,
         double pct = 0;
         for (int v = prev + 1; v <= l; ++v)
             pct += 100.0 * h.fraction(static_cast<std::uint64_t>(v));
-        std::printf(" %6.2f", pct);
-        row.set(csprintf("pct_le_%d", l), pct);
+        res.text += csprintf(" %6.2f", pct);
+        res.fields.set(csprintf("pct_le_%d", l), pct);
         prev = l;
     }
-    std::printf("\n\n");
-    row.metrics(collectRunMetrics(sys));
+    res.text += "\n\n";
+    res.metrics = collectRunMetrics(sys);
+    return res;
 }
 
 TaskQueueConfig
@@ -86,40 +89,43 @@ choleskyConfig(Primitive prim)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 2: histograms of the level of contention "
-                "(p=64)\n");
-    std::printf("Section 4.2 targets: LocusRoute write-run 1.70-1.83, "
-                "Cholesky 1.59-1.62,\nTransitive Closure slightly above "
-                "1.00 with very high contention.\n\n");
-
-    BenchReport rep("fig2_contention_histograms");
-    rep.meta("figure", "Figure 2");
-    addMachineMeta(rep, paperConfig());
+    Experiment ex = Experiment::paper64("fig2_contention_histograms");
+    ex.title("Figure 2: histograms of the level of contention (p=64)")
+        .title("Section 4.2 targets: LocusRoute write-run 1.70-1.83, "
+               "Cholesky 1.59-1.62,")
+        .title("Transitive Closure slightly above 1.00 with very high "
+               "contention.")
+        .title("")
+        .meta("figure", "Figure 2")
+        .rowKey("app")
+        .colKey("policy")
+        .table(false);
 
     for (SyncPolicy pol :
          {SyncPolicy::INV, SyncPolicy::UNC, SyncPolicy::UPD}) {
-        {
-            System sys(paperConfig(pol));
+        const char *policy = toString(pol);
+        ex.point("LocusRoute-like", policy, ex.configFor(pol),
+                 [policy](System &sys) {
             TaskQueueResult r = runLocusLike(sys, locusConfig(
-                                                      Primitive::FAP));
+                                                     Primitive::FAP));
             if (!r.correct)
                 dsm_fatal("LocusRoute-like run failed");
-            printHistogram(rep, "LocusRoute-like", toString(pol), sys,
+            return harvest("LocusRoute-like", policy, sys,
                            r.avg_write_run);
-        }
-        {
-            System sys(paperConfig(pol));
+        });
+        ex.point("Cholesky-like", policy, ex.configFor(pol),
+                 [policy](System &sys) {
             TaskQueueResult r = runCholeskyLike(sys, choleskyConfig(
                                                          Primitive::FAP));
             if (!r.correct)
                 dsm_fatal("Cholesky-like run failed");
-            printHistogram(rep, "Cholesky-like", toString(pol), sys,
+            return harvest("Cholesky-like", policy, sys,
                            r.avg_write_run);
-        }
-        {
-            System sys(paperConfig(pol));
+        });
+        ex.point("TransitiveClosure", policy, ex.configFor(pol),
+                 [policy](System &sys) {
             TcConfig tc;
             tc.size = 48;
             tc.prim = Primitive::FAP;
@@ -128,10 +134,10 @@ main()
             if (!r.correct)
                 dsm_fatal("Transitive Closure run failed");
             sys.sharing().finalize();
-            printHistogram(rep, "TransitiveClosure", toString(pol), sys,
+            return harvest("TransitiveClosure", policy, sys,
                            sys.sharing().averageWriteRun());
-        }
+        });
     }
-    writeReport(rep);
+    ex.run(parseJobsFlag(argc, argv));
     return 0;
 }

@@ -7,9 +7,10 @@
 #include "fig_counter_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     dsmbench::runFigure("fig3_lockfree_counter", "Figure 3",
-                        dsm::CounterKind::LOCK_FREE);
+                        dsm::CounterKind::LOCK_FREE,
+                        dsm::parseJobsFlag(argc, argv));
     return 0;
 }

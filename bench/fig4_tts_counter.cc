@@ -8,9 +8,10 @@
 #include "fig_counter_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     dsmbench::runFigure("fig4_tts_counter", "Figure 4",
-                        dsm::CounterKind::TTS);
+                        dsm::CounterKind::TTS,
+                        dsm::parseJobsFlag(argc, argv));
     return 0;
 }

@@ -8,9 +8,10 @@
 #include "fig_counter_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     dsmbench::runFigure("fig5_mcs_counter", "Figure 5",
-                        dsm::CounterKind::MCS);
+                        dsm::CounterKind::MCS,
+                        dsm::parseJobsFlag(argc, argv));
     return 0;
 }

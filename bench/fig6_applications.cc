@@ -5,22 +5,19 @@
  * different implementations of atomic primitives (policy x primitive).
  */
 
-#include <cstdio>
-
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "workloads/task_queue_apps.hh"
 #include "workloads/transitive_closure.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 namespace {
 
 double
-runLocus(const ImplCase &impl, RunMetrics *metrics)
+runLocus(System &sys, const ImplCase &impl)
 {
-    Config cfg = paperConfig(impl.sync.policy);
-    cfg.sync = impl.sync;
-    System sys(cfg);
     TaskQueueConfig app;
     app.prim = impl.prim;
     app.num_tasks = 384;
@@ -29,16 +26,12 @@ runLocus(const ImplCase &impl, RunMetrics *metrics)
     TaskQueueResult r = runLocusLike(sys, app);
     if (!r.completed || !r.correct)
         dsm_fatal("locus-like failed under %s", impl.label.c_str());
-    *metrics = collectRunMetrics(sys);
     return static_cast<double>(r.elapsed);
 }
 
 double
-runCholesky(const ImplCase &impl, RunMetrics *metrics)
+runCholesky(System &sys, const ImplCase &impl)
 {
-    Config cfg = paperConfig(impl.sync.policy);
-    cfg.sync = impl.sync;
-    System sys(cfg);
     TaskQueueConfig app;
     app.prim = impl.prim;
     app.num_tasks = 384;
@@ -49,16 +42,12 @@ runCholesky(const ImplCase &impl, RunMetrics *metrics)
     TaskQueueResult r = runCholeskyLike(sys, app);
     if (!r.completed || !r.correct)
         dsm_fatal("cholesky-like failed under %s", impl.label.c_str());
-    *metrics = collectRunMetrics(sys);
     return static_cast<double>(r.elapsed);
 }
 
 double
-runTc(const ImplCase &impl, RunMetrics *metrics)
+runTc(System &sys, const ImplCase &impl)
 {
-    Config cfg = paperConfig(impl.sync.policy);
-    cfg.sync = impl.sync;
-    System sys(cfg);
     TcConfig app;
     app.size = 48;
     app.prim = impl.prim;
@@ -67,43 +56,37 @@ runTc(const ImplCase &impl, RunMetrics *metrics)
     if (!r.completed || !r.correct)
         dsm_fatal("transitive closure failed under %s",
                   impl.label.c_str());
-    *metrics = collectRunMetrics(sys);
     return static_cast<double>(r.elapsed);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("Figure 6: total elapsed cycles for the parallel part "
-                "of each application\n(p=64; LocusRoute and Cholesky as "
-                "documented stand-ins)\n");
-
-    std::vector<std::string> cols = {"LocusRoute", "Cholesky",
-                                     "TransClosure"};
-    printHeader("", cols);
-
-    BenchReport rep("fig6_applications");
-    rep.meta("figure", "Figure 6");
-    addMachineMeta(rep, paperConfig());
-
-    using RunFn = double (*)(const ImplCase &, RunMetrics *);
-    const RunFn fns[] = {runLocus, runCholesky, runTc};
-    for (const ImplCase &impl : applicationImplementations()) {
-        std::vector<double> vals;
-        for (std::size_t i = 0; i < cols.size(); ++i) {
-            RunMetrics m;
-            double elapsed = fns[i](impl, &m);
-            vals.push_back(elapsed);
-            rep.row()
-                .set("impl", impl.label)
-                .set("app", cols[i])
-                .set("elapsed", elapsed)
-                .metrics(m);
-        }
-        printRow(impl.label, vals);
-    }
-    writeReport(rep);
+    Experiment::paper64("fig6_applications")
+        .title("Figure 6: total elapsed cycles for the parallel part "
+               "of each application")
+        .title("(p=64; LocusRoute and Cholesky as documented stand-ins)")
+        .meta("figure", "Figure 6")
+        .colKey("app")
+        .impls(applicationMatrix())
+        .workload([](System &sys, const ImplCase &impl,
+                     const SweepPoint &sp) {
+            double elapsed = 0;
+            if (sp.label == "LocusRoute")
+                elapsed = runLocus(sys, impl);
+            else if (sp.label == "Cholesky")
+                elapsed = runCholesky(sys, impl);
+            else
+                elapsed = runTc(sys, impl);
+            PointResult res;
+            res.value = elapsed;
+            res.metrics = collectRunMetrics(sys);
+            res.fields.set("elapsed", elapsed);
+            return res;
+        })
+        .cases("app", {"LocusRoute", "Cholesky", "TransClosure"})
+        .run(parseJobsFlag(argc, argv));
     return 0;
 }

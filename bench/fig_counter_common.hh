@@ -1,19 +1,23 @@
 /**
  * @file
- * Shared sweep driver for Figures 3, 4, and 5: average time per counter
- * update for one of the synthetic counter applications, across the full
- * implementation matrix, for the paper's no-contention write-run sweep
- * (p=64, c=1, a in {1, 1.5, 2, 3, 10}) and contention sweep
- * (p=64, c in {2, 4, 8, 16, 64}).
+ * Shared Experiment builder for Figures 3, 4, and 5: average time per
+ * counter update for one of the synthetic counter applications, across
+ * the full implementation matrix, for the paper's no-contention
+ * write-run sweep (p=64, c=1, a in {1, 1.5, 2, 3, 10}) and contention
+ * sweep (p=64, c in {2, 4, 8, 16, 64}).
  */
 
 #ifndef DSM_BENCH_FIG_COUNTER_COMMON_HH
 #define DSM_BENCH_FIG_COUNTER_COMMON_HH
 
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 #include "workloads/counter_apps.hh"
 
 namespace dsmbench {
+
+using namespace dsm;
 
 /** Phases scale down with contention to bound simulation time. */
 inline int
@@ -25,77 +29,51 @@ phasesFor(int contention)
     return p < 6 ? 6 : p;
 }
 
-inline double
-runPoint(const ImplCase &impl, CounterKind kind, int contention,
-         double write_run, RunMetrics *metrics = nullptr)
-{
-    Config cfg = paperConfig(impl.sync.policy);
-    cfg.sync = impl.sync;
-    System sys(cfg);
-    CounterAppConfig app;
-    app.kind = kind;
-    app.prim = impl.prim;
-    app.contention = contention;
-    app.write_run = write_run;
-    app.phases = phasesFor(contention);
-    CounterAppResult r = runCounterApp(sys, app);
-    if (!r.completed)
-        dsm_fatal("%s deadlocked (c=%d a=%.1f)", impl.label.c_str(),
-                  contention, write_run);
-    if (!r.correct)
-        dsm_fatal("%s produced a wrong count (c=%d a=%.1f)",
-                  impl.label.c_str(), contention, write_run);
-    if (metrics != nullptr)
-        *metrics = collectRunMetrics(sys);
-    return r.avg_cycles_per_update;
-}
-
+/**
+ * Run one figure's full sweep: implementation matrix x (write-run
+ * sweep, contention sweep), in parallel across @p jobs host threads.
+ */
 inline void
-runFigure(const char *bench, const char *figure, CounterKind kind)
+runFigure(const char *bench, const char *figure, CounterKind kind,
+          int jobs)
 {
-    std::printf("%s: average cycles per counter update, %s counter, "
-                "p=64\n", figure, toString(kind));
-    std::printf("(rows: implementations of Section 3; left columns: "
-                "no contention,\n write-run sweep; right columns: "
-                "contention sweep)\n");
-
-    const double write_runs[] = {1.0, 1.5, 2.0, 3.0, 10.0};
-    const int contentions[] = {2, 4, 8, 16, 64};
-
-    std::vector<std::string> cols;
-    for (double a : write_runs)
-        cols.push_back(csprintf(
-            a == static_cast<int>(a) ? "a=%.0f" : "a=%.1f", a));
-    for (int c : contentions)
-        cols.push_back(csprintf("c=%d", c));
-    printHeader("", cols);
-
-    BenchReport rep(bench);
-    rep.meta("figure", figure);
-    rep.meta("app", toString(kind));
-    addMachineMeta(rep, paperConfig());
-
-    for (const ImplCase &impl : figureImplementations()) {
-        std::vector<double> vals;
-        auto addPoint = [&](const std::string &point, int c, double a) {
-            RunMetrics m;
-            double v = runPoint(impl, kind, c, a, &m);
-            vals.push_back(v);
-            rep.row()
-                .set("impl", impl.label)
-                .set("point", point)
-                .set("contention", c)
+    Experiment::paper64(bench)
+        .title(csprintf("%s: average cycles per counter update, %s "
+                        "counter, p=64", figure, toString(kind)))
+        .title("(rows: implementations of Section 3; left columns: "
+               "no contention,")
+        .title(" write-run sweep; right columns: contention sweep)")
+        .meta("figure", figure)
+        .meta("app", toString(kind))
+        .impls(figureMatrix())
+        .workload([kind](System &sys, const ImplCase &impl,
+                         const SweepPoint &sp) {
+            int c = sp.key == "c" ? static_cast<int>(sp.value) : 1;
+            double a = sp.key == "a" ? sp.value : 1.0;
+            CounterAppConfig app;
+            app.kind = kind;
+            app.prim = impl.prim;
+            app.contention = c;
+            app.write_run = a;
+            app.phases = phasesFor(c);
+            CounterAppResult r = runCounterApp(sys, app);
+            if (!r.completed)
+                dsm_fatal("%s deadlocked (c=%d a=%.1f)",
+                          impl.label.c_str(), c, a);
+            if (!r.correct)
+                dsm_fatal("%s produced a wrong count (c=%d a=%.1f)",
+                          impl.label.c_str(), c, a);
+            PointResult res;
+            res.value = r.avg_cycles_per_update;
+            res.metrics = collectRunMetrics(sys);
+            res.fields.set("contention", c)
                 .set("write_run", a)
-                .set("avg_cycles_per_update", v)
-                .metrics(m);
-        };
-        for (std::size_t i = 0; i < std::size(write_runs); ++i)
-            addPoint(cols[i], 1, write_runs[i]);
-        for (std::size_t i = 0; i < std::size(contentions); ++i)
-            addPoint(cols[std::size(write_runs) + i], contentions[i], 1.0);
-        printRow(impl.label, vals);
-    }
-    writeReport(rep);
+                .set("avg_cycles_per_update", r.avg_cycles_per_update);
+            return res;
+        })
+        .sweep("a", {1.0, 1.5, 2.0, 3.0, 10.0})
+        .sweep("c", {2, 4, 8, 16, 64})
+        .run(jobs);
 }
 
 } // namespace dsmbench

@@ -1,15 +1,30 @@
 #!/bin/sh
 # Run every benchmark binary and collect the machine-readable outputs.
 #
-# Usage: bench/run_all.sh [build-dir] [output-dir]
+# Usage: bench/run_all.sh [--jobs N] [build-dir] [output-dir]
 #
 # Each binary prints its usual text tables and writes BENCH_<name>.json
 # (schema dsm-bench-v1; simcore_microbench writes google-benchmark's
-# JSON) into the output directory, which defaults to ./bench-results.
+# JSON) into the output directory. The output directory defaults to
+# $DSM_BENCH_DIR if set, else ./bench-results; an explicit output-dir
+# argument overrides both. --jobs N (or DSM_JOBS) is passed through to
+# the binaries so each sweep runs its points on N host threads.
 set -eu
 
+jobs=
+case "${1:-}" in
+--jobs)
+    jobs=$2
+    shift 2
+    ;;
+--jobs=*)
+    jobs=${1#--jobs=}
+    shift
+    ;;
+esac
+
 build_dir=${1:-build}
-out_dir=${2:-bench-results}
+out_dir=${2:-${DSM_BENCH_DIR:-bench-results}}
 
 if [ ! -d "$build_dir/bench" ]; then
     echo "error: $build_dir/bench not found -- build the project first" >&2
@@ -46,7 +61,11 @@ for b in $benches; do
         continue
     fi
     echo "==> $b"
-    "$bin" | tee "$DSM_BENCH_DIR/$b.txt"
+    if [ -n "$jobs" ]; then
+        "$bin" --jobs "$jobs" | tee "$DSM_BENCH_DIR/$b.txt"
+    else
+        "$bin" | tee "$DSM_BENCH_DIR/$b.txt"
+    fi
     echo
 done
 

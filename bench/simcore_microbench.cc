@@ -99,12 +99,25 @@ BENCHMARK(BM_MeshMessageThroughput);
 // BENCH_simcore_microbench.json (in $DSM_BENCH_DIR if set) so this
 // binary matches the machine-readable-output convention of the
 // simulated-machine benches. Explicit --benchmark_out flags win.
+// Accepts and ignores the sweep binaries' --jobs/-j flag so run_all.sh
+// can pass one job count to every bench uniformly.
 int
 main(int argc, char **argv)
 {
     bool has_out = false;
-    for (int i = 1; i < argc; ++i)
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 ||
+            std::strcmp(argv[i], "-j") == 0) {
+            i += i + 1 < argc; // skip the value too
+            continue;
+        }
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+            continue;
         has_out |= std::strncmp(argv[i], "--benchmark_out=", 16) == 0;
+        args.push_back(argv[i]);
+    }
 
     const char *dir = std::getenv("DSM_BENCH_DIR");
     std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
@@ -112,7 +125,6 @@ main(int argc, char **argv)
         "--benchmark_out=" + d + "/BENCH_simcore_microbench.json";
     std::string fmt_flag = "--benchmark_out_format=json";
 
-    std::vector<char *> args(argv, argv + argc);
     if (!has_out) {
         args.push_back(out_flag.data());
         args.push_back(fmt_flag.data());

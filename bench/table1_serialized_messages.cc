@@ -8,9 +8,11 @@
 
 #include <cstdio>
 
-#include "bench_util.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/logging.hh"
 
-using namespace dsmbench;
+using namespace dsm;
 
 namespace {
 
@@ -64,112 +66,104 @@ measure(System &sys, Addr a, RunMetrics *metrics = nullptr)
     return static_cast<int>(sys.stats().chain_length.max());
 }
 
-struct Row
+/** Setup traffic issued before the measured store. */
+using SetupFn = void (*)(System &, Addr);
+
+/** Harvest one directed case: run setup, measure, render the row. */
+PointResult
+directedCase(System &sys, const char *name, int paper, SetupFn setup)
 {
-    const char *name;
-    int paper;
-    int measured;
-    RunMetrics metrics;
-};
+    Addr a = sys.allocSyncAt(9);
+    if (setup != nullptr)
+        setup(sys, a);
+    RunMetrics m;
+    int measured = measure(sys, a, &m);
+    PointResult res;
+    res.value = measured;
+    res.metrics = m;
+    res.fields.set("paper", paper).set("measured", measured);
+    res.text = csprintf("%-28s %8d %10d%s\n", name, paper, measured,
+                        paper == measured ? "" : "   <-- MISMATCH");
+    return res;
+}
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::vector<Row> rows;
+    Experiment ex = Experiment::paper64("table1_serialized_messages");
+    ex.title("Table 1: serialized network messages for stores to "
+             "shared memory")
+        .title("")
+        .title(csprintf("%-28s %8s %10s", "case", "paper", "measured"))
+        .title("------------------------------------------------")
+        .meta("table", "Table 1")
+        .rowKey("case")
+        .colKey("")
+        .table(false);
 
+    struct Case
     {
-        System sys(paperConfig(SyncPolicy::UNC));
-        Addr a = sys.allocSyncAt(9);
-        RunMetrics m;
-        rows.push_back({"UNC", 2, measure(sys, a, &m), m});
-    }
-    {
-        System sys(paperConfig(SyncPolicy::INV));
-        Addr a = sys.allocSyncAt(9);
-        run(sys, storeOnce(sys.proc(0), a)); // proc 0 takes ownership
-        RunMetrics m;
-        rows.push_back({"INV to cached exclusive", 0,
-                        measure(sys, a, &m), m});
-    }
-    {
-        System sys(paperConfig(SyncPolicy::INV));
-        Addr a = sys.allocSyncAt(9);
-        run(sys, storeOnce(sys.proc(5), a)); // remote owner
-        RunMetrics m;
-        rows.push_back({"INV to remote exclusive", 4,
-                        measure(sys, a, &m), m});
-    }
-    {
-        System sys(paperConfig(SyncPolicy::INV));
-        Addr a = sys.allocSyncAt(9);
-        run(sys, loadOnce(sys.proc(5), a));
-        run(sys, loadOnce(sys.proc(6), a)); // remote shared copies
-        RunMetrics m;
-        rows.push_back({"INV to remote shared", 3,
-                        measure(sys, a, &m), m});
-    }
-    {
-        System sys(paperConfig(SyncPolicy::INV));
-        Addr a = sys.allocSyncAt(9);
-        RunMetrics m;
-        rows.push_back({"INV to uncached", 2, measure(sys, a, &m), m});
-    }
-    {
-        System sys(paperConfig(SyncPolicy::UPD));
-        Addr a = sys.allocSyncAt(9);
-        run(sys, loadOnce(sys.proc(5), a)); // a remote cached copy
-        RunMetrics m;
-        rows.push_back({"UPD to cached", 3, measure(sys, a, &m), m});
-    }
-    {
-        System sys(paperConfig(SyncPolicy::UPD));
-        Addr a = sys.allocSyncAt(9);
-        RunMetrics m;
-        rows.push_back({"UPD to uncached", 2, measure(sys, a, &m), m});
-    }
-
-    std::printf("Table 1: serialized network messages for stores to "
-                "shared memory\n\n");
-    std::printf("%-28s %8s %10s\n", "case", "paper", "measured");
-    std::printf("------------------------------------------------\n");
-    BenchReport rep("table1_serialized_messages");
-    rep.meta("table", "Table 1");
-    addMachineMeta(rep, paperConfig());
-    bool all_match = true;
-    for (const Row &r : rows) {
-        std::printf("%-28s %8d %10d%s\n", r.name, r.paper, r.measured,
-                    r.paper == r.measured ? "" : "   <-- MISMATCH");
-        all_match &= r.paper == r.measured;
-        rep.row()
-            .set("case", r.name)
-            .set("paper", r.paper)
-            .set("measured", r.measured)
-            .metrics(r.metrics);
+        const char *name;
+        int paper;
+        SyncPolicy pol;
+        SetupFn setup;
+    };
+    const std::vector<Case> cases = {
+        {"UNC", 2, SyncPolicy::UNC, nullptr},
+        {"INV to cached exclusive", 0, SyncPolicy::INV,
+         // proc 0 takes ownership
+         [](System &sys, Addr a) { run(sys, storeOnce(sys.proc(0), a)); }},
+        {"INV to remote exclusive", 4, SyncPolicy::INV,
+         // remote owner
+         [](System &sys, Addr a) { run(sys, storeOnce(sys.proc(5), a)); }},
+        {"INV to remote shared", 3, SyncPolicy::INV,
+         // remote shared copies
+         [](System &sys, Addr a) {
+             run(sys, loadOnce(sys.proc(5), a));
+             run(sys, loadOnce(sys.proc(6), a));
+         }},
+        {"INV to uncached", 2, SyncPolicy::INV, nullptr},
+        {"UPD to cached", 3, SyncPolicy::UPD,
+         // a remote cached copy
+         [](System &sys, Addr a) { run(sys, loadOnce(sys.proc(5), a)); }},
+        {"UPD to uncached", 2, SyncPolicy::UPD, nullptr},
+    };
+    for (const Case &c : cases) {
+        ex.point(c.name, "", ex.configFor(c.pol),
+                 [name = c.name, paper = c.paper,
+                  setup = c.setup](System &sys) {
+            return directedCase(sys, name, paper, setup);
+        });
     }
 
     // Supplementary: the drop_copy effect the paper derives from these
     // counts (a dropped exclusive line turns the next store from a
     // 4-message into a 2-message transaction).
-    {
-        System sys(paperConfig(SyncPolicy::INV));
+    ex.point("INV remote exclusive + drop_copy", "",
+             ex.configFor(SyncPolicy::INV), [](System &sys) {
         Addr a = sys.allocSyncAt(9);
         run(sys, storeOnce(sys.proc(5), a));
         run(sys, dropOnce(sys.proc(5), a));
         RunMetrics m;
         int chain = measure(sys, a, &m);
-        std::printf("\nwith drop_copy after remote exclusive: store "
-                    "takes %d serialized messages (vs 4 without)\n",
-                    chain);
-        rep.row()
-            .set("case", "INV remote exclusive + drop_copy")
-            .set("paper", 2)
-            .set("measured", chain)
-            .metrics(m);
-    }
+        PointResult res;
+        res.value = chain;
+        res.metrics = m;
+        res.fields.set("paper", 2).set("measured", chain);
+        res.text = csprintf("\nwith drop_copy after remote exclusive: "
+                            "store takes %d serialized messages (vs 4 "
+                            "without)\n", chain);
+        return res;
+    });
 
-    writeReport(rep);
+    const std::vector<PointResult> &results =
+        ex.run(parseJobsFlag(argc, argv));
+
+    bool all_match = true;
+    for (std::size_t i = 0; i < cases.size(); ++i)
+        all_match &= static_cast<int>(results[i].value) == cases[i].paper;
     std::printf("\n%s\n", all_match ? "ALL ROWS MATCH TABLE 1"
                                     : "SOME ROWS MISMATCH");
     return all_match ? 0 : 1;

@@ -10,7 +10,9 @@ System::System(const Config &cfg)
       _mesh(_eq, _cfg.machine),
       _rng(cfg.machine.seed)
 {
-    _cfg.machine.validate();
+    std::string cfg_err = _cfg.validate();
+    if (!cfg_err.empty())
+        dsm_fatal("invalid configuration: %s", cfg_err.c_str());
     int n = _cfg.machine.num_procs;
     _mems.reserve(n);
     _dirs.resize(n);

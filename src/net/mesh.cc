@@ -95,7 +95,7 @@ Mesh::send(const Msg &msg)
     if (m.src == m.dst) {
         ++_stats.local;
         Tick at = now + _cfg.local_latency;
-        _eq.schedule(at, [deliver_fn] { deliver_fn(); });
+        _eq.schedule(at, std::move(deliver_fn));
         return;
     }
 
@@ -122,7 +122,7 @@ Mesh::send(const Msg &msg)
     ++_ej_msgs[m.dst];
     _inj_flits[m.src] += flits;
 
-    _eq.schedule(deliver, [deliver_fn] { deliver_fn(); });
+    _eq.schedule(deliver, std::move(deliver_fn));
 }
 
 } // namespace dsm

@@ -53,20 +53,55 @@ SyncConfig::label() const
 void
 MachineConfig::validate() const
 {
-    if (num_procs < 1 || num_procs > 64)
-        dsm_fatal("num_procs must be in [1, 64], got %d", num_procs);
-    if (mesh_x * mesh_y != num_procs)
-        dsm_fatal("mesh %dx%d does not cover %d procs",
-                  mesh_x, mesh_y, num_procs);
-    if (cache_sets == 0 || (cache_sets & (cache_sets - 1)) != 0)
-        dsm_fatal("cache_sets must be a nonzero power of two, got %u",
-                  cache_sets);
-    if (cache_ways == 0)
-        dsm_fatal("cache_ways must be nonzero");
-    if (flit_bytes == 0)
-        dsm_fatal("flit_bytes must be nonzero");
-    if (retry_jitter == 0)
-        dsm_fatal("retry_jitter must be at least 1");
+    Config cfg;
+    cfg.machine = *this;
+    std::string err = cfg.validate();
+    if (!err.empty())
+        dsm_fatal("%s", err.c_str());
+}
+
+std::string
+Config::validate() const
+{
+    const MachineConfig &m = machine;
+    if (m.num_procs < 1 || m.num_procs > 64)
+        return csprintf("num_procs must be in [1, 64], got %d",
+                        m.num_procs);
+    if (m.mesh_x < 1 || m.mesh_y < 1)
+        return csprintf("mesh dimensions must be positive, got %dx%d",
+                        m.mesh_x, m.mesh_y);
+    if (m.mesh_x * m.mesh_y != m.num_procs)
+        return csprintf("mesh %dx%d does not cover %d procs",
+                        m.mesh_x, m.mesh_y, m.num_procs);
+    if (m.cache_sets == 0 || (m.cache_sets & (m.cache_sets - 1)) != 0)
+        return csprintf("cache_sets must be a nonzero power of two, "
+                        "got %u", m.cache_sets);
+    if (m.cache_ways == 0)
+        return "cache_ways must be nonzero";
+    if (m.cache_hit_latency == 0)
+        return "cache_hit_latency must be nonzero";
+    if (m.cache_access_latency == 0)
+        return "cache_access_latency must be nonzero";
+    if (m.mem_service_time == 0)
+        return "mem_service_time must be nonzero";
+    // hop_latency == 0 is allowed: it models contention-free routing
+    // and is exercised by the timing-parameter sweeps.
+    if (m.flit_latency == 0)
+        return "flit_latency must be nonzero";
+    if (m.local_latency == 0)
+        return "local_latency must be nonzero";
+    if (m.retry_delay == 0)
+        return "retry_delay must be nonzero";
+    if (m.flit_bytes == 0)
+        return "flit_bytes must be nonzero";
+    if (m.retry_jitter == 0)
+        return "retry_jitter must be at least 1";
+    if (m.max_memory_reservations < 0)
+        return csprintf("max_memory_reservations must be >= 0, got %d",
+                        m.max_memory_reservations);
+    if (trace.enabled && trace.capacity == 0)
+        return "trace.capacity must be nonzero when tracing is enabled";
+    return "";
 }
 
 } // namespace dsm

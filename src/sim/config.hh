@@ -143,6 +143,17 @@ struct Config
     MachineConfig machine;
     SyncConfig sync;
     TraceConfig trace;
+
+    /**
+     * Check the whole configuration for user error: machine shape
+     * (num_procs == mesh_x * mesh_y, num_procs <= 64), cache geometry,
+     * nonzero latencies, and tracing parameters. System construction
+     * calls this and refuses (dsm_fatal) on the first problem found.
+     *
+     * @return "" if the configuration is valid, otherwise one
+     *         descriptive error message.
+     */
+    std::string validate() const;
 };
 
 } // namespace dsm

@@ -2,21 +2,88 @@
 
 namespace dsm {
 
+EventQueue::~EventQueue()
+{
+    // Destroy the callbacks of events that never fired; the pool chunks
+    // themselves are released by the unique_ptrs.
+    for (Event *e : _heap)
+        e->destroy(e);
+}
+
+EventQueue::Event *
+EventQueue::allocate()
+{
+    if (_free != nullptr) {
+        Event *e = _free;
+        _free = e->next_free;
+        return e;
+    }
+    if (_chunk_used == CHUNK_EVENTS) {
+        _chunks.push_back(std::make_unique<Event[]>(CHUNK_EVENTS));
+        _chunk_used = 0;
+    }
+    return &_chunks.back()[_chunk_used++];
+}
+
+void
+EventQueue::release(Event *e)
+{
+    e->next_free = _free;
+    _free = e;
+}
+
+void
+EventQueue::siftUp(std::size_t i)
+{
+    Event *e = _heap[i];
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 2;
+        if (!later(_heap[parent], e))
+            break;
+        _heap[i] = _heap[parent];
+        i = parent;
+    }
+    _heap[i] = e;
+}
+
+void
+EventQueue::siftDown(std::size_t i)
+{
+    Event *e = _heap[i];
+    std::size_t n = _heap.size();
+    for (;;) {
+        std::size_t child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && later(_heap[child], _heap[child + 1]))
+            ++child;
+        if (!later(e, _heap[child]))
+            break;
+        _heap[i] = _heap[child];
+        i = child;
+    }
+    _heap[i] = e;
+}
+
 bool
 EventQueue::step()
 {
     if (_heap.empty())
         return false;
-    // priority_queue::top() is const; the callback must be moved out, so
-    // const_cast the entry before popping. The entry is never reused.
-    Entry &top = const_cast<Entry &>(_heap.top());
-    Tick when = top.when;
-    Callback cb = std::move(top.cb);
-    _heap.pop();
-    dsm_assert(when >= _now, "event queue time went backwards");
-    _now = when;
+    Event *e = _heap.front();
+    Event *last = _heap.back();
+    _heap.pop_back();
+    if (!_heap.empty()) {
+        _heap.front() = last;
+        siftDown(0);
+    }
+    dsm_assert(e->when >= _now, "event queue time went backwards");
+    _now = e->when;
     ++_executed;
-    cb();
+    // The callback may schedule new events (allocating from the pool);
+    // this event is released only after it finishes running.
+    e->invoke(e);
+    release(e);
     return true;
 }
 
@@ -33,7 +100,7 @@ std::uint64_t
 EventQueue::runUntil(Tick when, std::uint64_t limit)
 {
     std::uint64_t n = 0;
-    while (n < limit && !_heap.empty() && _heap.top().when <= when) {
+    while (n < limit && !_heap.empty() && _heap.front()->when <= when) {
         step();
         ++n;
     }

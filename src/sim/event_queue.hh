@@ -5,14 +5,24 @@
  * Events scheduled for the same tick fire in FIFO order of scheduling
  * (a monotonically increasing sequence number breaks ties), which makes
  * every simulation run bit-for-bit reproducible.
+ *
+ * The pending set is a binary heap of pooled intrusive events: each
+ * event embeds a small type-erased callback buffer, so the hot
+ * schedule/fire path performs no per-event heap allocation once the
+ * pool is warm (callbacks larger than the inline buffer fall back to
+ * one heap allocation). Fired events return to a free list for reuse.
  */
 
 #ifndef DSM_SIM_EVENT_QUEUE_HH
 #define DSM_SIM_EVENT_QUEUE_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/logging.hh"
@@ -29,11 +39,13 @@ namespace dsm {
 class EventQueue
 {
   public:
+    /** Generic callback type; any callable may be scheduled directly. */
     using Callback = std::function<void()>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+    ~EventQueue();
 
     /** Current simulated time in cycles. */
     Tick now() const { return _now; }
@@ -48,24 +60,32 @@ class EventQueue
     std::size_t pending() const { return _heap.size(); }
 
     /**
-     * Schedule a callback at an absolute tick.
+     * Schedule a callable at an absolute tick.
      * @param when Absolute tick; must not be in the past.
-     * @param cb The action to run when the clock reaches @p when.
+     * @param f The action to run when the clock reaches @p when.
      */
+    template <typename F>
     void
-    schedule(Tick when, Callback cb)
+    schedule(Tick when, F &&f)
     {
         dsm_assert(when >= _now,
                    "scheduling into the past: %llu < %llu",
                    static_cast<unsigned long long>(when),
                    static_cast<unsigned long long>(_now));
-        _heap.push(Entry{when, _next_seq++, std::move(cb)});
+        Event *e = allocate();
+        e->when = when;
+        e->seq = _next_seq++;
+        bindCallback(e, std::forward<F>(f));
+        _heap.push_back(e);
+        siftUp(_heap.size() - 1);
     }
 
-    /** Schedule a callback @p delay cycles from now. */
-    void scheduleIn(Tick delay, Callback cb)
+    /** Schedule a callable @p delay cycles from now. */
+    template <typename F>
+    void
+    scheduleIn(Tick delay, F &&f)
     {
-        schedule(_now + delay, std::move(cb));
+        schedule(_now + delay, std::forward<F>(f));
     }
 
     /**
@@ -89,25 +109,84 @@ class EventQueue
     std::uint64_t runUntil(Tick when, std::uint64_t limit = UINT64_MAX);
 
   private:
-    struct Entry
+    /**
+     * Inline callback storage. Sized so the protocol's hottest closures
+     * (a captured Msg plus a few pointers) avoid the heap fallback.
+     */
+    static constexpr std::size_t INLINE_BYTES = 192;
+    /** Events per pool chunk. */
+    static constexpr std::size_t CHUNK_EVENTS = 256;
+
+    struct Event
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        /** Run then destroy the stored callback. */
+        void (*invoke)(Event *);
+        /** Destroy the stored callback without running it. */
+        void (*destroy)(Event *);
+        /** Free-list link; meaningful only while the event is free. */
+        Event *next_free;
+        alignas(std::max_align_t) unsigned char store[INLINE_BYTES];
     };
 
-    struct Later
+    template <typename F>
+    static void
+    bindCallback(Event *e, F &&f)
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= INLINE_BYTES &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            new (static_cast<void *>(e->store)) Fn(std::forward<F>(f));
+            e->invoke = [](Event *ev) {
+                Fn *fn = std::launder(
+                    reinterpret_cast<Fn *>(ev->store));
+                (*fn)();
+                fn->~Fn();
+            };
+            e->destroy = [](Event *ev) {
+                std::launder(reinterpret_cast<Fn *>(ev->store))->~Fn();
+            };
+        } else {
+            // Oversized callback: one owned heap allocation.
+            new (static_cast<void *>(e->store))
+                Fn *(new Fn(std::forward<F>(f)));
+            e->invoke = [](Event *ev) {
+                Fn *fn = *std::launder(
+                    reinterpret_cast<Fn **>(ev->store));
+                (*fn)();
+                delete fn;
+            };
+            e->destroy = [](Event *ev) {
+                delete *std::launder(
+                    reinterpret_cast<Fn **>(ev->store));
+            };
         }
-    };
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** True if event @p a fires after event @p b. */
+    static bool
+    later(const Event *a, const Event *b)
+    {
+        if (a->when != b->when)
+            return a->when > b->when;
+        return a->seq > b->seq;
+    }
+
+    Event *allocate();
+    void release(Event *e);
+    void siftUp(std::size_t i);
+    void siftDown(std::size_t i);
+
+    /** Min-heap of pending events ordered by (when, seq). */
+    std::vector<Event *> _heap;
+    /** Pool chunks; event addresses are stable for their lifetime. */
+    std::vector<std::unique_ptr<Event[]>> _chunks;
+    /** Recycled events ready for reuse. */
+    Event *_free = nullptr;
+    /** Events handed out of the newest chunk so far. */
+    std::size_t _chunk_used = CHUNK_EVENTS;
+
     Tick _now = 0;
     std::uint64_t _next_seq = 0;
     std::uint64_t _executed = 0;

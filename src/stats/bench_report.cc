@@ -112,6 +112,14 @@ BenchRow::metrics(const RunMetrics &m)
     return *this;
 }
 
+BenchRow &
+BenchRow::merge(const BenchRow &other)
+{
+    _fields.insert(_fields.end(), other._fields.begin(),
+                   other._fields.end());
+    return *this;
+}
+
 BenchReport::BenchReport(std::string name) : _name(std::move(name))
 {
 }

@@ -58,6 +58,9 @@ class BenchRow
     /** Splice the standard metric keys of @p m into this row. */
     BenchRow &metrics(const RunMetrics &m);
 
+    /** Append every field of @p other, preserving order. */
+    BenchRow &merge(const BenchRow &other);
+
   private:
     friend class BenchReport;
     std::vector<std::pair<std::string, std::string>> _fields;
@@ -81,6 +84,9 @@ class BenchReport
 
     /** Append and return a new result row. */
     BenchRow &row();
+
+    /** Append a fully built row (used by the Experiment API). */
+    void append(BenchRow row) { _rows.push_back(std::move(row)); }
 
     std::size_t numRows() const { return _rows.size(); }
 

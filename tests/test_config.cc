@@ -68,3 +68,80 @@ TEST(ConfigDeath, NonPowerOfTwoSetsIsFatal)
     mc.cache_sets = 48;
     EXPECT_EXIT(mc.validate(), testing::ExitedWithCode(1), "cache_sets");
 }
+
+// Config::validate() returns one descriptive message per defect instead
+// of exiting, so callers (System's constructor, tests, tools) can
+// surface it however they like.
+
+TEST(ConfigValidate, DefaultConfigIsValid)
+{
+    Config cfg;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ReportsProcRange)
+{
+    Config cfg;
+    cfg.machine.num_procs = 65;
+    cfg.machine.mesh_x = 65;
+    cfg.machine.mesh_y = 1;
+    EXPECT_EQ(cfg.validate(), "num_procs must be in [1, 64], got 65");
+    cfg.machine.num_procs = 0;
+    cfg.machine.mesh_x = 0;
+    EXPECT_EQ(cfg.validate(), "num_procs must be in [1, 64], got 0");
+}
+
+TEST(ConfigValidate, ReportsMeshMismatch)
+{
+    Config cfg;
+    cfg.machine.num_procs = 16;
+    cfg.machine.mesh_x = 3;
+    cfg.machine.mesh_y = 4;
+    EXPECT_EQ(cfg.validate(), "mesh 3x4 does not cover 16 procs");
+}
+
+TEST(ConfigValidate, ReportsBadCacheGeometry)
+{
+    Config cfg;
+    cfg.machine.cache_sets = 48;
+    EXPECT_EQ(cfg.validate(),
+              "cache_sets must be a nonzero power of two, got 48");
+    cfg.machine.cache_sets = 64;
+    cfg.machine.cache_ways = 0;
+    EXPECT_EQ(cfg.validate(), "cache_ways must be nonzero");
+}
+
+TEST(ConfigValidate, ReportsZeroLatencies)
+{
+    Config cfg;
+    cfg.machine.mem_service_time = 0;
+    EXPECT_EQ(cfg.validate(), "mem_service_time must be nonzero");
+    cfg.machine.mem_service_time = 20;
+    cfg.machine.flit_latency = 0;
+    EXPECT_EQ(cfg.validate(), "flit_latency must be nonzero");
+    cfg.machine.flit_latency = 1;
+    cfg.machine.retry_delay = 0;
+    EXPECT_EQ(cfg.validate(), "retry_delay must be nonzero");
+}
+
+TEST(ConfigValidate, ZeroHopLatencyIsAllowed)
+{
+    // hop_latency == 0 models contention-free routing and is exercised
+    // by the timing-parameter sweeps; it must stay valid.
+    Config cfg;
+    cfg.machine.hop_latency = 0;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ReportsReservationAndTraceDefects)
+{
+    Config cfg;
+    cfg.machine.max_memory_reservations = -1;
+    EXPECT_EQ(cfg.validate(),
+              "max_memory_reservations must be >= 0, got -1");
+    cfg.machine.max_memory_reservations = 0;
+    cfg.trace.enabled = true;
+    cfg.trace.capacity = 0;
+    EXPECT_EQ(cfg.validate(),
+              "trace.capacity must be nonzero when tracing is enabled");
+}
