@@ -1,7 +1,7 @@
 #!/bin/sh
 # Run every benchmark binary and collect the machine-readable outputs.
 #
-# Usage: bench/run_all.sh [--jobs N] [build-dir] [output-dir]
+# Usage: bench/run_all.sh [--jobs N] [--trace BENCH] [build-dir] [output-dir]
 #
 # Each binary prints its usual text tables and writes BENCH_<name>.json
 # (schema dsm-bench-v1; simcore_microbench writes google-benchmark's
@@ -9,19 +9,36 @@
 # $DSM_BENCH_DIR if set, else ./bench-results; an explicit output-dir
 # argument overrides both. --jobs N (or DSM_JOBS) is passed through to
 # the binaries so each sweep runs its points on N host threads.
+# --trace BENCH runs that benchmark with transaction tracing on
+# (DSM_TXN_TRACE=1), writing TRACE_<name>.json next to its
+# BENCH_<name>.json; open it at https://ui.perfetto.dev.
 set -eu
 
 jobs=
-case "${1:-}" in
---jobs)
-    jobs=$2
-    shift 2
-    ;;
---jobs=*)
-    jobs=${1#--jobs=}
-    shift
-    ;;
-esac
+trace_bench=
+while :; do
+    case "${1:-}" in
+    --jobs)
+        jobs=$2
+        shift 2
+        ;;
+    --jobs=*)
+        jobs=${1#--jobs=}
+        shift
+        ;;
+    --trace)
+        trace_bench=$2
+        shift 2
+        ;;
+    --trace=*)
+        trace_bench=${1#--trace=}
+        shift
+        ;;
+    *)
+        break
+        ;;
+    esac
+done
 
 build_dir=${1:-build}
 out_dir=${2:-${DSM_BENCH_DIR:-bench-results}}
@@ -61,6 +78,12 @@ for b in $benches; do
         continue
     fi
     echo "==> $b"
+    if [ "$b" = "$trace_bench" ]; then
+        DSM_TXN_TRACE=1
+        export DSM_TXN_TRACE
+    else
+        unset DSM_TXN_TRACE || true
+    fi
     if [ -n "$jobs" ]; then
         "$bin" --jobs "$jobs" | tee "$DSM_BENCH_DIR/$b.txt"
     else
@@ -71,3 +94,4 @@ done
 
 echo "collected reports in $DSM_BENCH_DIR:"
 ls -1 "$DSM_BENCH_DIR"/BENCH_*.json
+ls -1 "$DSM_BENCH_DIR"/TRACE_*.json 2>/dev/null || true

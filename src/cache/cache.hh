@@ -92,6 +92,14 @@ class Cache
     /** Find without disturbing replacement state. */
     const CacheLine *peek(Addr a) const;
 
+    /** State of the block holding @p a (INVALID on miss); no LRU touch. */
+    LineState
+    stateOf(Addr a) const
+    {
+        const CacheLine *l = peek(a);
+        return l == nullptr ? LineState::INVALID : l->state;
+    }
+
     /**
      * Allocate a line for the block containing @p a, evicting the LRU
      * way if the set is full. The allocated line is returned in INVALID

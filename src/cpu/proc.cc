@@ -21,13 +21,19 @@ Proc::issue(AtomicOp op, Addr a, Word v, Word exp, Controller::DoneFn done)
     if (is_attempt)
         _sys.sharing().beginAttempt(a, _id);
 
+    // If previous attempts on an acquire loop failed, tell the
+    // transaction tracer how many spin iterations preceded this issue.
+    if (_sys.txns().enabled() && _fail_streak > 0)
+        _sys.txns().noteLoopIter(_id, _fail_streak);
+
     NodeId id = _id;
     Addr addr = a;
     AtomicOp the_op = op;
     System *sys = &_sys;
+    Proc *self = this;
     _sys.ctrl(_id).cpuRequest(
         op, a, v, exp,
-        [sys, id, addr, the_op, is_sync, is_attempt,
+        [sys, id, addr, the_op, is_sync, is_attempt, self,
          done = std::move(done)](OpResult r) {
             if (is_attempt)
                 sys->sharing().endAttempt(addr, id);
@@ -51,8 +57,34 @@ Proc::issue(AtomicOp op, Addr a, Word v, Word exp, Controller::DoneFn done)
                 }
                 sys->sharing().recordAccess(addr, id, is_write);
             }
+            self->noteResult(the_op, r);
             done(r);
         });
+}
+
+void
+Proc::noteResult(AtomicOp op, const OpResult &r)
+{
+    switch (op) {
+      case AtomicOp::TAS:
+        // A test_and_set that reads 1 found the lock held: a spin.
+        _fail_streak = r.value != 0 ? _fail_streak + 1 : 0;
+        break;
+      case AtomicOp::CAS:
+      case AtomicOp::SC:
+      case AtomicOp::SCS:
+        _fail_streak = r.success ? 0 : _fail_streak + 1;
+        break;
+      case AtomicOp::STORE:
+      case AtomicOp::FAA:
+      case AtomicOp::FAS:
+      case AtomicOp::FAO:
+        _fail_streak = 0;
+        break;
+      default:
+        // Loads (incl. LL/LLS) neither succeed nor fail an acquire.
+        break;
+    }
 }
 
 void

@@ -146,9 +146,14 @@ class Proc
     void issue(AtomicOp op, Addr a, Word v, Word exp,
                Controller::DoneFn done);
 
+    /** Track consecutive failed attempts (spin-loop iterations). */
+    void noteResult(AtomicOp op, const OpResult &r);
+
     System &_sys;
     NodeId _id;
     std::uint64_t _ops_issued = 0;
+    /** Consecutive op completions that left the acquire loop spinning. */
+    int _fail_streak = 0;
 };
 
 } // namespace dsm

@@ -29,6 +29,8 @@ System::System(const Config &cfg)
     }
     _tracer.configure(_cfg.trace);
     _mesh.setTracer(&_tracer);
+    _txns.configure(_cfg.txn_trace, n);
+    _mesh.setTxnTracer(&_txns);
     buildRegistry();
     if (_cfg.machine.spurious_resv_period > 0)
         scheduleSpuriousInvalidation();
@@ -46,6 +48,35 @@ System::buildRegistry()
     _registry.addCounter("net.flits", &ms.flits);
     _registry.addCounter("net.local", &ms.local);
     _registry.addCounter("net.hop_sum", &ms.hop_sum);
+
+    // Transaction-tracer attribution: global (not per-node), registered
+    // only when enabled so untraced runs keep their exact JSON shape.
+    if (_cfg.txn_trace.enabled) {
+        _registry.addCounter("txn.completed",
+                             [this] { return _txns.completed(); });
+        _registry.addCounter("txn.records_kept", [this] {
+            return static_cast<std::uint64_t>(_txns.records().size());
+        });
+        _registry.addCounter("txn.records_dropped", _txns.droppedCounter());
+        _registry.addCounter("txn.phase_sum_mismatches",
+                             _txns.mismatchCounter());
+        _registry.addCounter("txn.chain_divergences",
+                             _txns.divergenceCounter());
+        const PhaseAttribution &at = _txns.attribution();
+        _registry.addHistogram("txn.retries", at.retriesHist());
+        _registry.addHistogram("txn.fanout", at.fanoutHist());
+        _registry.addHistogram("txn.observed_chain", at.chainHist());
+        for (int op = 0; op < NUM_ATOMIC_OPS; ++op) {
+            std::string base = std::string("txn.ops.") +
+                               toString(static_cast<AtomicOp>(op));
+            _registry.addLatency(base + ".total", at.totalStat(op));
+            for (int ph = 0; ph < NUM_TXN_PHASES; ++ph)
+                _registry.addLatency(
+                    base + ".phases." +
+                        toString(static_cast<TxnPhase>(ph)),
+                    at.phaseStat(op, ph));
+        }
+    }
 
     // Per-node component counters. All pointed-to storage lives in
     // containers sized once by the constructor, so addresses are stable.

@@ -29,6 +29,7 @@
 #include "stats/sharing_tracker.hh"
 #include "stats/stat_set.hh"
 #include "trace/trace.hh"
+#include "trace/txn.hh"
 
 namespace dsm {
 
@@ -98,6 +99,15 @@ class System
 
     /** The protocol event tracer. */
     Tracer &tracer() { return _tracer; }
+
+    /**
+     * The transaction tracer (end-to-end per-operation tracing with
+     * phase attribution and Table 1 chain validation). Unlike the
+     * per-node SysStats, it is *not* reset by clearStats(): chain
+     * validation is cumulative over the whole run.
+     */
+    TxnTracer &txns() { return _txns; }
+    const TxnTracer &txns() const { return _txns; }
 
     /** The full registry rendered as nested JSON. */
     std::string statsJson() const { return _registry.toJson(); }
@@ -208,6 +218,7 @@ class System
     std::vector<SysStats> _node_stats;
     StatsRegistry _registry;
     Tracer _tracer;
+    TxnTracer _txns;
     SharingTracker _sharing;
     Rng _rng;
 

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <unordered_map>
 
 #include "cpu/system.hh"
 #include "sim/logging.hh"
+
+namespace {
+
+/** True when $DSM_TXN_TRACE asks for transaction tracing. */
+bool
+txnTraceEnv()
+{
+    const char *v = std::getenv("DSM_TXN_TRACE");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+} // anonymous namespace
 
 namespace dsm {
 
@@ -148,6 +163,13 @@ Experiment::writeReport(bool on)
     return *this;
 }
 
+Experiment &
+Experiment::traceTxns(bool on)
+{
+    _trace_txns = on;
+    return *this;
+}
+
 Config
 Experiment::configFor(SyncPolicy pol) const
 {
@@ -284,6 +306,40 @@ Experiment::run(int jobs)
 {
     expandMatrix();
 
+    // Transaction tracing: flip it on in every point's Config and wrap
+    // each point function to harvest the tracer after the workload
+    // returns. The Chrome pid and process name are baked in from the
+    // declaration index, so a parallel run's harvest is byte-identical
+    // to a serial one.
+    bool txn_on = _trace_txns || txnTraceEnv();
+    if (txn_on && !_txn_wrapped) {
+        _txn_wrapped = true;
+        for (std::size_t i = 0; i < _points.size(); ++i) {
+            Point &p = _points[i];
+            p.cfg.txn_trace.enabled = true;
+            PointFn inner = std::move(p.fn);
+            int pid = static_cast<int>(i);
+            std::string pname =
+                p.col.empty() ? p.row : p.row + " " + p.col;
+            p.fn = [inner, pid, pname](System &sys) {
+                PointResult r = inner(sys);
+                const TxnTracer &tx = sys.txns();
+                r.fields.set("txn_completed", tx.completed());
+                r.fields.set("txn_phase_sum_mismatches",
+                             tx.phaseSumMismatches());
+                r.fields.set("txn_chain_divergences",
+                             tx.chainDivergences());
+                r.fields.setRaw("txn_phases",
+                                tx.attribution().phasesJson());
+                r.txn_events = tx.chromeEventsJsonArray(pid, pname);
+                r.txn_summary = tx.attribution().summaryLine();
+                r.txn_divergences = tx.chainDivergences();
+                r.txn_mismatches = tx.phaseSumMismatches();
+                return r;
+            };
+        }
+    }
+
     // Column order and label width for the printed table.
     _cols.clear();
     for (const Point &p : _points) {
@@ -351,6 +407,49 @@ Experiment::run(int jobs)
         _report_path = _report.write();
         if (!_report_path.empty())
             emit(csprintf("\nwrote %s\n", _report_path.c_str()));
+    }
+
+    if (txn_on) {
+        std::uint64_t divergences = 0, mismatches = 0;
+        for (const PointResult &r : _results) {
+            divergences += r.txn_divergences;
+            mismatches += r.txn_mismatches;
+        }
+        emit(csprintf("txn trace: %llu chain divergences, %llu "
+                      "phase-sum mismatches across %zu points\n",
+                      (unsigned long long)divergences,
+                      (unsigned long long)mismatches,
+                      _results.size()));
+        if (_write_report) {
+            const char *dir = std::getenv("DSM_BENCH_DIR");
+            std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
+            std::string path = d + "/TRACE_" + _name + ".json";
+            std::ofstream out(path, std::ios::binary);
+            if (out) {
+                // Merge the per-point event arrays into one Chrome
+                // trace document; each fragment is a complete JSON
+                // array, so strip the outer brackets before joining.
+                out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+                bool first = true;
+                for (const PointResult &r : _results) {
+                    if (r.txn_events.size() <= 2)
+                        continue; // "[]": no events
+                    if (!first)
+                        out << ',';
+                    first = false;
+                    out.write(r.txn_events.data() + 1,
+                              static_cast<std::streamsize>(
+                                  r.txn_events.size() - 2));
+                }
+                out << "]}\n";
+            }
+            if (!out) {
+                dsm_warn("could not write txn trace %s", path.c_str());
+            } else {
+                _trace_path = path;
+                emit(csprintf("wrote %s\n", path.c_str()));
+            }
+        }
     }
     return _results;
 }

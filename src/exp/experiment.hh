@@ -107,6 +107,16 @@ class Experiment
     /** Enable/disable writing BENCH_<name>.json (default on). */
     Experiment &writeReport(bool on);
 
+    /**
+     * Enable transaction tracing on every point: each point's Config
+     * gets txn_trace.enabled, its results gain per-phase latency
+     * attribution (a "txn_phases" report field plus txn_* counters),
+     * and — when report writing is on — the merged Chrome trace is
+     * written as TRACE_<name>.json next to BENCH_<name>.json. Also
+     * switched on by a nonempty $DSM_TXN_TRACE (other than "0").
+     */
+    Experiment &traceTxns(bool on);
+
     /** @} */
 
     /** @name Configuration. @{ */
@@ -170,6 +180,9 @@ class Experiment
     /** Where run() wrote the report ("" before run / on failure). */
     const std::string &reportPath() const { return _report_path; }
 
+    /** Where run() wrote TRACE_<name>.json ("" if not written). */
+    const std::string &tracePath() const { return _trace_path; }
+
   private:
     struct SweepSpec
     {
@@ -196,6 +209,8 @@ class Experiment
     bool _table = true;
     bool _quiet = false;
     bool _write_report = true;
+    bool _trace_txns = false;
+    bool _txn_wrapped = false;
 
     std::vector<ImplCase> _impls;
     WorkloadFn _workload;
@@ -206,6 +221,7 @@ class Experiment
     std::vector<PointResult> _results;
     BenchReport _report;
     std::string _report_path;
+    std::string _trace_path;
     std::string _rendered;
 
     /** Column labels in first-appearance order. */

@@ -5,6 +5,7 @@
 
 #include "sim/logging.hh"
 #include "trace/trace.hh"
+#include "trace/txn.hh"
 
 namespace dsm {
 
@@ -75,6 +76,9 @@ Mesh::send(const Msg &msg)
         ev.flow = m.trace_id;
         tr->record(ev);
     }
+
+    if (m.txn_id != 0 && _txns != nullptr)
+        _txns->noteSend(m.txn_id);
 
     // When the lambda runs, _eq.now() is the delivery tick.
     auto deliver_fn = [this, &h, tr, m] {

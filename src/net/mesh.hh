@@ -27,6 +27,7 @@
 namespace dsm {
 
 class Tracer;
+class TxnTracer;
 
 /** Aggregate network statistics. */
 struct MeshStats
@@ -67,6 +68,9 @@ class Mesh
     /** Attach the event tracer (records MSG_SEND/MSG_RECV). */
     void setTracer(Tracer *t) { _tracer = t; }
 
+    /** Attach the transaction tracer (counts per-transaction sends). */
+    void setTxnTracer(TxnTracer *t) { _txns = t; }
+
     /** @name Per-node port counters (for the stats registry). @{ */
     const std::uint64_t &injMsgs(NodeId n) const { return _inj_msgs[n]; }
     const std::uint64_t &ejMsgs(NodeId n) const { return _ej_msgs[n]; }
@@ -86,6 +90,7 @@ class Mesh
     std::vector<std::uint64_t> _ej_msgs;  ///< messages ejected per node
     std::vector<std::uint64_t> _inj_flits;///< flits injected per node
     Tracer *_tracer = nullptr;
+    TxnTracer *_txns = nullptr;
 };
 
 } // namespace dsm

@@ -145,6 +145,13 @@ struct Msg
      * exporter link each send to its receive as a flow arrow.
      */
     std::uint32_t trace_id = 0;
+    /**
+     * Transaction id for the transaction tracer (0 = untraced).
+     * Stamped by the issuing cache controller and copied into every
+     * message sent on the transaction's behalf. Metadata only:
+     * excluded from sizeBytes(), like chain and trace_id.
+     */
+    std::uint64_t txn_id = 0;
 
     /** Payload size in bytes (excluding the per-message header). */
     unsigned sizeBytes() const;

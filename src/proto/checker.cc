@@ -149,4 +149,16 @@ checkCoherence(System &sys)
     return violations;
 }
 
+std::vector<std::string>
+checkChains(System &sys)
+{
+    const TxnTracer &tx = sys.txns();
+    std::vector<std::string> out = tx.divergenceMessages();
+    std::uint64_t total = tx.chainDivergences();
+    if (total > out.size())
+        out.push_back(csprintf("...and %llu more chain divergences",
+                               (unsigned long long)(total - out.size())));
+    return out;
+}
+
 } // namespace dsm

@@ -32,6 +32,15 @@ class System;
  */
 std::vector<std::string> checkCoherence(System &sys);
 
+/**
+ * Report the transaction tracer's Table 1 chain divergences: completed
+ * operations whose observed serialized-message chain differs from the
+ * analytic count for their (policy, op, directory state) case. Requires
+ * Config::txn_trace.enabled; with tracing off the result is empty.
+ * @return a description of each divergence; empty means all chains match.
+ */
+std::vector<std::string> checkChains(System &sys);
+
 } // namespace dsm
 
 #endif // DSM_PROTO_CHECKER_HH

@@ -124,6 +124,7 @@ Controller::reply(const Msg &req, Msg resp)
     resp.addr = req.addr;
     resp.word_addr = req.word_addr;
     resp.chain = chainNext(req.chain, _id, req.src);
+    resp.txn_id = req.txn_id;
     send(resp);
 }
 

@@ -115,6 +115,7 @@ class Controller
         int max_chain = 0;       ///< longest serialized message chain
         int retries = 0;
         std::uint32_t trace_flow = 0; ///< tracer flow id for this op
+        std::uint64_t txn_id = 0;     ///< transaction-tracer id (0 = off)
     };
 
     // ===================== CPU side (controller_cpu.cc) ==================

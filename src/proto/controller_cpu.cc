@@ -41,6 +41,11 @@ Controller::cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
         ev.flow = _txn.trace_flow;
         tr.record(ev);
     }
+    TxnTracer &tx = _sys.txns();
+    if (tx.enabled())
+        _txn.txn_id = tx.begin(
+            _id, op, addr, _sys.policyOf(addr),
+            static_cast<std::uint8_t>(_cache.stateOf(addr)), now());
     beginTxn();
 }
 
@@ -66,6 +71,8 @@ Controller::finishTxn(Word value, bool success, Word serial)
     dsm_assert(_txn.active, "finish without an active transaction");
     SysStats &st = _sys.stats(_id);
     st.sampleOp(_txn.op, now() - _txn.start, _txn.max_chain);
+    if (_txn.txn_id != 0)
+        _sys.txns().complete(_txn.txn_id, now(), _txn.max_chain, success);
     Tracer &tr = _sys.tracer();
     if (tr.on(TraceCat::ATOMIC_COMPLETE)) {
         TraceEvent ev;
@@ -135,6 +142,8 @@ Controller::retryTxn()
                  _sys.rng().range(1, mc.retry_jitter);
     _sys.eq().scheduleIn(delay, [this] {
         dsm_assert(_txn.active, "retry fired without a transaction");
+        if (_txn.txn_id != 0)
+            _sys.txns().retry(_txn.txn_id, now());
         beginTxn();
     });
 }
@@ -155,6 +164,7 @@ Controller::sendReq(MsgType t)
     // CAS uses for its expected value.
     m.serial = _txn.expected;
     m.chain = chainNext(0, _id, m.dst);
+    m.txn_id = _txn.txn_id;
     _txn.waiting = true;
     send(m);
 }
@@ -391,6 +401,13 @@ Controller::cpuResponse(const Msg &m)
                static_cast<unsigned long long>(_txn.addr));
     if (m.chain > _txn.max_chain)
         _txn.max_chain = m.chain;
+    if (m.txn_id != 0) {
+        TxnPhase ph = (m.type == MsgType::INV_ACK ||
+                       m.type == MsgType::UPDATE_ACK)
+                          ? TxnPhase::FANOUT
+                          : TxnPhase::REPLY_TRANSIT;
+        _sys.txns().mark(m.txn_id, ph, now(), _id);
+    }
 
     switch (m.type) {
       case MsgType::NACK:

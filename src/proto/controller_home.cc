@@ -23,6 +23,19 @@ Controller::homeEnqueue(const Msg &m)
                toString(m.type), static_cast<unsigned long long>(m.addr),
                _id);
     Tick when = _sys.mem(_id).access(now());
+    if (m.txn_id != 0) {
+        // Owner replies re-enter the home queue: their transit leg
+        // belongs to the reply path, not the request path.
+        bool reply_leg = m.type == MsgType::OWNER_DATA_S ||
+                         m.type == MsgType::OWNER_DATA_X ||
+                         m.type == MsgType::CAS_OWNER_FAIL ||
+                         m.type == MsgType::CAS_OWNER_FAIL_S ||
+                         m.type == MsgType::FWD_NACK_RETRY ||
+                         m.type == MsgType::FWD_NACK_WB;
+        _sys.txns().markService(m.txn_id, _id, now(),
+                                when - _sys.cfg().machine.mem_service_time,
+                                when, reply_leg);
+    }
     Msg copy = m;
     _sys.eq().schedule(when, [this, copy] { homeProcess(copy); });
 }
@@ -93,6 +106,10 @@ Controller::homeGetS(const Msg &m)
     switch (e.state) {
       case DirState::UNCACHED:
       case DirState::SHARED: {
+        if (m.txn_id != 0)
+            _sys.txns().service(m.txn_id, _id,
+                                static_cast<std::uint8_t>(e.state),
+                                e.numSharers(), false, INVALID_NODE, 0);
         setDirState(e, m.addr, DirState::SHARED);
         e.addSharer(m.src);
         Msg r;
@@ -117,6 +134,7 @@ Controller::homeGetS(const Msg &m)
         f.addr = m.addr;
         f.word_addr = m.word_addr;
         f.chain = chainNext(m.chain, _id, e.owner);
+        f.txn_id = m.txn_id;
         send(f);
         break;
       }
@@ -133,6 +151,10 @@ Controller::homeGetX(const Msg &m)
     }
     switch (e.state) {
       case DirState::UNCACHED: {
+        if (m.txn_id != 0)
+            _sys.txns().service(m.txn_id, _id,
+                                static_cast<std::uint8_t>(e.state), 0,
+                                false, INVALID_NODE, 0);
         setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         Msg r;
@@ -145,6 +167,11 @@ Controller::homeGetX(const Msg &m)
       }
       case DirState::SHARED: {
         std::uint64_t others = e.sharers & ~bit(m.src);
+        if (m.txn_id != 0)
+            _sys.txns().service(m.txn_id, _id,
+                                static_cast<std::uint8_t>(e.state),
+                                e.numSharers(), false, INVALID_NODE,
+                                others);
         setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         e.sharers = 0;
@@ -171,6 +198,7 @@ Controller::homeGetX(const Msg &m)
         f.addr = m.addr;
         f.word_addr = m.word_addr;
         f.chain = chainNext(m.chain, _id, e.owner);
+        f.txn_id = m.txn_id;
         send(f);
         break;
       }
@@ -191,6 +219,7 @@ Controller::sendInvalidations(std::uint64_t targets, const Msg &req)
         inv.addr = req.addr;
         inv.word_addr = req.word_addr;
         inv.chain = chainNext(req.chain, _id, n);
+        inv.txn_id = req.txn_id;
         send(inv);
     }
 }
@@ -206,6 +235,10 @@ Controller::homeUpgrade(const Msg &m)
         return;
     }
     std::uint64_t others = e.sharers & ~bit(m.src);
+    if (m.txn_id != 0)
+        _sys.txns().service(m.txn_id, _id,
+                            static_cast<std::uint8_t>(e.state),
+                            e.numSharers(), false, INVALID_NODE, others);
     setDirState(e, m.addr, DirState::EXCLUSIVE);
     e.owner = m.src;
     e.sharers = 0;
@@ -231,12 +264,18 @@ Controller::homeCasHome(const Msg &m)
       case DirState::UNCACHED:
       case DirState::SHARED: {
         // Memory holds the most up-to-date copy; compare here.
+        std::uint8_t dir_before = static_cast<std::uint8_t>(e.state);
+        int sharers_before = e.numSharers();
         Word old = _sys.store().readWord(m.word_addr);
         if (old == m.expected) {
             // Equality: behave like INV; grant an exclusive copy and let
             // the requester perform the swap locally.
             std::uint64_t others =
                 e.state == DirState::SHARED ? e.sharers & ~bit(m.src) : 0;
+            if (m.txn_id != 0)
+                _sys.txns().service(m.txn_id, _id, dir_before,
+                                    sharers_before, false, INVALID_NODE,
+                                    others);
             setDirState(e, m.addr, DirState::EXCLUSIVE);
             e.owner = m.src;
             e.sharers = 0;
@@ -249,11 +288,19 @@ Controller::homeCasHome(const Msg &m)
             reply(m, r);
             sendInvalidations(others, m);
         } else if (variant == CasVariant::DENY) {
+            if (m.txn_id != 0)
+                _sys.txns().service(m.txn_id, _id, dir_before,
+                                    sharers_before, false, INVALID_NODE,
+                                    0);
             Msg r;
             r.type = MsgType::CAS_FAIL;
             r.result = old;
             reply(m, r);
         } else { // CasVariant::SHARE
+            if (m.txn_id != 0)
+                _sys.txns().service(m.txn_id, _id, dir_before,
+                                    sharers_before, false, INVALID_NODE,
+                                    0);
             setDirState(e, m.addr, DirState::SHARED);
             e.addSharer(m.src);
             Msg r;
@@ -282,6 +329,7 @@ Controller::homeCasHome(const Msg &m)
         f.value = m.value;
         f.expected = m.expected;
         f.chain = chainNext(m.chain, _id, e.owner);
+        f.txn_id = m.txn_id;
         send(f);
         break;
       }
@@ -300,6 +348,11 @@ Controller::homeScReq(const Msg &m)
         // Success: the requester still holds a valid copy. Grant
         // exclusivity and invalidate the other holders (Section 3).
         std::uint64_t others = e.sharers & ~bit(m.src);
+        if (m.txn_id != 0)
+            _sys.txns().service(m.txn_id, _id,
+                                static_cast<std::uint8_t>(e.state),
+                                e.numSharers(), false, INVALID_NODE,
+                                others);
         setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         e.sharers = 0;
@@ -315,6 +368,10 @@ Controller::homeScReq(const Msg &m)
         sendInvalidations(others, m);
     } else {
         // Exclusive elsewhere or uncached: fail.
+        if (m.txn_id != 0)
+            _sys.txns().service(m.txn_id, _id,
+                                static_cast<std::uint8_t>(e.state),
+                                e.numSharers(), false, INVALID_NODE, 0);
         Msg r;
         r.type = MsgType::SC_RESP;
         r.success = false;
@@ -424,6 +481,10 @@ Controller::homeUncReq(const Msg &m)
     DirEntry &e = _sys.dir(_id).entry(m.addr);
     dsm_assert(e.state == DirState::UNCACHED && !e.busy,
                "UNC access to a block with cached copies");
+    if (m.txn_id != 0)
+        _sys.txns().service(m.txn_id, _id,
+                            static_cast<std::uint8_t>(e.state), 0, false,
+                            INVALID_NODE, 0);
     MemOpOut out = memoryOp(m);
     Msg r;
     r.type = MsgType::UNC_RESP;
@@ -439,11 +500,14 @@ Controller::homeUpdReq(const Msg &m)
     DirEntry &e = _sys.dir(_id).entry(m.addr);
     dsm_assert(e.state != DirState::EXCLUSIVE && !e.busy,
                "UPD region block is exclusive");
+    std::uint8_t dir_before = static_cast<std::uint8_t>(e.state);
+    int sharers_before = e.numSharers();
     Word before = _sys.store().readWord(m.word_addr);
     MemOpOut out = memoryOp(m);
     Word newval = _sys.store().readWord(m.word_addr);
 
     int nupdates = 0;
+    std::uint64_t upd_mask = 0;
     // "Only successful writes cause updates" (Section 4.3.1): a write
     // that leaves the word unchanged (e.g. a failed test_and_set
     // storing 1 over 1) sends no update messages.
@@ -453,6 +517,7 @@ Controller::homeUpdReq(const Msg &m)
                 continue;
             ++_sys.stats(_id).updates;
             ++nupdates;
+            upd_mask |= bit(n);
             Msg u;
             u.type = MsgType::UPDATE;
             u.dst = n;
@@ -461,9 +526,13 @@ Controller::homeUpdReq(const Msg &m)
             u.word_addr = m.word_addr;
             u.result = newval;
             u.chain = chainNext(m.chain, _id, n);
+            u.txn_id = m.txn_id;
             send(u);
         }
     }
+    if (m.txn_id != 0)
+        _sys.txns().service(m.txn_id, _id, dir_before, sharers_before,
+                            false, INVALID_NODE, upd_mask);
 
     // The requester retains (or obtains) a shared copy.
     setDirState(e, m.addr, DirState::SHARED);
@@ -522,6 +591,10 @@ Controller::nackNode(NodeId n, Addr block)
     r.addr = block;
     r.word_addr = block;
     r.chain = 1;
+    // The waiting requester has exactly one transaction in flight on
+    // this block; stamp its id so the NACK closes the right phase.
+    if (_sys.txns().enabled())
+        r.txn_id = _sys.txns().activeId(n);
     send(r);
 }
 
@@ -546,12 +619,21 @@ Controller::homeOwnerReply(const Msg &m)
                "%s from %d out of protocol", toString(m.type), m.src);
     NodeId req = e.pending_requester;
 
+    // A data-carrying owner reply means the forwarded case was
+    // serviced: record the facts for Table 1 validation.
+    if (m.txn_id != 0 && m.type != MsgType::FWD_NACK_RETRY &&
+        m.type != MsgType::FWD_NACK_WB)
+        _sys.txns().service(m.txn_id, _id,
+                            static_cast<std::uint8_t>(DirState::EXCLUSIVE),
+                            0, true, m.src, 0);
+
     auto respond = [&](Msg r) {
         r.dst = req;
         r.requester = req;
         r.addr = m.addr;
         r.word_addr = m.word_addr;
         r.chain = chainNext(m.chain, _id, req);
+        r.txn_id = m.txn_id;
         send(r);
     };
 

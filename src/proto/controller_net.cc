@@ -35,6 +35,7 @@ Controller::handleInv(const Msg &m)
     ack.addr = m.addr;
     ack.word_addr = m.word_addr;
     ack.chain = chainNext(m.chain, _id, m.requester);
+    ack.txn_id = m.txn_id;
     Tick delay = _sys.cfg().machine.cache_access_latency;
     _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
 }
@@ -58,6 +59,7 @@ Controller::handleUpdate(const Msg &m)
     ack.addr = m.addr;
     ack.word_addr = m.word_addr;
     ack.chain = chainNext(m.chain, _id, m.requester);
+    ack.txn_id = m.txn_id;
     Tick delay = _sys.cfg().machine.cache_access_latency;
     _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
 }
@@ -68,12 +70,20 @@ Controller::handleFwd(const Msg &m)
     NodeId home = _sys.homeOf(m.addr);
     Tick delay = _sys.cfg().machine.cache_access_latency;
 
+    // The forwarded leg's transit ends here; the owner's cache access
+    // (its reply departs `delay` from now) is attributed to OWNER.
+    if (m.txn_id != 0) {
+        _sys.txns().mark(m.txn_id, TxnPhase::REQ_TRANSIT, now(), _id);
+        _sys.txns().mark(m.txn_id, TxnPhase::OWNER, now() + delay, _id);
+    }
+
     auto respond = [this, home, delay, &m](Msg r) {
         r.dst = home;
         r.requester = m.requester;
         r.addr = m.addr;
         r.word_addr = m.word_addr;
         r.chain = chainNext(m.chain, _id, home);
+        r.txn_id = m.txn_id;
         _sys.eq().scheduleIn(delay, [this, r] { send(r); });
     };
 

@@ -101,6 +101,9 @@ Config::validate() const
                         m.max_memory_reservations);
     if (trace.enabled && trace.capacity == 0)
         return "trace.capacity must be nonzero when tracing is enabled";
+    if (txn_trace.enabled && txn_trace.capacity == 0)
+        return "txn_trace.capacity must be nonzero when transaction "
+               "tracing is enabled";
     return "";
 }
 

@@ -137,12 +137,29 @@ struct TraceConfig
     std::size_t capacity = 1u << 16;
 };
 
+/**
+ * Transaction-tracer configuration (trace/txn.hh). Off by default;
+ * when enabled every processor-issued operation is traced end to end,
+ * with full records kept for the first @c capacity completions.
+ */
+struct TxnTraceConfig
+{
+    bool enabled = false;
+    /** Completed transaction records kept (aggregation never drops). */
+    std::size_t capacity = 1024;
+    /** Per-transaction phase-span cap for the Perfetto export. */
+    std::size_t max_spans = 512;
+    /** Chain-divergence messages kept for proto/checker reporting. */
+    std::size_t max_divergences = 16;
+};
+
 /** Complete simulation configuration. */
 struct Config
 {
     MachineConfig machine;
     SyncConfig sync;
     TraceConfig trace;
+    TxnTraceConfig txn_trace;
 
     /**
      * Check the whole configuration for user error: machine shape

@@ -1,0 +1,130 @@
+#include "stats/attribution.hh"
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+const char *
+toString(TxnPhase ph)
+{
+    switch (ph) {
+    case TxnPhase::CACHE:
+        return "cache";
+    case TxnPhase::REQ_TRANSIT:
+        return "req_transit";
+    case TxnPhase::DIR_QUEUE:
+        return "dir_queue";
+    case TxnPhase::DIR_SERVICE:
+        return "dir_service";
+    case TxnPhase::OWNER:
+        return "owner";
+    case TxnPhase::FANOUT:
+        return "fanout";
+    case TxnPhase::REPLY_TRANSIT:
+        return "reply_transit";
+    case TxnPhase::RETRY_WAIT:
+        return "retry_wait";
+    case TxnPhase::NUM_PHASES:
+        break;
+    }
+    return "?";
+}
+
+void
+PhaseAttribution::sample(AtomicOp op, const Tick phase_sum[NUM_TXN_PHASES],
+                         Tick total, int retries, int fanout, int chain)
+{
+    int i = static_cast<int>(op);
+    for (int ph = 0; ph < NUM_TXN_PHASES; ++ph) {
+        // Zero-cycle phases are skipped so per-phase counts reflect
+        // how many transactions actually exercised the phase.
+        if (phase_sum[ph] == 0)
+            continue;
+        _phase[i][ph].sample(phase_sum[ph]);
+        _all_phase[ph].sample(phase_sum[ph]);
+    }
+    _total[i].sample(total);
+    _all_total.sample(total);
+    _retries.add(static_cast<std::uint64_t>(retries));
+    _fanout.add(static_cast<std::uint64_t>(fanout));
+    _chain.add(static_cast<std::uint64_t>(chain));
+    ++_completed;
+}
+
+namespace {
+
+void
+writeStat(JsonWriter &w, const LatencyStat &s)
+{
+    w.beginObject();
+    w.key("count");
+    w.value(s.count);
+    w.key("mean");
+    w.value(s.mean());
+    w.key("p50");
+    w.value(static_cast<std::uint64_t>(s.p50()));
+    w.key("p95");
+    w.value(static_cast<std::uint64_t>(s.p95()));
+    w.key("p99");
+    w.value(static_cast<std::uint64_t>(s.p99()));
+    w.key("max");
+    w.value(static_cast<std::uint64_t>(s.max));
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+PhaseAttribution::phasesJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    for (int op = 0; op < NUM_ATOMIC_OPS; ++op) {
+        if (_total[op].count == 0)
+            continue;
+        w.key(toString(static_cast<AtomicOp>(op)));
+        w.beginObject();
+        w.key("total");
+        writeStat(w, _total[op]);
+        w.key("phases");
+        w.beginObject();
+        for (int ph = 0; ph < NUM_TXN_PHASES; ++ph) {
+            if (_phase[op][ph].count == 0)
+                continue;
+            w.key(toString(static_cast<TxnPhase>(ph)));
+            writeStat(w, _phase[op][ph]);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+PhaseAttribution::summaryLine() const
+{
+    if (_completed == 0)
+        return "txn: no completed transactions";
+    std::string line =
+        csprintf("txn: %llu completed, mean %.1f cy |",
+                 static_cast<unsigned long long>(_completed),
+                 _all_total.mean());
+    for (int ph = 0; ph < NUM_TXN_PHASES; ++ph) {
+        // Report the mean contribution across *all* transactions, so
+        // the listed phase means sum to the end-to-end mean.
+        double contrib =
+            static_cast<double>(_all_phase[ph].sum) /
+            static_cast<double>(_completed);
+        if (_all_phase[ph].count == 0)
+            continue;
+        line += csprintf(" %s=%.1f", toString(static_cast<TxnPhase>(ph)),
+                         contrib);
+    }
+    line += csprintf(" | retries=%.2f fanout=%.2f chain=%.2f",
+                     _retries.mean(), _fanout.mean(), _chain.mean());
+    return line;
+}
+
+} // namespace dsm

@@ -94,6 +94,13 @@ BenchRow::set(const std::string &k, int v)
 }
 
 BenchRow &
+BenchRow::setRaw(const std::string &k, std::string rendered_json)
+{
+    _fields.emplace_back(k, std::move(rendered_json));
+    return *this;
+}
+
+BenchRow &
 BenchRow::metrics(const RunMetrics &m)
 {
     set("ops", m.ops);

@@ -55,6 +55,9 @@ class BenchRow
     BenchRow &set(const std::string &k, std::uint64_t v);
     BenchRow &set(const std::string &k, int v);
 
+    /** Set @p k to already-rendered JSON (object/array spliced as-is). */
+    BenchRow &setRaw(const std::string &k, std::string rendered_json);
+
     /** Splice the standard metric keys of @p m into this row. */
     BenchRow &metrics(const RunMetrics &m);
 

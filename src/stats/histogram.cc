@@ -1,5 +1,7 @@
 #include "stats/histogram.hh"
 
+#include <cmath>
+
 #include "sim/logging.hh"
 
 namespace dsm {
@@ -43,10 +45,14 @@ Histogram::percentile(double q) const
 {
     if (_samples == 0)
         return 0;
-    std::uint64_t target =
-        static_cast<std::uint64_t>(q * static_cast<double>(_samples));
+    // Nearest-rank: the target rank is ceil(q * n), clamped to [1, n],
+    // so fractional ranks round up and percentile(1.0) is the maximum.
+    std::uint64_t target = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(_samples)));
     if (target == 0)
         target = 1;
+    if (target > _samples)
+        target = _samples;
     std::uint64_t seen = 0;
     for (std::uint64_t v = 0; v < _buckets.size(); ++v) {
         seen += _buckets[v];

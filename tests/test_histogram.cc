@@ -57,6 +57,38 @@ TEST(Histogram, Percentiles)
     EXPECT_EQ(h.percentile(1.0), 100u);
 }
 
+TEST(Histogram, NearestRankSingleSample)
+{
+    // Nearest-rank: any nonzero quantile of one sample is that sample.
+    Histogram h;
+    h.add(5);
+    EXPECT_EQ(h.percentile(0.01), 5u);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(1.0), 5u);
+}
+
+TEST(Histogram, NearestRankTwoSamples)
+{
+    // rank = ceil(q * n): q=0.5 of two samples is the first, anything
+    // above lands on the second.
+    Histogram h;
+    h.add(1);
+    h.add(100);
+    EXPECT_EQ(h.percentile(0.5), 1u);
+    EXPECT_EQ(h.percentile(0.75), 100u);
+    EXPECT_EQ(h.percentile(0.95), 100u);
+    EXPECT_EQ(h.percentile(1.0), 100u);
+}
+
+TEST(Histogram, PercentileOneIsMax)
+{
+    Histogram h;
+    h.add(3);
+    h.add(7);
+    h.add(9);
+    EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
 TEST(Histogram, ClearResets)
 {
     Histogram h;
