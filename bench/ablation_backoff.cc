@@ -46,6 +46,7 @@ main(int argc, char **argv)
             return res;
         })
         .sweep("cap", {16, 64, 256, 1024, 4096})
+        .seed(parseSeedFlag(argc, argv))
         .run(parseJobsFlag(argc, argv));
     return 0;
 }

@@ -118,6 +118,7 @@ main(int argc, char **argv)
             });
         }
     }
+    ex.seed(parseSeedFlag(argc, argv));
     ex.run(parseJobsFlag(argc, argv));
     std::printf("\nThe tree barrier's point-to-point flags avoid the "
                 "hot spot that the\ncentral counter and sense word "

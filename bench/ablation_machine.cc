@@ -108,6 +108,7 @@ main(int argc, char **argv)
         c.machine.mesh_x = 4;
         c.machine.mesh_y = 4;
     });
+    ex.seed(parseSeedFlag(argc, argv));
     ex.run(parseJobsFlag(argc, argv));
     return 0;
 }

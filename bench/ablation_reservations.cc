@@ -79,6 +79,7 @@ main(int argc, char **argv)
             }
         }
     }
+    ex.seed(parseSeedFlag(argc, argv));
     ex.run(parseJobsFlag(argc, argv));
     return 0;
 }

@@ -119,6 +119,7 @@ main(int argc, char **argv)
             }
         }
     }
+    ex.seed(parseSeedFlag(argc, argv));
     ex.run(parseJobsFlag(argc, argv));
     std::printf("\nThe serial variant's release is a single bare SC: "
                 "fewer messages and\nlower latency per uncontended "

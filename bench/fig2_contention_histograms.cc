@@ -138,6 +138,7 @@ main(int argc, char **argv)
                            sys.sharing().averageWriteRun());
         });
     }
+    ex.seed(parseSeedFlag(argc, argv));
     ex.run(parseJobsFlag(argc, argv));
     return 0;
 }

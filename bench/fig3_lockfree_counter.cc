@@ -11,6 +11,7 @@ main(int argc, char **argv)
 {
     dsmbench::runFigure("fig3_lockfree_counter", "Figure 3",
                         dsm::CounterKind::LOCK_FREE,
-                        dsm::parseJobsFlag(argc, argv));
+                        dsm::parseJobsFlag(argc, argv),
+                        dsm::parseSeedFlag(argc, argv));
     return 0;
 }

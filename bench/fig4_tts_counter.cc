@@ -12,6 +12,7 @@ main(int argc, char **argv)
 {
     dsmbench::runFigure("fig4_tts_counter", "Figure 4",
                         dsm::CounterKind::TTS,
-                        dsm::parseJobsFlag(argc, argv));
+                        dsm::parseJobsFlag(argc, argv),
+                        dsm::parseSeedFlag(argc, argv));
     return 0;
 }

@@ -12,6 +12,7 @@ main(int argc, char **argv)
 {
     dsmbench::runFigure("fig5_mcs_counter", "Figure 5",
                         dsm::CounterKind::MCS,
-                        dsm::parseJobsFlag(argc, argv));
+                        dsm::parseJobsFlag(argc, argv),
+                        dsm::parseSeedFlag(argc, argv));
     return 0;
 }

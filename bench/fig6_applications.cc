@@ -87,6 +87,7 @@ main(int argc, char **argv)
             return res;
         })
         .cases("app", {"LocusRoute", "Cholesky", "TransClosure"})
+        .seed(parseSeedFlag(argc, argv))
         .run(parseJobsFlag(argc, argv));
     return 0;
 }

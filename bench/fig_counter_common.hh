@@ -35,7 +35,7 @@ phasesFor(int contention)
  */
 inline void
 runFigure(const char *bench, const char *figure, CounterKind kind,
-          int jobs)
+          int jobs, std::uint64_t seed = 0)
 {
     Experiment::paper64(bench)
         .title(csprintf("%s: average cycles per counter update, %s "
@@ -73,6 +73,7 @@ runFigure(const char *bench, const char *figure, CounterKind kind,
         })
         .sweep("a", {1.0, 1.5, 2.0, 3.0, 10.0})
         .sweep("c", {2, 4, 8, 16, 64})
+        .seed(seed)
         .run(jobs);
 }
 

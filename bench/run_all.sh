@@ -1,7 +1,8 @@
 #!/bin/sh
 # Run every benchmark binary and collect the machine-readable outputs.
 #
-# Usage: bench/run_all.sh [--jobs N] [--trace BENCH] [build-dir] [output-dir]
+# Usage: bench/run_all.sh [--jobs N] [--seed S] [--trace BENCH]
+#        [build-dir] [output-dir]
 #
 # Each binary prints its usual text tables and writes BENCH_<name>.json
 # (schema dsm-bench-v1; simcore_microbench writes google-benchmark's
@@ -12,6 +13,9 @@
 # --trace BENCH runs that benchmark with transaction tracing on
 # (DSM_TXN_TRACE=1), writing TRACE_<name>.json next to its
 # BENCH_<name>.json; open it at https://ui.perfetto.dev.
+# --seed S exports DSM_SEED=S so every sweep's simulated machines use
+# seed S (recorded in each report's meta.seed); fault_sweep instead
+# uses S as the base of its per-point seed range.
 set -eu
 
 jobs=
@@ -24,6 +28,16 @@ while :; do
         ;;
     --jobs=*)
         jobs=${1#--jobs=}
+        shift
+        ;;
+    --seed)
+        DSM_SEED=$2
+        export DSM_SEED
+        shift 2
+        ;;
+    --seed=*)
+        DSM_SEED=${1#--seed=}
+        export DSM_SEED
         shift
         ;;
     --trace)
@@ -68,6 +82,7 @@ ablation_machine
 ablation_serial_llsc
 ablation_reservations
 ablation_barrier
+fault_sweep
 simcore_microbench
 "
 

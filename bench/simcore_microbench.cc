@@ -99,8 +99,9 @@ BENCHMARK(BM_MeshMessageThroughput);
 // BENCH_simcore_microbench.json (in $DSM_BENCH_DIR if set) so this
 // binary matches the machine-readable-output convention of the
 // simulated-machine benches. Explicit --benchmark_out flags win.
-// Accepts and ignores the sweep binaries' --jobs/-j flag so run_all.sh
-// can pass one job count to every bench uniformly.
+// Accepts and ignores the sweep binaries' --jobs/-j and --seed flags so
+// run_all.sh can pass one job count and seed to every bench uniformly
+// (host-performance numbers have no simulated seed to plumb).
 int
 main(int argc, char **argv)
 {
@@ -109,11 +110,13 @@ main(int argc, char **argv)
     args.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--jobs") == 0 ||
-            std::strcmp(argv[i], "-j") == 0) {
+            std::strcmp(argv[i], "-j") == 0 ||
+            std::strcmp(argv[i], "--seed") == 0) {
             i += i + 1 < argc; // skip the value too
             continue;
         }
-        if (std::strncmp(argv[i], "--jobs=", 7) == 0)
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0 ||
+            std::strncmp(argv[i], "--seed=", 7) == 0)
             continue;
         has_out |= std::strncmp(argv[i], "--benchmark_out=", 16) == 0;
         args.push_back(argv[i]);

@@ -295,6 +295,7 @@ main(int argc, char **argv)
         });
     }
 
+    ex.seed(parseSeedFlag(argc, argv));
     const std::vector<PointResult> &results =
         ex.run(parseJobsFlag(argc, argv));
 

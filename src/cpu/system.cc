@@ -31,9 +31,19 @@ System::System(const Config &cfg)
     _mesh.setTracer(&_tracer);
     _txns.configure(_cfg.txn_trace, n);
     _mesh.setTxnTracer(&_txns);
+    _faults.configure(_cfg.faults, _cfg.machine.seed, n);
+    if (_faults.enabled()) {
+        _faults_on = &_faults;
+        _mesh.setFaults(&_faults);
+    }
+    _watchdog.configure(_cfg.watchdog);
+    if (_watchdog.enabled())
+        _watchdog_on = &_watchdog;
     buildRegistry();
     if (_cfg.machine.spurious_resv_period > 0)
         scheduleSpuriousInvalidation();
+    if (_watchdog.enabled() && _cfg.watchdog.max_txn_age > 0)
+        scheduleWatchdogScan();
 }
 
 void
@@ -77,6 +87,21 @@ System::buildRegistry()
                     at.phaseStat(op, ph));
         }
     }
+
+    // Fault-injection and watchdog counters: registered only when the
+    // feature is on, so fault-free runs keep their exact JSON shape.
+    if (_cfg.faults.enabled) {
+        const FaultPlan::Counters &fc = _faults.counters();
+        _registry.addCounter("fault.jitter_applied", &fc.jitter_applied);
+        _registry.addCounter("fault.jitter_cycles", &fc.jitter_cycles);
+        _registry.addCounter("fault.resv_drops", &fc.resv_drops);
+        _registry.addCounter("fault.forced_evictions",
+                             &fc.forced_evictions);
+        _registry.addCounter("fault.nacks_injected", &fc.nacks_injected);
+    }
+    if (_cfg.watchdog.enabled)
+        _registry.addCounter("fault.watchdog_trips",
+                             _watchdog.tripsCounter());
 
     // Per-node component counters. All pointed-to storage lives in
     // containers sized once by the constructor, so addresses are stable.
@@ -139,6 +164,17 @@ System::scheduleSpuriousInvalidation()
         // queue could never drain.
         if (tasksPending() > 0)
             scheduleSpuriousInvalidation();
+    });
+}
+
+void
+System::scheduleWatchdogScan()
+{
+    _eq.scheduleIn(_cfg.watchdog.scan_period, [this] {
+        _watchdog.scan(*this);
+        // Stop re-arming once tripped or idle so the queue can drain.
+        if (tasksPending() > 0 && !_watchdog.tripped())
+            scheduleWatchdogScan();
     });
 }
 
@@ -277,8 +313,16 @@ System::run(Tick max_ticks)
     RunResult r;
     Tick deadline = _eq.now() + max_ticks;
     while (tasksPending() > 0) {
+        if (_watchdog_on != nullptr && _watchdog.tripped()) {
+            r.livelocked = true;
+            r.diagnosis = _watchdog.diagnosis();
+            break;
+        }
         if (_eq.empty()) {
             r.deadlocked = true;
+            r.diagnosis = "deadlock: event queue drained with tasks "
+                          "still blocked\n" +
+                          Watchdog::blockedTxnDump(*this);
             break;
         }
         if (_eq.now() > deadline)

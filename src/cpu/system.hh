@@ -17,6 +17,8 @@
 #include "cpu/proc.hh"
 #include "cpu/sync_barrier.hh"
 #include "cpu/task.hh"
+#include "fault/fault.hh"
+#include "fault/watchdog.hh"
 #include "mem/backing_store.hh"
 #include "mem/directory.hh"
 #include "mem/mem_module.hh"
@@ -38,8 +40,16 @@ struct RunResult
 {
     bool completed = false;  ///< all spawned tasks finished
     bool deadlocked = false; ///< events drained with tasks pending
+    bool livelocked = false; ///< the forward-progress watchdog tripped
     Tick end_tick = 0;
     std::uint64_t events = 0;
+    /**
+     * Human-readable failure report when deadlocked or livelocked:
+     * which bound tripped (livelock) and every blocked transaction's
+     * controller state, with TxnTracer span trees when transaction
+     * tracing is on. Empty on success.
+     */
+    std::string diagnosis;
 };
 
 /** The whole simulated multiprocessor. */
@@ -91,6 +101,9 @@ class System
     {
         for (SysStats &s : _node_stats)
             s = SysStats{};
+        // Keep the fault counters in step with the protocol counters
+        // they reconcile against (checker::checkFaultAccounting).
+        _faults.clearCounters();
     }
 
     /** The hierarchical stats registry (per-node and global entries). */
@@ -108,6 +121,23 @@ class System
      */
     TxnTracer &txns() { return _txns; }
     const TxnTracer &txns() const { return _txns; }
+
+    /**
+     * The fault injector, or nullptr when fault injection is off —
+     * hot paths pay one branch, like the tracers. Like the
+     * transaction tracer, the plan's RNG stream is not reset by
+     * clearStats() (its counters are, see clearStats()).
+     */
+    FaultPlan *faults() { return _faults_on; }
+
+    /** The fault plan itself, for inspection even when disabled. */
+    const FaultPlan &faultPlan() const { return _faults; }
+
+    /** The livelock watchdog, or nullptr when disabled. */
+    Watchdog *watchdog() { return _watchdog_on; }
+
+    /** The watchdog itself, for inspection even when disabled. */
+    const Watchdog &watchdogState() const { return _watchdog; }
 
     /** The full registry rendered as nested JSON. */
     std::string statsJson() const { return _registry.toJson(); }
@@ -203,6 +233,9 @@ class System
     /** Periodic reservation clearing (MachineConfig::spurious_resv_period). */
     void scheduleSpuriousInvalidation();
 
+    /** Periodic watchdog age scan (WatchdogConfig::max_txn_age). */
+    void scheduleWatchdogScan();
+
     /** Populate the stats registry with per-node and global entries. */
     void buildRegistry();
 
@@ -219,6 +252,11 @@ class System
     StatsRegistry _registry;
     Tracer _tracer;
     TxnTracer _txns;
+    FaultPlan _faults;
+    Watchdog _watchdog;
+    /** Non-null only when the corresponding feature is enabled. */
+    FaultPlan *_faults_on = nullptr;
+    Watchdog *_watchdog_on = nullptr;
     SharingTracker _sharing;
     Rng _rng;
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "cpu/system.hh"
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 
 namespace {
@@ -170,6 +171,22 @@ Experiment::traceTxns(bool on)
     return *this;
 }
 
+Experiment &
+Experiment::seed(std::uint64_t s)
+{
+    if (s != 0)
+        _seed = s;
+    return *this;
+}
+
+Experiment &
+Experiment::faults(const FaultConfig &fc)
+{
+    if (fc.enabled)
+        _faults = fc;
+    return *this;
+}
+
 Config
 Experiment::configFor(SyncPolicy pol) const
 {
@@ -305,6 +322,26 @@ const std::vector<PointResult> &
 Experiment::run(int jobs)
 {
     expandMatrix();
+
+    // Seed override: an explicit seed() wins over $DSM_SEED. Recorded
+    // in the report meta only when actually applied, so default runs
+    // stay byte-identical to reports written before seeds existed.
+    std::uint64_t s = _seed != 0 ? _seed : seedFromEnv();
+    if (s != 0 && !_seed_applied) {
+        _seed_applied = true;
+        for (Point &p : _points)
+            p.cfg.machine.seed = s;
+        _report.meta("seed", s);
+    }
+
+    // Fault plan: an explicit faults() wins over $DSM_FAULTS.
+    FaultConfig fc = _faults.enabled ? _faults : faultConfigFromEnv();
+    if (fc.enabled && !_faults_applied) {
+        _faults_applied = true;
+        for (Point &p : _points)
+            p.cfg.faults = fc;
+        _report.meta("faults", fc.summary());
+    }
 
     // Transaction tracing: flip it on in every point's Config and wrap
     // each point function to harvest the tracer after the workload

@@ -117,6 +117,23 @@ class Experiment
      */
     Experiment &traceTxns(bool on);
 
+    /**
+     * Override the machine RNG seed of every point (0 is a no-op, so
+     * chaining `.seed(parseSeedFlag(argc, argv))` is safe). Also
+     * honoured from $DSM_SEED when no explicit seed is given. When a
+     * seed is applied — and only then — it is recorded in the report's
+     * meta object as "seed", keeping default reports byte-identical.
+     */
+    Experiment &seed(std::uint64_t s);
+
+    /**
+     * Apply a fault-injection plan to every point (a disabled config
+     * is a no-op). Also honoured from $DSM_FAULTS / $DSM_FAULT_SEED
+     * when not set explicitly. An applied plan is recorded in the
+     * report's meta object as "faults" (FaultConfig::summary()).
+     */
+    Experiment &faults(const FaultConfig &fc);
+
     /** @} */
 
     /** @name Configuration. @{ */
@@ -211,6 +228,10 @@ class Experiment
     bool _write_report = true;
     bool _trace_txns = false;
     bool _txn_wrapped = false;
+    std::uint64_t _seed = 0;
+    bool _seed_applied = false;
+    FaultConfig _faults;
+    bool _faults_applied = false;
 
     std::vector<ImplCase> _impls;
     WorkloadFn _workload;

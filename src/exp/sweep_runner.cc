@@ -120,4 +120,40 @@ parseJobsFlag(int argc, char **argv)
     return 0;
 }
 
+std::uint64_t
+parseSeedFlag(int argc, char **argv)
+{
+    auto parse = [](const char *s) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s, &end, 10);
+        if (end == s || *end != '\0' || v == 0)
+            dsm_fatal("--seed expects a positive integer, got '%s'", s);
+        return static_cast<std::uint64_t>(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--seed=", 7) == 0)
+            return parse(a + 7);
+        if (std::strcmp(a, "--seed") == 0) {
+            if (i + 1 >= argc)
+                dsm_fatal("--seed requires a value");
+            return parse(argv[i + 1]);
+        }
+    }
+    return 0;
+}
+
+std::uint64_t
+seedFromEnv()
+{
+    const char *s = std::getenv("DSM_SEED");
+    if (s == nullptr || *s == '\0')
+        return 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0' || v == 0)
+        dsm_fatal("DSM_SEED must be a positive integer, got '%s'", s);
+    return static_cast<std::uint64_t>(v);
+}
+
 } // namespace dsm

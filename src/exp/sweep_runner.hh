@@ -116,6 +116,17 @@ class SweepRunner
  */
 int parseJobsFlag(int argc, char **argv);
 
+/**
+ * Extract a "--seed N" / "--seed=N" flag from a bench binary's command
+ * line. @return the value, or 0 if no flag is present (meaning: fall
+ * back to $DSM_SEED via Experiment::seed, else the config default).
+ * dsm_fatal on a malformed or zero value.
+ */
+std::uint64_t parseSeedFlag(int argc, char **argv);
+
+/** $DSM_SEED as an integer, or 0 when unset. dsm_fatal if malformed. */
+std::uint64_t seedFromEnv();
+
 } // namespace dsm
 
 #endif // DSM_EXP_SWEEP_RUNNER_HH

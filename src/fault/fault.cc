@@ -1,0 +1,189 @@
+#include "fault/fault.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+/** Parts-per-million scaling for integer probability draws. */
+constexpr std::uint64_t PPM = 1000000;
+
+std::uint64_t
+toPpm(double p)
+{
+    return static_cast<std::uint64_t>(p * static_cast<double>(PPM) + 0.5);
+}
+
+/** SplitMix64 finalizer: derive an independent stream from a seed. */
+std::uint64_t
+mixSeed(std::uint64_t s)
+{
+    std::uint64_t z = s + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+void
+FaultPlan::configure(const FaultConfig &cfg, std::uint64_t machine_seed,
+                     int num_procs)
+{
+    _cfg = cfg;
+    _seed = cfg.seed != 0 ? cfg.seed : mixSeed(machine_seed);
+    _rng = Rng(_seed);
+    _jitter_ppm = toPpm(cfg.msg_jitter_prob);
+    _resv_drop_ppm = toPpm(cfg.resv_drop_prob);
+    _evict_ppm = toPpm(cfg.evict_prob);
+    _nack_ppm = toPpm(cfg.nack_prob);
+    _nack_streak.assign(static_cast<std::size_t>(num_procs), 0);
+    _ctr = Counters();
+}
+
+Tick
+FaultPlan::messageJitter()
+{
+    if (_jitter_ppm == 0 || !_rng.chance(_jitter_ppm, PPM))
+        return 0;
+    Tick j = _rng.range(1, _cfg.msg_jitter_max);
+    ++_ctr.jitter_applied;
+    _ctr.jitter_cycles += j;
+    return j;
+}
+
+bool
+FaultPlan::dropReservation()
+{
+    if (_resv_drop_ppm == 0 || !_rng.chance(_resv_drop_ppm, PPM))
+        return false;
+    ++_ctr.resv_drops;
+    return true;
+}
+
+bool
+FaultPlan::forceEviction()
+{
+    if (_evict_ppm == 0 || !_rng.chance(_evict_ppm, PPM))
+        return false;
+    ++_ctr.forced_evictions;
+    return true;
+}
+
+bool
+FaultPlan::injectNack(NodeId requester)
+{
+    if (_nack_ppm == 0)
+        return false;
+    int &streak = _nack_streak[static_cast<std::size_t>(requester)];
+    if (_cfg.max_extra_nacks > 0 && streak >= _cfg.max_extra_nacks) {
+        streak = 0;
+        return false;
+    }
+    if (!_rng.chance(_nack_ppm, PPM)) {
+        streak = 0;
+        return false;
+    }
+    ++streak;
+    ++_ctr.nacks_injected;
+    return true;
+}
+
+std::string
+FaultConfig::parse(const std::string &spec)
+{
+    if (spec == "1" || spec == "on" || spec == "default") {
+        // The standard campaign mix: frequent-but-bounded jitter plus
+        // occasional reservation drops, evictions, and NACK storms.
+        enabled = true;
+        msg_jitter_prob = 0.2;
+        msg_jitter_max = 64;
+        resv_drop_prob = 0.05;
+        evict_prob = 0.02;
+        nack_prob = 0.1;
+        max_extra_nacks = 4;
+        return "";
+    }
+
+    FaultConfig out;
+    out.enabled = true;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return csprintf("fault spec item '%s' is not key=value",
+                            item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        char *end = nullptr;
+        double d = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0')
+            return csprintf("fault spec value '%s' for '%s' is not a "
+                            "number", val.c_str(), key.c_str());
+        if (key == "jitter_prob") {
+            out.msg_jitter_prob = d;
+        } else if (key == "jitter_max") {
+            out.msg_jitter_max = static_cast<Tick>(d);
+        } else if (key == "resv_drop_prob") {
+            out.resv_drop_prob = d;
+        } else if (key == "evict_prob") {
+            out.evict_prob = d;
+        } else if (key == "nack_prob") {
+            out.nack_prob = d;
+        } else if (key == "max_extra_nacks") {
+            out.max_extra_nacks = static_cast<int>(d);
+        } else if (key == "seed") {
+            out.seed = static_cast<std::uint64_t>(d);
+        } else {
+            return csprintf("unknown fault spec key '%s'", key.c_str());
+        }
+    }
+    *this = out;
+    return "";
+}
+
+std::string
+FaultConfig::summary() const
+{
+    return csprintf("seed=%llu,jitter_prob=%g,jitter_max=%llu,"
+                    "resv_drop_prob=%g,evict_prob=%g,nack_prob=%g,"
+                    "max_extra_nacks=%d",
+                    (unsigned long long)seed, msg_jitter_prob,
+                    (unsigned long long)msg_jitter_max, resv_drop_prob,
+                    evict_prob, nack_prob, max_extra_nacks);
+}
+
+FaultConfig
+faultConfigFromEnv()
+{
+    FaultConfig fc;
+    const char *spec = std::getenv("DSM_FAULTS");
+    if (spec == nullptr || *spec == '\0' ||
+        std::string(spec) == "0")
+        return fc;
+    std::string err = fc.parse(spec);
+    if (!err.empty())
+        dsm_fatal("DSM_FAULTS: %s", err.c_str());
+    const char *seed = std::getenv("DSM_FAULT_SEED");
+    if (seed != nullptr && *seed != '\0') {
+        char *end = nullptr;
+        unsigned long long s = std::strtoull(seed, &end, 10);
+        if (end == seed || *end != '\0')
+            dsm_fatal("DSM_FAULT_SEED must be an integer, got '%s'",
+                      seed);
+        fc.seed = s;
+    }
+    return fc;
+}
+
+} // namespace dsm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Deterministic fault injection: a FaultPlan owns a dedicated RNG
+ * stream and decides, at well-defined protocol hook points, whether to
+ * perturb the run — jitter a message, drop a reservation, evict a
+ * cached block, or NACK a home request an extra round. Every decision
+ * is drawn from the plan's own stream, never from the system RNG, so a
+ * faulty run is reproducible byte-for-byte at a given seed and the
+ * fault-free schedule is untouched by merely constructing a plan.
+ */
+
+#ifndef DSM_FAULT_FAULT_HH
+#define DSM_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+/**
+ * Run-time fault injector configured from Config::faults. The hooks
+ * are cheap and branch-free when the plan is disabled because callers
+ * hold a null pointer instead (System::faults() returns nullptr when
+ * off), mirroring the tracer discipline. Each probability is
+ * pre-scaled to parts-per-million so decisions stay in integer
+ * arithmetic on the deterministic Rng.
+ *
+ * Injection sites and their safety arguments:
+ *  - Message jitter is added to a network message's head arrival
+ *    *before* the ejection-port FIFO reservation, so the per-
+ *    destination delivery order the protocol depends on is preserved.
+ *    Node-local messages are never jittered.
+ *  - Reservation drops and forced evictions happen only at operation
+ *    issue time, before the transaction starts, so they model the
+ *    architectural events the paper discusses (context switches,
+ *    conflict misses) without violating mid-transaction invariants.
+ *  - Injected NACKs are confined to the request types that already
+ *    carry retry machinery, and are capped per requester to a run of
+ *    max_extra_nacks consecutive injections so the injector perturbs
+ *    schedules without manufacturing livelock.
+ */
+class FaultPlan
+{
+  public:
+    /** Monotonic injection counters, surfaced as fault.* stats. */
+    struct Counters
+    {
+        std::uint64_t jitter_applied = 0;
+        std::uint64_t jitter_cycles = 0;
+        std::uint64_t resv_drops = 0;
+        std::uint64_t forced_evictions = 0;
+        std::uint64_t nacks_injected = 0;
+    };
+
+    /**
+     * Arm the plan. A FaultConfig seed of 0 derives the fault stream
+     * from @p machine_seed, so sweeping the machine seed perturbs the
+     * faults along with the workload.
+     */
+    void configure(const FaultConfig &cfg, std::uint64_t machine_seed,
+                   int num_procs);
+
+    bool enabled() const { return _cfg.enabled; }
+    /** The seed the RNG stream was actually built from. */
+    std::uint64_t resolvedSeed() const { return _seed; }
+    const Counters &counters() const { return _ctr; }
+    /** Reset injection counters (System::clearStats). */
+    void clearCounters() { _ctr = Counters(); }
+
+    /** Extra cycles to add to a network message's arrival (0 = none). */
+    Tick messageJitter();
+    /** Drop the issuing CPU's reservation? Call only when one is held. */
+    bool dropReservation();
+    /** Evict the target block before issue? Call only when cached. */
+    bool forceEviction();
+    /**
+     * NACK this home request without service? Tracks the requester's
+     * consecutive-injection streak against max_extra_nacks.
+     */
+    bool injectNack(NodeId requester);
+
+  private:
+    FaultConfig _cfg;
+    std::uint64_t _seed = 0;
+    Rng _rng{1};
+    std::uint64_t _jitter_ppm = 0;
+    std::uint64_t _resv_drop_ppm = 0;
+    std::uint64_t _evict_ppm = 0;
+    std::uint64_t _nack_ppm = 0;
+    /** Consecutive injected NACKs per requester, for the cap. */
+    std::vector<int> _nack_streak;
+    Counters _ctr;
+};
+
+/**
+ * Build a FaultConfig from the environment: DSM_FAULTS holds a
+ * FaultConfig::parse spec ("1" for the default mix), DSM_FAULT_SEED
+ * overrides the fault seed. Returns a disabled config when DSM_FAULTS
+ * is unset or "0"; dsm_fatal on a malformed spec.
+ */
+FaultConfig faultConfigFromEnv();
+
+} // namespace dsm
+
+#endif // DSM_FAULT_FAULT_HH

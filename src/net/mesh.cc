@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 #include "trace/txn.hh"
@@ -113,6 +114,12 @@ Mesh::send(const Msg &msg)
     // In-flight time: head latency over the dimension-order path.
     int nhops = hops(m.src, m.dst);
     Tick head_arrive = depart + static_cast<Tick>(nhops) * _cfg.hop_latency;
+
+    // Fault injection: bounded arrival jitter, applied before the
+    // ejection-port reservation below so the per-destination FIFO
+    // delivery order the protocol depends on still holds.
+    if (_faults != nullptr)
+        head_arrive += _faults->messageJitter();
 
     // Ejection port: serialized among messages entering the destination.
     Tick start = std::max(head_arrive, _ej_free[m.dst]);

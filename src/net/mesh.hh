@@ -26,6 +26,7 @@
 
 namespace dsm {
 
+class FaultPlan;
 class Tracer;
 class TxnTracer;
 
@@ -71,6 +72,14 @@ class Mesh
     /** Attach the transaction tracer (counts per-transaction sends). */
     void setTxnTracer(TxnTracer *t) { _txns = t; }
 
+    /**
+     * Attach the fault injector; network messages may then receive
+     * bounded arrival jitter. Jitter lands before the ejection-port
+     * FIFO reservation, so per-destination delivery order — which the
+     * protocol relies on — is preserved. Local messages are exempt.
+     */
+    void setFaults(FaultPlan *f) { _faults = f; }
+
     /** @name Per-node port counters (for the stats registry). @{ */
     const std::uint64_t &injMsgs(NodeId n) const { return _inj_msgs[n]; }
     const std::uint64_t &ejMsgs(NodeId n) const { return _ej_msgs[n]; }
@@ -91,6 +100,7 @@ class Mesh
     std::vector<std::uint64_t> _inj_flits;///< flits injected per node
     Tracer *_tracer = nullptr;
     TxnTracer *_txns = nullptr;
+    FaultPlan *_faults = nullptr;
 };
 
 } // namespace dsm

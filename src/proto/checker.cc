@@ -161,4 +161,39 @@ checkChains(System &sys)
     return out;
 }
 
+std::vector<std::string>
+checkFaultAccounting(System &sys)
+{
+    std::vector<std::string> out;
+    const FaultPlan::Counters &fc = sys.faultPlan().counters();
+    SysStats agg = sys.stats();
+
+    if (!sys.cfg().faults.enabled) {
+        std::uint64_t sum = fc.jitter_applied + fc.jitter_cycles +
+                            fc.resv_drops + fc.forced_evictions +
+                            fc.nacks_injected;
+        if (sum != 0)
+            out.push_back(csprintf("fault injection is disabled but "
+                                   "fault counters are nonzero "
+                                   "(sum %llu)",
+                                   (unsigned long long)sum));
+        return out;
+    }
+
+    if (fc.nacks_injected > agg.nacks)
+        out.push_back(csprintf("injected NACKs (%llu) exceed total "
+                               "NACKs sent (%llu)",
+                               (unsigned long long)fc.nacks_injected,
+                               (unsigned long long)agg.nacks));
+    // On a quiesced system every NACK was delivered and scheduled
+    // exactly one retry, so the totals must agree; a gap means a NACK
+    // was lost or a retry was manufactured.
+    if (sys.tasksPending() == 0 && agg.retries != agg.nacks)
+        out.push_back(csprintf("quiesced but retries (%llu) != NACKs "
+                               "(%llu)",
+                               (unsigned long long)agg.retries,
+                               (unsigned long long)agg.nacks));
+    return out;
+}
+
 } // namespace dsm

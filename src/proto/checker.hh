@@ -41,6 +41,23 @@ std::vector<std::string> checkCoherence(System &sys);
  */
 std::vector<std::string> checkChains(System &sys);
 
+/**
+ * Reconcile the fault injector's counters with the protocol statistics
+ * they must agree with:
+ *
+ *  - with fault injection disabled every fault.* counter is zero (the
+ *    zero-cost-when-off promise);
+ *  - injected NACKs are a subset of all NACKs sent;
+ *  - on a quiesced system (no tasks pending) every NACK — injected or
+ *    organic — produced exactly one retry, so total retries equal
+ *    total NACKs.
+ *
+ * Counters are compared over the same window: System::clearStats()
+ * resets the fault counters together with the protocol counters.
+ * @return a description of each mismatch; empty means reconciled.
+ */
+std::vector<std::string> checkFaultAccounting(System &sys);
+
 } // namespace dsm
 
 #endif // DSM_PROTO_CHECKER_HH

@@ -84,6 +84,15 @@ class Controller
     /** True while a processor operation is in flight. */
     bool cpuBusy() const { return _txn.active; }
 
+    /** @name Active-transaction introspection (watchdogs, failure
+     *  dumps). Meaningful only while cpuBusy(). @{ */
+    AtomicOp cpuOp() const { return _txn.op; }
+    Addr cpuAddr() const { return _txn.addr; }
+    Tick cpuStart() const { return _txn.start; }
+    int cpuRetries() const { return _txn.retries; }
+    bool cpuWaiting() const { return _txn.waiting; }
+    /** @} */
+
     /** Network/local message delivery entry point. */
     void handleMsg(const Msg &m);
 

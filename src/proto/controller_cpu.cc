@@ -21,6 +21,29 @@ Controller::cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
     dsm_assert(addr == wordBase(addr),
                "unaligned operand address %#llx",
                static_cast<unsigned long long>(addr));
+    // Fault injection, at issue time only (never mid-transaction, so
+    // the protocol's in-flight invariants are preserved): model a
+    // context switch clearing the load_linked reservation and/or a
+    // conflict miss evicting the target block just before the
+    // operation starts. Both are events the paper's protocols must
+    // already survive; the injector just makes them frequent.
+    FaultPlan *fp = _sys.faults();
+    if (fp != nullptr) {
+        if (_cache.reservationValid() && fp->dropReservation())
+            _cache.clearReservation();
+        const CacheLine *line = _cache.peek(addr);
+        if (line != nullptr && fp->forceEviction()) {
+            Victim v;
+            v.valid = true;
+            v.base = blockBase(addr);
+            v.state = line->state;
+            v.data = line->data;
+            ++_cache.stats().evictions;
+            _cache.invalidate(addr);
+            traceLineState(v.base, v.state, LineState::INVALID);
+            evictVictim(v);
+        }
+    }
     _txn = Txn{};
     _txn.active = true;
     _txn.op = op;
@@ -116,6 +139,9 @@ Controller::retryTxn()
     dsm_assert(_txn.active, "retry without an active transaction");
     ++_txn.retries;
     ++_sys.stats(_id).retries;
+    Watchdog *wd = _sys.watchdog();
+    if (wd != nullptr)
+        wd->onRetry(_sys, _id, _txn.op, _txn.addr, _txn.retries);
     Tracer &tr = _sys.tracer();
     if (tr.on(TraceCat::RETRY)) {
         TraceEvent ev;

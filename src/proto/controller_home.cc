@@ -43,6 +43,29 @@ Controller::homeEnqueue(const Msg &m)
 void
 Controller::homeProcess(const Msg &m)
 {
+    // Fault injection: an extra NACK round for request types that
+    // already carry retry machinery. Never for write-backs, drop
+    // notifications, or owner replies — those have no retry path and
+    // NACKing them would wedge the directory's busy-state machine.
+    FaultPlan *fp = _sys.faults();
+    if (fp != nullptr) {
+        switch (m.type) {
+          case MsgType::GET_S:
+          case MsgType::GET_X:
+          case MsgType::UPGRADE:
+          case MsgType::CAS_HOME:
+          case MsgType::SC_REQ:
+          case MsgType::UNC_REQ:
+          case MsgType::UPD_REQ:
+            if (fp->injectNack(m.src)) {
+                sendNack(m);
+                return;
+            }
+            break;
+          default:
+            break;
+        }
+    }
     switch (m.type) {
       case MsgType::GET_S:
         homeGetS(m);

@@ -104,6 +104,40 @@ Config::validate() const
     if (txn_trace.enabled && txn_trace.capacity == 0)
         return "txn_trace.capacity must be nonzero when transaction "
                "tracing is enabled";
+
+    const FaultConfig &f = faults;
+    struct { const char *name; double v; } probs[] = {
+        { "faults.msg_jitter_prob", f.msg_jitter_prob },
+        { "faults.resv_drop_prob", f.resv_drop_prob },
+        { "faults.evict_prob", f.evict_prob },
+        { "faults.nack_prob", f.nack_prob },
+    };
+    for (const auto &p : probs) {
+        if (p.v < 0.0 || p.v > 1.0)
+            return csprintf("%s must be in [0, 1], got %g", p.name, p.v);
+    }
+    if (f.enabled && f.msg_jitter_prob > 0.0 && f.msg_jitter_max == 0)
+        return "faults.msg_jitter_max must be nonzero when "
+               "faults.msg_jitter_prob > 0";
+    if (f.msg_jitter_max > FAULT_JITTER_HORIZON)
+        return csprintf("faults.msg_jitter_max must be <= %llu (the "
+                        "event-queue jitter horizon), got %llu",
+                        (unsigned long long)FAULT_JITTER_HORIZON,
+                        (unsigned long long)f.msg_jitter_max);
+    if (f.max_extra_nacks < 0)
+        return csprintf("faults.max_extra_nacks must be >= 0, got %d",
+                        f.max_extra_nacks);
+
+    const WatchdogConfig &w = watchdog;
+    if (w.max_retries < 0)
+        return csprintf("watchdog.max_retries must be >= 0, got %d",
+                        w.max_retries);
+    if (w.enabled && w.max_retries == 0 && w.max_txn_age == 0)
+        return "watchdog enabled but both max_retries and max_txn_age "
+               "are 0; set at least one bound";
+    if (w.max_txn_age > 0 && w.scan_period == 0)
+        return "watchdog.scan_period must be nonzero when max_txn_age "
+               "is set";
     return "";
 }
 

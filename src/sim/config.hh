@@ -153,6 +153,82 @@ struct TxnTraceConfig
     std::size_t max_divergences = 16;
 };
 
+/**
+ * Upper bound on FaultConfig::msg_jitter_max: keeps injected delays far
+ * below any plausible run deadline so jitter can never masquerade as a
+ * hang (the watchdogs must stay able to tell slow from stuck).
+ */
+constexpr Tick FAULT_JITTER_HORIZON = 1u << 20;
+
+/**
+ * Deterministic fault-injection configuration (fault/fault.hh). Off by
+ * default and free when off (a single null-pointer branch per hook, the
+ * same discipline as the tracers). When enabled, a dedicated RNG stream
+ * — independent of the protocol's backoff stream — draws bounded
+ * per-message latency jitter in the mesh, spurious reservation drops
+ * and forced evictions at operation issue, and extra NACK rounds at the
+ * home directory. Runs are reproducible byte-for-byte at a given
+ * (machine seed, fault seed) pair, including under parallel sweeps.
+ */
+struct FaultConfig
+{
+    bool enabled = false;
+    /**
+     * Seed for the fault RNG stream. 0 derives a stream from the
+     * machine seed, so per-point seeds in a sweep vary the faults too.
+     */
+    std::uint64_t seed = 0;
+    /** Probability that a network message's arrival is jittered. */
+    double msg_jitter_prob = 0.0;
+    /** Maximum jitter, in cycles, added to a jittered message. */
+    Tick msg_jitter_max = 0;
+    /** Probability an op issue drops a valid load_linked reservation. */
+    double resv_drop_prob = 0.0;
+    /** Probability an op issue first evicts the cached target block. */
+    double evict_prob = 0.0;
+    /** Probability a NACKable home request gets a spurious NACK. */
+    double nack_prob = 0.0;
+    /**
+     * Per-requester cap on *consecutive* injected NACKs, so injection
+     * perturbs schedules without manufacturing livelock. 0 means
+     * unbounded (useful only for directed livelock tests).
+     */
+    int max_extra_nacks = 4;
+
+    /**
+     * Parse a DSM_FAULTS-style spec into this config. "1"/"on"/
+     * "default" enables a standard mix; otherwise a comma-separated
+     * key=value list (jitter_prob, jitter_max, resv_drop_prob,
+     * evict_prob, nack_prob, max_extra_nacks, seed).
+     *
+     * @return "" on success, otherwise a descriptive error.
+     */
+    std::string parse(const std::string &spec);
+
+    /** Canonical key=value spec string (inverse of parse). */
+    std::string summary() const;
+};
+
+/**
+ * Forward-progress watchdog configuration (fault/watchdog.hh). Off by
+ * default. When enabled, a transaction exceeding the retry bound or the
+ * simulated-cycle age bound trips the watchdog: System::run() stops,
+ * reports livelocked, and attaches a diagnosis naming the stuck
+ * transaction (with its TxnTracer span tree when transaction tracing
+ * is on). Deadlock detection — event queue drained while tasks remain
+ * blocked — is always on and needs no configuration.
+ */
+struct WatchdogConfig
+{
+    bool enabled = false;
+    /** Trip when any transaction exceeds this many retries. 0 = off. */
+    int max_retries = 0;
+    /** Trip when any transaction is older than this, in cycles. 0 = off. */
+    Tick max_txn_age = 0;
+    /** Period of the age-scan event (only used when max_txn_age > 0). */
+    Tick scan_period = 10000;
+};
+
 /** Complete simulation configuration. */
 struct Config
 {
@@ -160,6 +236,8 @@ struct Config
     SyncConfig sync;
     TraceConfig trace;
     TxnTraceConfig txn_trace;
+    FaultConfig faults;
+    WatchdogConfig watchdog;
 
     /**
      * Check the whole configuration for user error: machine shape

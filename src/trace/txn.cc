@@ -420,4 +420,31 @@ TxnTracer::writeChromeJson(const std::string &path) const
     return static_cast<bool>(out);
 }
 
+std::string
+TxnTracer::describeActive(NodeId proc) const
+{
+    if (!_enabled || proc < 0 || proc >= _num_procs)
+        return "";
+    const Active &a = _active[static_cast<std::size_t>(proc)];
+    if (!a.live)
+        return "";
+    const TxnRecord &r = a.rec;
+    std::string out = csprintf(
+        "    txn %llu %s %s addr=%#llx issue=%llu retries=%d "
+        "messages=%d spans:\n",
+        (unsigned long long)r.id, toString(r.policy), toString(r.op),
+        (unsigned long long)r.addr, (unsigned long long)r.issue,
+        r.retries, r.messages);
+    for (const TxnSpan &s : r.spans)
+        out += csprintf("      [%llu, %llu) %s @node %d\n",
+                        (unsigned long long)s.start,
+                        (unsigned long long)s.end, toString(s.phase),
+                        s.node);
+    if (r.spans_truncated)
+        out += "      ...(spans truncated)\n";
+    out += csprintf("      (last milestone at %llu)\n",
+                    (unsigned long long)a.last_mark);
+    return out;
+}
+
 } // namespace dsm

@@ -180,6 +180,13 @@ class TxnTracer
         return _divergence_msgs;
     }
 
+    /**
+     * Render @p proc's in-flight transaction — header plus its phase
+     * span tree so far — for watchdog/deadlock diagnoses. Returns ""
+     * when tracing is off or the processor has no open transaction.
+     */
+    std::string describeActive(NodeId proc) const;
+
     // Stable pointers for StatsRegistry registration.
     const std::uint64_t *droppedCounter() const { return &_dropped; }
     const std::uint64_t *mismatchCounter() const { return &_mismatches; }

@@ -145,3 +145,81 @@ TEST(ConfigValidate, ReportsReservationAndTraceDefects)
     EXPECT_EQ(cfg.validate(),
               "trace.capacity must be nonzero when tracing is enabled");
 }
+
+TEST(ConfigValidate, ReportsFaultProbabilityRange)
+{
+    Config cfg;
+    cfg.faults.msg_jitter_prob = -0.1;
+    EXPECT_EQ(cfg.validate(),
+              "faults.msg_jitter_prob must be in [0, 1], got -0.1");
+    cfg.faults.msg_jitter_prob = 0.0;
+    cfg.faults.resv_drop_prob = 2.0;
+    EXPECT_EQ(cfg.validate(),
+              "faults.resv_drop_prob must be in [0, 1], got 2");
+    cfg.faults.resv_drop_prob = 0.0;
+    cfg.faults.evict_prob = 1.5;
+    EXPECT_EQ(cfg.validate(),
+              "faults.evict_prob must be in [0, 1], got 1.5");
+    cfg.faults.evict_prob = 0.0;
+    cfg.faults.nack_prob = 1.01;
+    EXPECT_EQ(cfg.validate(),
+              "faults.nack_prob must be in [0, 1], got 1.01");
+}
+
+TEST(ConfigValidate, ReportsJitterBoundDefects)
+{
+    Config cfg;
+    cfg.faults.enabled = true;
+    cfg.faults.msg_jitter_prob = 0.5;
+    cfg.faults.msg_jitter_max = 0;
+    EXPECT_EQ(cfg.validate(),
+              "faults.msg_jitter_max must be nonzero when "
+              "faults.msg_jitter_prob > 0");
+    cfg.faults.msg_jitter_max = FAULT_JITTER_HORIZON + 1;
+    EXPECT_EQ(cfg.validate(),
+              "faults.msg_jitter_max must be <= 1048576 (the "
+              "event-queue jitter horizon), got 1048577");
+    cfg.faults.msg_jitter_max = 64;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, ReportsNackCapDefect)
+{
+    Config cfg;
+    cfg.faults.max_extra_nacks = -3;
+    EXPECT_EQ(cfg.validate(),
+              "faults.max_extra_nacks must be >= 0, got -3");
+}
+
+TEST(ConfigValidate, ReportsWatchdogDefects)
+{
+    Config cfg;
+    cfg.watchdog.enabled = true;
+    cfg.watchdog.max_retries = -1;
+    EXPECT_EQ(cfg.validate(),
+              "watchdog.max_retries must be >= 0, got -1");
+    cfg.watchdog.max_retries = 0;
+    cfg.watchdog.max_txn_age = 0;
+    EXPECT_EQ(cfg.validate(),
+              "watchdog enabled but both max_retries and max_txn_age "
+              "are 0; set at least one bound");
+    cfg.watchdog.max_txn_age = 1000;
+    cfg.watchdog.scan_period = 0;
+    EXPECT_EQ(cfg.validate(),
+              "watchdog.scan_period must be nonzero when max_txn_age "
+              "is set");
+    cfg.watchdog.scan_period = 100;
+    EXPECT_EQ(cfg.validate(), "");
+}
+
+TEST(ConfigValidate, DisabledFaultKnobsStillRangeChecked)
+{
+    // Probability ranges are checked even with injection disabled so a
+    // typo in a sweep config fails fast rather than silently when the
+    // campaign later flips `enabled` on.
+    Config cfg;
+    ASSERT_FALSE(cfg.faults.enabled);
+    cfg.faults.nack_prob = 7.0;
+    EXPECT_EQ(cfg.validate(),
+              "faults.nack_prob must be in [0, 1], got 7");
+}
