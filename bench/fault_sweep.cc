@@ -224,8 +224,11 @@ main(int argc, char **argv)
                 (unsigned long long)total_injected.load(),
                 failures.size());
     if (!failures.empty()) {
-        std::printf("reproduce with: fault_sweep --seeds 1 --seed "
-                    "%llu\n",
+        // The fault spec is part of the point's identity: repeat it
+        // verbatim so the repro rebuilds the exact fault stream.
+        std::printf("reproduce with: DSM_FAULTS='%s' fault_sweep "
+                    "--seeds 1 --seed %llu\n",
+                    fc.summary().c_str(),
                     (unsigned long long)failures.front().seed);
         return 1;
     }

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Message-loss recovery campaign: the Figure 6 implementation matrix
+ * (INV/UPD/UNC x FAP/LL-SC/CAS) under increasing message-loss rates,
+ * with at least one level adding seeded whole-link flaky episodes and
+ * link quarantine. Every point runs the lock-free counter under
+ * contention while the mesh drops requests and replies, then asserts
+ * the end-to-end recovery promise: the run completes, the counter's
+ * final value is exact, checkCoherence() finds no violation,
+ * checkFaultAccounting() reconciles the drop ledger (every loss
+ * covered by a retransmission or a link quarantine), and the
+ * transaction tracer's phase sums still partition every latency
+ * (txn.phase_sum_mismatches == 0).
+ *
+ * Usage: recovery_sweep [--seeds K] [--seed BASE] [--jobs N]
+ *
+ * DSM_FAULTS, when set, replaces the built-in loss axis with the given
+ * spec as a single level — the failure repro line uses exactly this.
+ * On failure a WATCHDOG_recovery_sweep_<impl>_<level>_<seed>.txt
+ * diagnosis dump is written next to BENCH_recovery_sweep.json.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "fault/fault.hh"
+#include "fault/recovery.hh"
+#include "proto/checker.hh"
+#include "sim/logging.hh"
+#include "workloads/counter_apps.hh"
+
+using namespace dsm;
+
+namespace {
+
+int
+parseSeedsFlag(int argc, char **argv, int fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        const char *v = nullptr;
+        if (std::strncmp(a, "--seeds=", 8) == 0)
+            v = a + 8;
+        else if (std::strcmp(a, "--seeds") == 0 && i + 1 < argc)
+            v = argv[i + 1];
+        if (v != nullptr) {
+            char *end = nullptr;
+            long n = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || n < 1)
+                dsm_fatal("--seeds expects a positive integer, got "
+                          "'%s'", v);
+            return static_cast<int>(n);
+        }
+    }
+    return fallback;
+}
+
+std::string
+fileLabel(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (c == ' ' || c == '+' || c == '/')
+            c = '_';
+    return out;
+}
+
+/** One loss level: a label and a DSM_FAULTS-style spec. */
+struct LossLevel
+{
+    std::string label;
+    FaultConfig cfg;
+    std::string spec;
+};
+
+LossLevel
+makeLevel(std::string label, std::string spec)
+{
+    LossLevel lv;
+    lv.label = std::move(label);
+    lv.spec = std::move(spec);
+    std::string err = lv.cfg.parse(lv.spec);
+    if (!err.empty())
+        dsm_fatal("loss level '%s': %s", lv.label.c_str(), err.c_str());
+    return lv;
+}
+
+struct Failure
+{
+    std::string impl;
+    std::string level;
+    std::string spec;
+    std::uint64_t seed;
+    std::string report;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = parseJobsFlag(argc, argv);
+    int nseeds = parseSeedsFlag(argc, argv, 5);
+    std::uint64_t base = parseSeedFlag(argc, argv);
+    if (base == 0)
+        base = seedFromEnv();
+    if (base == 0)
+        base = 1;
+    // Seeds and fault plans are assigned per point; consume the global
+    // overrides so Experiment::run() does not flatten them again
+    // (DSM_FAULTS stays visible to it, but then it re-applies the same
+    // single level everywhere, which is exactly what a repro wants).
+    unsetenv("DSM_SEED");
+
+    // The loss axis: pure random loss at two rates, then the same loss
+    // plus seeded flaky-link episodes with quarantine armed. DSM_FAULTS
+    // replaces the axis with a single custom level.
+    std::vector<LossLevel> levels;
+    FaultConfig env = faultConfigFromEnv();
+    if (env.enabled) {
+        LossLevel lv;
+        lv.label = "custom";
+        lv.cfg = env;
+        lv.spec = env.summary();
+        levels.push_back(std::move(lv));
+    } else {
+        levels.push_back(makeLevel(
+            "2e-4", "drop_prob=0.0002,req_timeout=2000"));
+        levels.push_back(makeLevel(
+            "1e-3", "drop_prob=0.001,req_timeout=2000"));
+        levels.push_back(makeLevel(
+            "1e-3+flaky",
+            "drop_prob=0.001,flaky_links=1,flaky_window=50000,"
+            "flaky_duration=50000,flaky_drop_prob=1,req_timeout=2000,"
+            "quarantine_k=2,quarantine_window=1000000000"));
+    }
+
+    Config cfg0;
+    cfg0.machine.num_procs = 16;
+    cfg0.machine.mesh_x = 4;
+    cfg0.machine.mesh_y = 4;
+    cfg0.machine.retry_jitter = 4;
+
+    Experiment ex("recovery_sweep", cfg0);
+    ex.title(csprintf("Message-loss recovery campaign: lock-free "
+                      "counter, p=16, c=8, %zu level(s), %d seed(s) "
+                      "from %llu",
+                      levels.size(), nseeds, (unsigned long long)base))
+        .meta("app", "lock-free counter")
+        .meta("seeds", nseeds)
+        .meta("levels", static_cast<int>(levels.size()))
+        .rowKey("impl")
+        .colKey("loss")
+        .table(false);
+
+    std::mutex fail_mutex;
+    std::vector<Failure> failures;
+    std::atomic<std::uint64_t> total_drops{0};
+    std::atomic<std::uint64_t> total_retransmits{0};
+    std::atomic<std::uint64_t> total_replayed{0};
+    std::atomic<std::uint64_t> total_quarantined{0};
+
+    for (const ImplCase &impl : applicationMatrix()) {
+        for (const LossLevel &lv : levels) {
+            for (int k = 0; k < nseeds; ++k) {
+                Config cfg = ex.configFor(impl);
+                cfg.machine.seed =
+                    base + static_cast<std::uint64_t>(k);
+                cfg.faults = lv.cfg;
+                // Phase-sum validation rides along on every point.
+                cfg.txn_trace.enabled = true;
+                // Forward-progress bounds: loss stretches transactions
+                // by recovery timeouts, so the age bound is generous,
+                // but a trip still means livelock, not slowness.
+                cfg.watchdog.enabled = true;
+                cfg.watchdog.max_retries = 100000;
+                cfg.watchdog.max_txn_age = 5'000'000;
+                cfg.watchdog.scan_period = 50'000;
+                std::uint64_t seed = cfg.machine.seed;
+                std::string spec = lv.spec;
+                std::string level = lv.label;
+                ex.point(
+                    impl.label,
+                    csprintf("%s/%llu", level.c_str(),
+                             (unsigned long long)seed),
+                    cfg,
+                    [&, impl, seed, spec, level](System &sys) {
+                        CounterAppConfig app;
+                        app.kind = CounterKind::LOCK_FREE;
+                        app.prim = impl.prim;
+                        // Loss rates are per message: the run must be
+                        // long enough that every level expects many
+                        // drops (tens of thousands of messages).
+                        app.contention = 8;
+                        app.phases = 64;
+                        CounterAppResult r = runCounterApp(sys, app);
+
+                        std::vector<std::string> problems;
+                        if (!r.completed) {
+                            const Watchdog &wd = sys.watchdogState();
+                            problems.push_back(
+                                wd.tripped()
+                                    ? wd.diagnosis()
+                                    : "run did not complete:\n" +
+                                          Watchdog::blockedTxnDump(
+                                              sys));
+                        } else {
+                            if (!r.correct)
+                                problems.push_back(
+                                    "final counter value is wrong");
+                            for (std::string &v : checkCoherence(sys))
+                                problems.push_back(std::move(v));
+                            for (std::string &v :
+                                 checkFaultAccounting(sys))
+                                problems.push_back(std::move(v));
+                            if (sys.txns().phaseSumMismatches() != 0)
+                                problems.push_back(csprintf(
+                                    "%llu transaction phase-sum "
+                                    "mismatch(es)",
+                                    (unsigned long long)sys.txns()
+                                        .phaseSumMismatches()));
+                        }
+
+                        const FaultPlan::Counters &fctr =
+                            sys.faultPlan().counters();
+                        const Recovery::Counters &rctr =
+                            sys.recoveryState().counters();
+                        total_drops += rctr.drops;
+                        total_retransmits += rctr.retransmits;
+                        total_replayed += rctr.dup_replayed;
+                        total_quarantined += rctr.links_quarantined;
+
+                        PointResult res;
+                        res.value = r.avg_cycles_per_update;
+                        res.metrics = collectRunMetrics(sys);
+                        SysStats agg = sys.stats();
+                        res.fields.set("seed", seed)
+                            .set("ok", static_cast<std::uint64_t>(
+                                           problems.empty() ? 1 : 0))
+                            .set("updates", r.updates)
+                            .set("retries", agg.retries)
+                            .set("nacks", agg.nacks)
+                            .set("msg_drops", fctr.msg_drops)
+                            .set("flaky_drops", fctr.flaky_drops)
+                            .set("drops", rctr.drops)
+                            .set("req_drops", rctr.req_drops)
+                            .set("reply_drops", rctr.reply_drops)
+                            .set("retransmits", rctr.retransmits)
+                            .set("retransmit_covered",
+                                 rctr.retransmit_covered)
+                            .set("quarantine_covered",
+                                 rctr.quarantine_covered)
+                            .set("dup_replayed", rctr.dup_replayed)
+                            .set("dup_reprocessed",
+                                 rctr.dup_reprocessed)
+                            .set("links_quarantined",
+                                 rctr.links_quarantined)
+                            .set("nacks_lost", rctr.nacks_lost)
+                            .set("stale_replies", rctr.stale_replies);
+
+                        if (!problems.empty()) {
+                            std::string report = csprintf(
+                                "recovery_sweep failure: impl=%s "
+                                "level=%s seed=%llu\n"
+                                "fault spec: %s\n",
+                                impl.label.c_str(), level.c_str(),
+                                (unsigned long long)seed,
+                                spec.c_str());
+                            for (const std::string &p : problems)
+                                report += p + "\n";
+                            std::lock_guard<std::mutex> g(fail_mutex);
+                            failures.push_back(Failure{
+                                impl.label, level, spec, seed,
+                                report});
+                        }
+                        return res;
+                    });
+            }
+        }
+    }
+
+    ex.run(jobs);
+
+    const char *dir = std::getenv("DSM_BENCH_DIR");
+    std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
+    for (const Failure &f : failures) {
+        std::string path = csprintf(
+            "%s/WATCHDOG_recovery_sweep_%s_%s_%llu.txt", d.c_str(),
+            fileLabel(f.impl).c_str(), fileLabel(f.level).c_str(),
+            (unsigned long long)f.seed);
+        std::ofstream out(path, std::ios::binary);
+        if (out)
+            out << f.report;
+        std::fprintf(stderr, "FAILED %s level=%s seed=%llu -> %s\n",
+                     f.impl.c_str(), f.level.c_str(),
+                     (unsigned long long)f.seed, path.c_str());
+    }
+
+    std::printf("campaign: %zu points (9 impls x %zu levels x %d "
+                "seeds), %llu drops, %llu retransmits, %llu replays, "
+                "%llu quarantines, %zu failure(s)\n",
+                ex.numPoints(), levels.size(), nseeds,
+                (unsigned long long)total_drops.load(),
+                (unsigned long long)total_retransmits.load(),
+                (unsigned long long)total_replayed.load(),
+                (unsigned long long)total_quarantined.load(),
+                failures.size());
+    // The campaign must actually exercise the machinery it certifies:
+    // a silently loss-free "pass" would prove nothing.
+    if (total_drops.load() == 0 || total_retransmits.load() == 0) {
+        std::printf("campaign error: no drops/retransmits were "
+                    "exercised; the loss axis is miswired\n");
+        return 1;
+    }
+    if (!failures.empty()) {
+        // The fault spec is part of the point's identity: repeat it
+        // verbatim so the repro rebuilds the exact fault stream.
+        const Failure &f = failures.front();
+        std::printf("reproduce with: DSM_FAULTS='%s' recovery_sweep "
+                    "--seeds 1 --seed %llu\n",
+                    f.spec.c_str(), (unsigned long long)f.seed);
+        return 1;
+    }
+    return 0;
+}

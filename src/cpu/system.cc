@@ -31,10 +31,16 @@ System::System(const Config &cfg)
     _mesh.setTracer(&_tracer);
     _txns.configure(_cfg.txn_trace, n);
     _mesh.setTxnTracer(&_txns);
-    _faults.configure(_cfg.faults, _cfg.machine.seed, n);
+    _faults.configure(_cfg.faults, _cfg.machine.seed, _cfg.machine);
     if (_faults.enabled()) {
         _faults_on = &_faults;
         _mesh.setFaults(&_faults);
+    }
+    if (_cfg.faults.recoveryEnabled()) {
+        _recovery.configure(*this, _mesh);
+        _recovery_on = &_recovery;
+        _mesh.setRecovery(&_recovery, _cfg.faults.quarantine_k,
+                          _cfg.faults.quarantine_window);
     }
     _watchdog.configure(_cfg.watchdog);
     if (_watchdog.enabled())
@@ -98,6 +104,39 @@ System::buildRegistry()
         _registry.addCounter("fault.forced_evictions",
                              &fc.forced_evictions);
         _registry.addCounter("fault.nacks_injected", &fc.nacks_injected);
+        // Loss counters only when loss is armed, so legacy fault runs
+        // keep their exact JSON shape.
+        if (_cfg.faults.lossEnabled()) {
+            _registry.addCounter("fault.msg_drops", &fc.msg_drops);
+            _registry.addCounter("fault.flaky_drops", &fc.flaky_drops);
+        }
+    }
+    if (_cfg.faults.recoveryEnabled()) {
+        const Recovery::Counters &rc = _recovery.counters();
+        _registry.addCounter("recovery.drops", &rc.drops);
+        _registry.addCounter("recovery.req_drops", &rc.req_drops);
+        _registry.addCounter("recovery.reply_drops", &rc.reply_drops);
+        _registry.addCounter("recovery.retransmit_covered",
+                             &rc.retransmit_covered);
+        _registry.addCounter("recovery.quarantine_covered",
+                             &rc.quarantine_covered);
+        _registry.addCounter("recovery.pending_drops",
+                             [this] { return _recovery.pendingDrops(); });
+        _registry.addCounter("recovery.retransmits", &rc.retransmits);
+        _registry.addCounter("recovery.stale_replies", &rc.stale_replies);
+        _registry.addCounter("recovery.nacks_lost", &rc.nacks_lost);
+        _registry.addCounter("recovery.nacks_stale", &rc.nacks_stale);
+        _registry.addCounter("recovery.nacks_replayed",
+                             &rc.nacks_replayed);
+        _registry.addCounter("recovery.dup_requests", &rc.dup_requests);
+        _registry.addCounter("recovery.dup_replayed", &rc.dup_replayed);
+        _registry.addCounter("recovery.dup_reprocessed",
+                             &rc.dup_reprocessed);
+        _registry.addCounter("recovery.dup_in_progress",
+                             &rc.dup_in_progress);
+        _registry.addCounter("recovery.dup_stale", &rc.dup_stale);
+        _registry.addCounter("recovery.links_quarantined",
+                             &rc.links_quarantined);
     }
     if (_cfg.watchdog.enabled)
         _registry.addCounter("fault.watchdog_trips",

@@ -18,6 +18,7 @@
 #include "cpu/sync_barrier.hh"
 #include "cpu/task.hh"
 #include "fault/fault.hh"
+#include "fault/recovery.hh"
 #include "fault/watchdog.hh"
 #include "mem/backing_store.hh"
 #include "mem/directory.hh"
@@ -104,6 +105,7 @@ class System
         // Keep the fault counters in step with the protocol counters
         // they reconcile against (checker::checkFaultAccounting).
         _faults.clearCounters();
+        _recovery.clearCounters();
     }
 
     /** The hierarchical stats registry (per-node and global entries). */
@@ -138,6 +140,16 @@ class System
 
     /** The watchdog itself, for inspection even when disabled. */
     const Watchdog &watchdogState() const { return _watchdog; }
+
+    /**
+     * The message-loss recovery layer (requester timers, home dedup,
+     * drop ledger), or nullptr when FaultConfig::req_timeout is 0 —
+     * the null-pointer gate that keeps loss-free runs zero-cost.
+     */
+    Recovery *recovery() { return _recovery_on; }
+
+    /** The recovery layer itself, for inspection even when disabled. */
+    const Recovery &recoveryState() const { return _recovery; }
 
     /** The full registry rendered as nested JSON. */
     std::string statsJson() const { return _registry.toJson(); }
@@ -254,9 +266,11 @@ class System
     TxnTracer _txns;
     FaultPlan _faults;
     Watchdog _watchdog;
+    Recovery _recovery;
     /** Non-null only when the corresponding feature is enabled. */
     FaultPlan *_faults_on = nullptr;
     Watchdog *_watchdog_on = nullptr;
+    Recovery *_recovery_on = nullptr;
     SharingTracker _sharing;
     Rng _rng;
 

@@ -31,24 +31,75 @@ mixSeed(std::uint64_t s)
 
 void
 FaultPlan::configure(const FaultConfig &cfg, std::uint64_t machine_seed,
-                     int num_procs)
+                     const MachineConfig &mc)
 {
     _cfg = cfg;
     _seed = cfg.seed != 0 ? cfg.seed : mixSeed(machine_seed);
     _rng = Rng(_seed);
+    _draws = 0;
     _jitter_ppm = toPpm(cfg.msg_jitter_prob);
     _resv_drop_ppm = toPpm(cfg.resv_drop_prob);
     _evict_ppm = toPpm(cfg.evict_prob);
     _nack_ppm = toPpm(cfg.nack_prob);
-    _nack_streak.assign(static_cast<std::size_t>(num_procs), 0);
+    _drop_ppm = toPpm(cfg.msg_drop_prob);
+    _flaky_ppm = toPpm(cfg.flaky_drop_prob);
+    _nack_streak.assign(static_cast<std::size_t>(mc.num_procs), 0);
     _ctr = Counters();
+
+    // Flaky-link episodes come off the front of the fault stream, so
+    // their placement is independent of the workload's message order.
+    _episodes.clear();
+    if (cfg.flaky_links > 0 && mc.num_procs > 1) {
+        for (int i = 0; i < cfg.flaky_links; ++i) {
+            FlakyEpisode ep;
+            NodeId a = static_cast<NodeId>(
+                draw(static_cast<std::uint64_t>(mc.num_procs)));
+            int x = a % mc.mesh_x, y = a / mc.mesh_x;
+            // Draw an axis+sign; mirror the sign when the neighbour
+            // would fall off the grid (draw count stays fixed).
+            std::uint64_t dir = draw(4);
+            NodeId b = a;
+            if ((dir < 2 && mc.mesh_x > 1) || mc.mesh_y == 1) {
+                int dx = dir % 2 == 0 ? 1 : -1;
+                if (x + dx < 0 || x + dx >= mc.mesh_x)
+                    dx = -dx;
+                b = a + dx;
+            } else {
+                int dy = dir % 2 == 0 ? 1 : -1;
+                if (y + dy < 0 || y + dy >= mc.mesh_y)
+                    dy = -dy;
+                b = a + dy * mc.mesh_x;
+            }
+            ep.from = a;
+            ep.to = b;
+            ep.start = draw(cfg.flaky_window);
+            ++_draws;
+            ep.end = ep.start + _rng.range(1, cfg.flaky_duration);
+            _episodes.push_back(ep);
+        }
+    }
+}
+
+std::uint64_t
+FaultPlan::draw(std::uint64_t bound)
+{
+    ++_draws;
+    return _rng.below(bound);
+}
+
+bool
+FaultPlan::drawChance(std::uint64_t ppm)
+{
+    ++_draws;
+    return _rng.chance(ppm, PPM);
 }
 
 Tick
 FaultPlan::messageJitter()
 {
-    if (_jitter_ppm == 0 || !_rng.chance(_jitter_ppm, PPM))
+    if (_jitter_ppm == 0 || !drawChance(_jitter_ppm))
         return 0;
+    ++_draws;
     Tick j = _rng.range(1, _cfg.msg_jitter_max);
     ++_ctr.jitter_applied;
     _ctr.jitter_cycles += j;
@@ -58,7 +109,7 @@ FaultPlan::messageJitter()
 bool
 FaultPlan::dropReservation()
 {
-    if (_resv_drop_ppm == 0 || !_rng.chance(_resv_drop_ppm, PPM))
+    if (_resv_drop_ppm == 0 || !drawChance(_resv_drop_ppm))
         return false;
     ++_ctr.resv_drops;
     return true;
@@ -67,7 +118,7 @@ FaultPlan::dropReservation()
 bool
 FaultPlan::forceEviction()
 {
-    if (_evict_ppm == 0 || !_rng.chance(_evict_ppm, PPM))
+    if (_evict_ppm == 0 || !drawChance(_evict_ppm))
         return false;
     ++_ctr.forced_evictions;
     return true;
@@ -83,13 +134,44 @@ FaultPlan::injectNack(NodeId requester)
         streak = 0;
         return false;
     }
-    if (!_rng.chance(_nack_ppm, PPM)) {
+    if (!drawChance(_nack_ppm)) {
         streak = 0;
         return false;
     }
     ++streak;
     ++_ctr.nacks_injected;
     return true;
+}
+
+bool
+FaultPlan::dropMessage(Tick now, const NodeId *path, int nodes,
+                       NodeId &from, NodeId &to)
+{
+    // Flaky episodes first, link by link in path order: one draw per
+    // link whose episode is active at `now`.
+    for (int i = 0; i + 1 < nodes; ++i) {
+        for (const FlakyEpisode &ep : _episodes) {
+            if (ep.from != path[i] || ep.to != path[i + 1] ||
+                now < ep.start || now >= ep.end)
+                continue;
+            if (drawChance(_flaky_ppm)) {
+                ++_ctr.flaky_drops;
+                from = path[i];
+                to = path[i + 1];
+                return true;
+            }
+            break; // one draw per link even with overlapping episodes
+        }
+    }
+    // Then the random per-message loss draw, attributed to the first
+    // link the message would have traversed.
+    if (_drop_ppm != 0 && drawChance(_drop_ppm)) {
+        ++_ctr.msg_drops;
+        from = path[0];
+        to = path[1];
+        return true;
+    }
+    return false;
 }
 
 std::string
@@ -144,6 +226,22 @@ FaultConfig::parse(const std::string &spec)
             out.max_extra_nacks = static_cast<int>(d);
         } else if (key == "seed") {
             out.seed = static_cast<std::uint64_t>(d);
+        } else if (key == "drop_prob") {
+            out.msg_drop_prob = d;
+        } else if (key == "flaky_links") {
+            out.flaky_links = static_cast<int>(d);
+        } else if (key == "flaky_window") {
+            out.flaky_window = static_cast<Tick>(d);
+        } else if (key == "flaky_duration") {
+            out.flaky_duration = static_cast<Tick>(d);
+        } else if (key == "flaky_drop_prob") {
+            out.flaky_drop_prob = d;
+        } else if (key == "req_timeout") {
+            out.req_timeout = static_cast<Tick>(d);
+        } else if (key == "quarantine_k") {
+            out.quarantine_k = static_cast<int>(d);
+        } else if (key == "quarantine_window") {
+            out.quarantine_window = static_cast<Tick>(d);
         } else {
             return csprintf("unknown fault spec key '%s'", key.c_str());
         }
@@ -155,12 +253,28 @@ FaultConfig::parse(const std::string &spec)
 std::string
 FaultConfig::summary() const
 {
-    return csprintf("seed=%llu,jitter_prob=%g,jitter_max=%llu,"
-                    "resv_drop_prob=%g,evict_prob=%g,nack_prob=%g,"
-                    "max_extra_nacks=%d",
-                    (unsigned long long)seed, msg_jitter_prob,
-                    (unsigned long long)msg_jitter_max, resv_drop_prob,
-                    evict_prob, nack_prob, max_extra_nacks);
+    std::string s =
+        csprintf("seed=%llu,jitter_prob=%g,jitter_max=%llu,"
+                 "resv_drop_prob=%g,evict_prob=%g,nack_prob=%g,"
+                 "max_extra_nacks=%d",
+                 (unsigned long long)seed, msg_jitter_prob,
+                 (unsigned long long)msg_jitter_max, resv_drop_prob,
+                 evict_prob, nack_prob, max_extra_nacks);
+    // Loss/recovery keys appear only when armed, so summaries of
+    // pre-existing loss-free specs stay byte-identical.
+    if (lossEnabled() || recoveryEnabled()) {
+        s += csprintf(",drop_prob=%g,flaky_links=%d,flaky_window=%llu,"
+                      "flaky_duration=%llu,flaky_drop_prob=%g,"
+                      "req_timeout=%llu,quarantine_k=%d,"
+                      "quarantine_window=%llu",
+                      msg_drop_prob, flaky_links,
+                      (unsigned long long)flaky_window,
+                      (unsigned long long)flaky_duration,
+                      flaky_drop_prob, (unsigned long long)req_timeout,
+                      quarantine_k,
+                      (unsigned long long)quarantine_window);
+    }
+    return s;
 }
 
 FaultConfig

@@ -42,6 +42,10 @@ namespace dsm {
  *    carry retry machinery, and are capped per requester to a run of
  *    max_extra_nacks consecutive injections so the injector perturbs
  *    schedules without manufacturing livelock.
+ *  - Message drops (fail-stop loss) are confined to the two legs the
+ *    recovery layer covers — requests to the home and replies back —
+ *    and require FaultConfig::req_timeout, so every loss is recoverable
+ *    by retransmission (fault/recovery.hh keeps the ledger).
  */
 class FaultPlan
 {
@@ -54,15 +58,30 @@ class FaultPlan
         std::uint64_t resv_drops = 0;
         std::uint64_t forced_evictions = 0;
         std::uint64_t nacks_injected = 0;
+        /** Messages dropped by the random per-message loss draw. */
+        std::uint64_t msg_drops = 0;
+        /** Messages dropped by an active flaky-link episode. */
+        std::uint64_t flaky_drops = 0;
+    };
+
+    /** One seeded whole-link loss episode (directed mesh link). */
+    struct FlakyEpisode
+    {
+        NodeId from = INVALID_NODE;
+        NodeId to = INVALID_NODE;
+        Tick start = 0;
+        Tick end = 0;
     };
 
     /**
      * Arm the plan. A FaultConfig seed of 0 derives the fault stream
      * from @p machine_seed, so sweeping the machine seed perturbs the
-     * faults along with the workload.
+     * faults along with the workload. Flaky-link episodes are drawn
+     * here, from the front of the fault stream, using @p mc for the
+     * mesh geometry.
      */
     void configure(const FaultConfig &cfg, std::uint64_t machine_seed,
-                   int num_procs);
+                   const MachineConfig &mc);
 
     bool enabled() const { return _cfg.enabled; }
     /** The seed the RNG stream was actually built from. */
@@ -83,7 +102,38 @@ class FaultPlan
      */
     bool injectNack(NodeId requester);
 
+    /** True when any message-loss fault (drop/flaky) is armed. */
+    bool lossArmed() const
+    {
+        return _drop_ppm != 0 || !_episodes.empty();
+    }
+
+    /**
+     * Drop this droppable message? @p path holds the nodes visited in
+     * route order (path[0] = src). Flaky-link episodes are consulted
+     * first (link by link, in path order), then the random per-message
+     * loss draw; on a drop @p from / @p to name the failing link. The
+     * number of fault-stream draws depends only on the path and the
+     * episode state at @p now, keeping the stream reproducible.
+     */
+    bool dropMessage(Tick now, const NodeId *path, int nodes,
+                     NodeId &from, NodeId &to);
+
+    /** The seeded flaky-link episodes (for the mesh and diagnoses). */
+    const std::vector<FlakyEpisode> &episodes() const { return _episodes; }
+
+    /**
+     * Fault-stream position: RNG draws made since configure(). Written
+     * into watchdog dumps so a repro can fast-forward the stream, and
+     * not reset by clearCounters() (positions are absolute).
+     */
+    std::uint64_t draws() const { return _draws; }
+
   private:
+    /** One counted draw helper for each Rng use. */
+    std::uint64_t draw(std::uint64_t bound);
+    bool drawChance(std::uint64_t ppm);
+
     FaultConfig _cfg;
     std::uint64_t _seed = 0;
     Rng _rng{1};
@@ -91,8 +141,12 @@ class FaultPlan
     std::uint64_t _resv_drop_ppm = 0;
     std::uint64_t _evict_ppm = 0;
     std::uint64_t _nack_ppm = 0;
+    std::uint64_t _drop_ppm = 0;
+    std::uint64_t _flaky_ppm = 0;
+    std::vector<FlakyEpisode> _episodes;
     /** Consecutive injected NACKs per requester, for the cap. */
     std::vector<int> _nack_streak;
+    std::uint64_t _draws = 0;
     Counters _ctr;
 };
 

@@ -14,12 +14,15 @@ std::string
 describeTxn(System &sys, NodeId n)
 {
     Controller &c = sys.ctrl(n);
+    std::string attempt;
+    if (sys.cfg().faults.recoveryEnabled())
+        attempt = csprintf(" attempt=%d", c.cpuAttempt());
     std::string s = csprintf(
-        "  node %d: %s addr=%#llx issued@%llu age=%llu retries=%d%s\n",
+        "  node %d: %s addr=%#llx issued@%llu age=%llu retries=%d%s%s\n",
         (int)n, toString(c.cpuOp()), (unsigned long long)c.cpuAddr(),
         (unsigned long long)c.cpuStart(),
         (unsigned long long)(sys.now() - c.cpuStart()), c.cpuRetries(),
-        c.cpuWaiting() ? " (awaiting reply)" : "");
+        attempt.c_str(), c.cpuWaiting() ? " (awaiting reply)" : "");
     s += sys.txns().describeActive(n);
     return s;
 }
@@ -78,6 +81,13 @@ Watchdog::blockedTxnDump(System &sys)
                                "in-flight transactions:\n",
                                sys.tasksPending(),
                                (unsigned long long)sys.now());
+    // Fault-stream position: a repro at the dumped seed can fast-
+    // forward the stream to this draw count to reach the same state.
+    if (sys.faultPlan().enabled())
+        out += csprintf(
+            "  fault stream: seed=%llu draws=%llu\n",
+            (unsigned long long)sys.faultPlan().resolvedSeed(),
+            (unsigned long long)sys.faultPlan().draws());
     int busy = 0;
     for (NodeId n = 0; n < sys.numProcs(); ++n) {
         if (!sys.ctrl(n).cpuBusy())

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "fault/fault.hh"
+#include "fault/recovery.hh"
 #include "sim/logging.hh"
 #include "trace/trace.hh"
 #include "trace/txn.hh"
@@ -51,6 +52,93 @@ Mesh::flitsFor(const Msg &msg) const
 {
     unsigned bytes = msg.sizeBytes() + _cfg.header_bytes;
     return (bytes + _cfg.flit_bytes - 1) / _cfg.flit_bytes;
+}
+
+void
+Mesh::setRecovery(Recovery *r, int quarantine_k, Tick quarantine_window)
+{
+    _recovery = r;
+    _quarantine_k = quarantine_k;
+    _quarantine_window = quarantine_window;
+    std::size_t links = static_cast<std::size_t>(_cfg.num_procs) *
+                        static_cast<std::size_t>(_cfg.num_procs);
+    _quarantined.assign(links, 0);
+    _drop_times.assign(links, {});
+    _have_quarantine = false;
+}
+
+int
+Mesh::buildPath(NodeId src, NodeId dst, bool yx_order,
+                NodeId *path) const
+{
+    int x = src % _cfg.mesh_x, y = src / _cfg.mesh_x;
+    int dx = dst % _cfg.mesh_x, dy = dst / _cfg.mesh_x;
+    int n = 0;
+    path[n++] = src;
+    auto walk_x = [&] {
+        while (x != dx) {
+            x += x < dx ? 1 : -1;
+            path[n++] = static_cast<NodeId>(y * _cfg.mesh_x + x);
+        }
+    };
+    auto walk_y = [&] {
+        while (y != dy) {
+            y += y < dy ? 1 : -1;
+            path[n++] = static_cast<NodeId>(y * _cfg.mesh_x + x);
+        }
+    };
+    if (yx_order) {
+        walk_y();
+        walk_x();
+    } else {
+        walk_x();
+        walk_y();
+    }
+    dsm_assert(n <= MAX_PATH_NODES, "path overflow %d", n);
+    return n;
+}
+
+bool
+Mesh::pathQuarantined(const NodeId *path, int nodes) const
+{
+    for (int i = 0; i + 1 < nodes; ++i)
+        if (_quarantined[linkId(path[i], path[i + 1])] != 0)
+            return true;
+    return false;
+}
+
+void
+Mesh::noteLinkDrop(NodeId from, NodeId to, Tick now)
+{
+    if (_quarantine_k <= 0)
+        return;
+    std::size_t id = linkId(from, to);
+    if (_quarantined[id] != 0)
+        return;
+    std::vector<Tick> &times = _drop_times[id];
+    times.push_back(now);
+    // Keep only drops inside the sliding window.
+    std::size_t keep = 0;
+    for (Tick t : times)
+        if (now - t <= _quarantine_window)
+            times[keep++] = t;
+    times.resize(keep);
+    if (static_cast<int>(times.size()) < _quarantine_k)
+        return;
+    _quarantined[id] = 1;
+    _have_quarantine = true;
+    times.clear();
+    times.shrink_to_fit();
+    ++_recovery->counters().links_quarantined;
+    if (_tracer != nullptr && _tracer->on(TraceCat::LINK_FAULT)) {
+        TraceEvent ev;
+        ev.tick = now;
+        ev.cat = TraceCat::LINK_FAULT;
+        ev.node = static_cast<std::int16_t>(from);
+        ev.peer = static_cast<std::int16_t>(to);
+        ev.value = 1;
+        _tracer->record(ev);
+    }
 }
 
 void
@@ -113,6 +201,51 @@ Mesh::send(const Msg &msg)
 
     // In-flight time: head latency over the dimension-order path.
     int nhops = hops(m.src, m.dst);
+
+    // Message-loss faults. Only when loss is armed do we materialize
+    // the path: XY dimension order, falling back to YX (identical hop
+    // count, so timing-neutral) when XY would cross a quarantined
+    // link. A dropped message has already consumed its injection slot
+    // — only the delivery (and the ejection port) never happens.
+    if (_faults != nullptr && _faults->lossArmed()) {
+        NodeId path[MAX_PATH_NODES];
+        int nnodes = buildPath(m.src, m.dst, false, path);
+        if (_have_quarantine && pathQuarantined(path, nnodes)) {
+            NodeId alt[MAX_PATH_NODES];
+            int altn = buildPath(m.src, m.dst, true, alt);
+            if (!pathQuarantined(alt, altn)) {
+                std::copy(alt, alt + altn, path);
+                nnodes = altn;
+            }
+        }
+        bool droppable = _recovery != nullptr && m.seq != 0 &&
+                         (recoverableRequest(m.type) ||
+                          recoverableReply(m.type));
+        NodeId lf = INVALID_NODE, lt = INVALID_NODE;
+        if (droppable &&
+            _faults->dropMessage(now, path, nnodes, lf, lt)) {
+            ++_stats.messages;
+            _stats.flits += flits;
+            _stats.hop_sum += static_cast<std::uint64_t>(nhops);
+            ++_inj_msgs[m.src];
+            _inj_flits[m.src] += flits;
+            _recovery->noteDrop(m, lf, lt);
+            noteLinkDrop(lf, lt, now);
+            if (tr != nullptr && tr->on(TraceCat::LINK_FAULT)) {
+                TraceEvent ev;
+                ev.tick = now;
+                ev.cat = TraceCat::LINK_FAULT;
+                ev.node = static_cast<std::int16_t>(lf);
+                ev.peer = static_cast<std::int16_t>(lt);
+                ev.op = static_cast<std::uint8_t>(m.type);
+                ev.addr = m.addr;
+                ev.flow = m.trace_id;
+                tr->record(ev);
+            }
+            return;
+        }
+    }
+
     Tick head_arrive = depart + static_cast<Tick>(nhops) * _cfg.hop_latency;
 
     // Fault injection: bounded arrival jitter, applied before the

@@ -27,8 +27,12 @@
 namespace dsm {
 
 class FaultPlan;
+class Recovery;
 class Tracer;
 class TxnTracer;
+
+/** Longest possible dimension-order path, in nodes (8x8 mesh worst case). */
+constexpr int MAX_PATH_NODES = 16;
 
 /** Aggregate network statistics. */
 struct MeshStats
@@ -80,6 +84,33 @@ class Mesh
      */
     void setFaults(FaultPlan *f) { _faults = f; }
 
+    /**
+     * Attach the recovery ledger and arm link quarantine: after
+     * @p quarantine_k drops on one directed link within
+     * @p quarantine_window ticks, the link is marked degraded for the
+     * rest of the run and dimension-order traffic is rerouted around it
+     * (XY -> YX, which has the identical hop count). Recovery must be
+     * attached whenever message loss is armed — the ledger is what
+     * guarantees every drop is accounted for.
+     */
+    void setRecovery(Recovery *r, int quarantine_k,
+                     Tick quarantine_window);
+
+    /** Is the directed link @p a -> @p b quarantined? */
+    bool linkQuarantined(NodeId a, NodeId b) const
+    {
+        return !_quarantined.empty() &&
+               _quarantined[linkId(a, b)] != 0;
+    }
+
+    /**
+     * Fill @p path with the nodes a message visits from @p src to
+     * @p dst in dimension order (@p yx_order routes Y-first) and
+     * return the node count. path[0] == src, path[n-1] == dst.
+     */
+    int buildPath(NodeId src, NodeId dst, bool yx_order,
+                  NodeId *path) const;
+
     /** @name Per-node port counters (for the stats registry). @{ */
     const std::uint64_t &injMsgs(NodeId n) const { return _inj_msgs[n]; }
     const std::uint64_t &ejMsgs(NodeId n) const { return _ej_msgs[n]; }
@@ -88,6 +119,18 @@ class Mesh
 
   private:
     unsigned flitsFor(const Msg &msg) const;
+
+    std::size_t linkId(NodeId a, NodeId b) const
+    {
+        return static_cast<std::size_t>(a) *
+               static_cast<std::size_t>(_cfg.num_procs) +
+               static_cast<std::size_t>(b);
+    }
+
+    bool pathQuarantined(const NodeId *path, int nodes) const;
+
+    /** Record a drop on a link; may trip its quarantine. */
+    void noteLinkDrop(NodeId from, NodeId to, Tick now);
 
     EventQueue &_eq;
     const MachineConfig &_cfg;
@@ -101,6 +144,14 @@ class Mesh
     Tracer *_tracer = nullptr;
     TxnTracer *_txns = nullptr;
     FaultPlan *_faults = nullptr;
+    Recovery *_recovery = nullptr;
+    /** @name Link quarantine state (allocated only when armed). @{ */
+    int _quarantine_k = 0;
+    Tick _quarantine_window = 0;
+    std::vector<std::uint8_t> _quarantined;   ///< per directed link
+    std::vector<std::vector<Tick>> _drop_times; ///< recent drops per link
+    bool _have_quarantine = false; ///< any link quarantined yet
+    /** @} */
 };
 
 } // namespace dsm

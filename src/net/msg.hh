@@ -105,6 +105,33 @@ enum class MsgType
 
 const char *toString(MsgType t);
 
+/**
+ * True for the request types the recovery layer covers: processor
+ * requests sent to the home node, each carrying its own retry
+ * machinery. Only these (and their direct replies) may be dropped by
+ * message-loss fault injection; forwards, invalidations, updates,
+ * acknowledgements, write-backs, and drop notifications stay reliable.
+ */
+constexpr bool
+recoverableRequest(MsgType t)
+{
+    return t == MsgType::GET_S || t == MsgType::GET_X ||
+           t == MsgType::UPGRADE || t == MsgType::CAS_HOME ||
+           t == MsgType::SC_REQ || t == MsgType::UNC_REQ ||
+           t == MsgType::UPD_REQ;
+}
+
+/** True for home -> requester replies to a recoverable request. */
+constexpr bool
+recoverableReply(MsgType t)
+{
+    return t == MsgType::DATA_S || t == MsgType::DATA_X ||
+           t == MsgType::UPG_ACK || t == MsgType::NACK ||
+           t == MsgType::CAS_FAIL || t == MsgType::CAS_FAIL_S ||
+           t == MsgType::UNC_RESP || t == MsgType::UPD_RESP ||
+           t == MsgType::SC_RESP;
+}
+
 /** A protocol message. Fields beyond type/src/dst are type-dependent. */
 struct Msg
 {
@@ -152,6 +179,20 @@ struct Msg
      * excluded from sizeBytes(), like chain and trace_id.
      */
     std::uint64_t txn_id = 0;
+    /**
+     * Recovery-layer request identity (0 = recovery off). The
+     * requester assigns a fresh per-node monotonic seq to every *new*
+     * network request (a NACK-and-retry is a new request); timeout
+     * retransmissions reuse the seq with an incremented attempt.
+     * Replies — and the invalidations/updates/acks fanned out on the
+     * request's behalf — echo the seq so the requester and the home's
+     * dedup table can tell a current message from a stale duplicate.
+     * Metadata only: excluded from sizeBytes(); conceptually the seq
+     * rides in the 8 header bytes every message already pays for.
+     */
+    std::uint64_t seq = 0;
+    /** Retransmission attempt number for this seq (1 = original). */
+    int attempt = 1;
 
     /** Payload size in bytes (excluding the per-message header). */
     unsigned sizeBytes() const;

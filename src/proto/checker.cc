@@ -166,17 +166,28 @@ checkFaultAccounting(System &sys)
 {
     std::vector<std::string> out;
     const FaultPlan::Counters &fc = sys.faultPlan().counters();
+    const Recovery::Counters &rc = sys.recoveryState().counters();
     SysStats agg = sys.stats();
+    bool quiesced = sys.tasksPending() == 0;
 
     if (!sys.cfg().faults.enabled) {
         std::uint64_t sum = fc.jitter_applied + fc.jitter_cycles +
                             fc.resv_drops + fc.forced_evictions +
-                            fc.nacks_injected;
+                            fc.nacks_injected + fc.msg_drops +
+                            fc.flaky_drops;
         if (sum != 0)
             out.push_back(csprintf("fault injection is disabled but "
                                    "fault counters are nonzero "
                                    "(sum %llu)",
                                    (unsigned long long)sum));
+        std::uint64_t rsum = rc.drops + rc.retransmits +
+                             rc.stale_replies + rc.dup_requests +
+                             rc.links_quarantined;
+        if (rsum != 0)
+            out.push_back(csprintf("fault injection is disabled but "
+                                   "recovery counters are nonzero "
+                                   "(sum %llu)",
+                                   (unsigned long long)rsum));
         return out;
     }
 
@@ -185,14 +196,67 @@ checkFaultAccounting(System &sys)
                                "NACKs sent (%llu)",
                                (unsigned long long)fc.nacks_injected,
                                (unsigned long long)agg.nacks));
-    // On a quiesced system every NACK was delivered and scheduled
-    // exactly one retry, so the totals must agree; a gap means a NACK
-    // was lost or a retry was manufactured.
-    if (sys.tasksPending() == 0 && agg.retries != agg.nacks)
-        out.push_back(csprintf("quiesced but retries (%llu) != NACKs "
-                               "(%llu)",
-                               (unsigned long long)agg.retries,
-                               (unsigned long long)agg.nacks));
+
+    if (!sys.cfg().faults.recoveryEnabled()) {
+        // On a quiesced system every NACK was delivered and scheduled
+        // exactly one retry, so the totals must agree; a gap means a
+        // NACK was lost or a retry was manufactured.
+        if (quiesced && agg.retries != agg.nacks)
+            out.push_back(csprintf("quiesced but retries (%llu) != "
+                                   "NACKs (%llu)",
+                                   (unsigned long long)agg.retries,
+                                   (unsigned long long)agg.nacks));
+        return out;
+    }
+
+    // Under message loss a NACK counts one retry only if the requester
+    // consumed it: subtract NACKs lost in the mesh and those discarded
+    // as stale duplicates, add NACKs the home replayed from its reply
+    // cache (extra deliveries the nacks counter never saw). Compared as
+    // sums to stay in unsigned arithmetic.
+    if (quiesced && agg.retries + rc.nacks_lost + rc.nacks_stale !=
+                        agg.nacks + rc.nacks_replayed)
+        out.push_back(csprintf(
+            "quiesced but retries (%llu) + nacks_lost (%llu) + "
+            "nacks_stale (%llu) != NACKs (%llu) + nacks_replayed (%llu)",
+            (unsigned long long)agg.retries,
+            (unsigned long long)rc.nacks_lost,
+            (unsigned long long)rc.nacks_stale,
+            (unsigned long long)agg.nacks,
+            (unsigned long long)rc.nacks_replayed));
+
+    // The drop ledger: the injector and the recovery layer must agree
+    // on what was lost, the request/reply split must partition it, and
+    // on a quiesced system every drop is covered — by a retransmission
+    // or by the quarantine of its link. An uncovered drop would be a
+    // silently-lost message.
+    if (fc.msg_drops + fc.flaky_drops != rc.drops)
+        out.push_back(csprintf("injector drops (%llu msg + %llu flaky) "
+                               "!= recovery ledger drops (%llu)",
+                               (unsigned long long)fc.msg_drops,
+                               (unsigned long long)fc.flaky_drops,
+                               (unsigned long long)rc.drops));
+    if (rc.req_drops + rc.reply_drops != rc.drops)
+        out.push_back(csprintf("drop split (%llu req + %llu reply) != "
+                               "total drops (%llu)",
+                               (unsigned long long)rc.req_drops,
+                               (unsigned long long)rc.reply_drops,
+                               (unsigned long long)rc.drops));
+    if (quiesced) {
+        std::uint64_t pending = sys.recoveryState().pendingDrops();
+        if (pending != 0)
+            out.push_back(csprintf("quiesced but %llu drops are still "
+                                   "pending in the recovery ledger",
+                                   (unsigned long long)pending));
+        if (rc.drops !=
+            rc.retransmit_covered + rc.quarantine_covered)
+            out.push_back(csprintf(
+                "quiesced but drops (%llu) != retransmit-covered "
+                "(%llu) + quarantine-covered (%llu)",
+                (unsigned long long)rc.drops,
+                (unsigned long long)rc.retransmit_covered,
+                (unsigned long long)rc.quarantine_covered));
+    }
     return out;
 }
 

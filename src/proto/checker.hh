@@ -45,12 +45,19 @@ std::vector<std::string> checkChains(System &sys);
  * Reconcile the fault injector's counters with the protocol statistics
  * they must agree with:
  *
- *  - with fault injection disabled every fault.* counter is zero (the
- *    zero-cost-when-off promise);
+ *  - with fault injection disabled every fault.* and recovery.*
+ *    counter is zero (the zero-cost-when-off promise);
  *  - injected NACKs are a subset of all NACKs sent;
  *  - on a quiesced system (no tasks pending) every NACK — injected or
  *    organic — produced exactly one retry, so total retries equal
- *    total NACKs.
+ *    total NACKs; under message loss the identity is corrected for
+ *    NACKs lost in the mesh, discarded as stale by the requester
+ *    guard, or replayed from the home's reply cache;
+ *  - with the recovery layer armed the drop ledger reconciles: the
+ *    injector's msg_drops + flaky_drops equal the ledger's drops, the
+ *    request/reply split partitions them, and on a quiesced system
+ *    every drop is covered by a retransmission or a link quarantine
+ *    (a silently-lost message is a violation, not a hang).
  *
  * Counters are compared over the same window: System::clearStats()
  * resets the fault counters together with the protocol counters.

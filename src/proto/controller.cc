@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "cpu/system.hh"
+#include "fault/recovery.hh"
 #include "sim/logging.hh"
 
 namespace dsm {
@@ -29,6 +30,9 @@ Controller::Controller(System &sys, NodeId id)
     : _sys(sys), _id(id),
       _cache(sys.cfg().machine.cache_sets, sys.cfg().machine.cache_ways)
 {
+    if (sys.cfg().faults.recoveryEnabled())
+        _dedup.resize(
+            static_cast<std::size_t>(sys.cfg().machine.num_procs));
 }
 
 Tick
@@ -125,7 +129,80 @@ Controller::reply(const Msg &req, Msg resp)
     resp.word_addr = req.word_addr;
     resp.chain = chainNext(req.chain, _id, req.src);
     resp.txn_id = req.txn_id;
+    resp.seq = req.seq;
+    resp.attempt = req.attempt;
+    if (!_dedup.empty() && recoverableRequest(req.type) && req.seq != 0)
+        captureReply(req.src, req.seq, resp);
     send(resp);
+}
+
+void
+Controller::captureReply(NodeId requester, std::uint64_t seq,
+                         const Msg &resp)
+{
+    DedupEntry &de = _dedup[static_cast<std::size_t>(requester)];
+    if (de.seq != seq)
+        return; // a newer request already owns the slot
+    de.has_reply = true;
+    de.reply = resp;
+}
+
+bool
+Controller::dedupRequest(const Msg &m)
+{
+    DedupEntry &de = _dedup[static_cast<std::size_t>(m.src)];
+    Recovery::Counters &rc = _sys.recovery()->counters();
+    if (m.seq > de.seq) {
+        // New request: the requester is done with every older seq, so
+        // the slot (and any cached reply) can be recycled.
+        de = DedupEntry{};
+        de.seq = m.seq;
+        return false;
+    }
+    ++rc.dup_requests;
+    if (m.seq < de.seq) {
+        // Stale retransmission of a seq the requester already retired;
+        // nothing references it anymore.
+        ++rc.dup_stale;
+        return true;
+    }
+    if (!de.has_reply) {
+        // Original still in service (typically forwarded to the owner);
+        // its reply will answer the requester.
+        ++rc.dup_in_progress;
+        return true;
+    }
+    // Shared grants cannot be replayed: a third party's invalidation
+    // may have removed the requester from the sharer set since the
+    // cached reply was built, and replaying it would install a stale,
+    // untracked copy. Failed CAS verdicts are re-evaluated for the
+    // same reason (CAS_FAIL_S grants a shared copy; a fresh verdict is
+    // linearizable because a failure wrote nothing). Everything else —
+    // notably granted exclusive replies, which the directory pins to
+    // this requester until it answers (handleFwd NACKs forwards while
+    // the local transaction waits) — is replayed verbatim.
+    bool reexec =
+        m.type == MsgType::GET_S ||
+        (m.type == MsgType::CAS_HOME &&
+         (de.reply.type == MsgType::CAS_FAIL ||
+          de.reply.type == MsgType::CAS_FAIL_S));
+    if (reexec && de.reply.type != MsgType::NACK) {
+        ++rc.dup_reprocessed;
+        de.has_reply = false; // re-execution re-captures the reply
+        return false;
+    }
+    ++rc.dup_replayed;
+    if (de.reply.type == MsgType::NACK)
+        ++rc.nacks_replayed;
+    Msg r = de.reply;
+    // UPD copies track memory: refresh the block payload so the replay
+    // carries any updates the requester's dead original missed. The
+    // result word stays — it is the operation's execution-time value.
+    if (r.type == MsgType::UPD_RESP && r.has_data)
+        r.data = _sys.store().readBlock(r.addr);
+    r.attempt = m.attempt;
+    send(r);
+    return true;
 }
 
 void

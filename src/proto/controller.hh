@@ -30,7 +30,9 @@
 #ifndef DSM_PROTO_CONTROLLER_HH
 #define DSM_PROTO_CONTROLLER_HH
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "cache/cache.hh"
 #include "mem/directory.hh"
@@ -91,7 +93,18 @@ class Controller
     Tick cpuStart() const { return _txn.start; }
     int cpuRetries() const { return _txn.retries; }
     bool cpuWaiting() const { return _txn.waiting; }
+    int cpuAttempt() const { return _txn.attempt; }
     /** @} */
+
+    /**
+     * The request seq this node currently awaits a reply for, or 0
+     * when none is outstanding (recovery layer; see fault/recovery.hh).
+     */
+    std::uint64_t
+    cpuAwaitedSeq() const
+    {
+        return _txn.active && _txn.waiting ? _txn.seq : 0;
+    }
 
     /** Network/local message delivery entry point. */
     void handleMsg(const Msg &m);
@@ -125,6 +138,26 @@ class Controller
         int retries = 0;
         std::uint32_t trace_flow = 0; ///< tracer flow id for this op
         std::uint64_t txn_id = 0;     ///< transaction-tracer id (0 = off)
+
+        /** @name Recovery layer (meaningful only when it is armed). @{ */
+        std::uint64_t seq = 0;   ///< seq of the outstanding request
+        int attempt = 1;         ///< retransmission attempt for seq
+        MsgType req_type = MsgType::NACK; ///< outstanding request type
+        /** @} */
+    };
+
+    /**
+     * Home-side recovery state for one requester: the highest request
+     * seq seen and, once sent, a copy of its reply. One slot per
+     * requester suffices — each CPU has a single outstanding operation
+     * and per-destination delivery is FIFO, so a request with a newer
+     * seq proves every older seq is finished with.
+     */
+    struct DedupEntry
+    {
+        std::uint64_t seq = 0;
+        bool has_reply = false;
+        Msg reply;
     };
 
     // ===================== CPU side (controller_cpu.cc) ==================
@@ -145,6 +178,12 @@ class Controller
 
     /** Send a CPU-side request to the home node of the txn address. */
     void sendReq(MsgType t);
+    /** Build the network request message for the active transaction. */
+    Msg buildReq(MsgType t) const;
+    /** Schedule the loss-recovery retransmission timer (recovery on). */
+    void armRecoveryTimer();
+    /** Timer body: retransmit if (seq, attempt) is still outstanding. */
+    void recoveryTimeout(std::uint64_t seq, int attempt);
 
     /** Handle a response addressed to this node as requester. */
     void cpuResponse(const Msg &m);
@@ -202,6 +241,17 @@ class Controller
      */
     MemOpOut memoryOp(const Msg &m);
 
+    /**
+     * Recovery-layer request dedup, run before any directory action.
+     * Returns true when the message was fully handled here (stale or
+     * in-progress duplicate dropped, or a cached reply replayed) and
+     * homeProcess must not act on it.
+     */
+    bool dedupRequest(const Msg &m);
+    /** Cache @p resp as the reply to @p requester's seq @p seq. */
+    void captureReply(NodeId requester, std::uint64_t seq,
+                      const Msg &resp);
+
     /** Send a NACK for a request. */
     void sendNack(const Msg &req);
     /** Send a NACK to a node that is not the direct message source. */
@@ -244,6 +294,11 @@ class Controller
     NodeId _id;
     Cache _cache;
     Txn _txn;
+
+    /** Next request seq for this node (recovery layer; 0 = unused). */
+    std::uint64_t _next_seq = 0;
+    /** Per-requester dedup table; empty when the recovery layer is off. */
+    std::vector<DedupEntry> _dedup;
 
     /**
      * Set when an in-memory load_linked was denied a reservation

@@ -6,6 +6,7 @@
  */
 
 #include "cpu/system.hh"
+#include "fault/recovery.hh"
 #include "proto/controller.hh"
 #include "sim/logging.hh"
 
@@ -121,6 +122,12 @@ Controller::finishTxn(Word value, bool success, Word serial)
     }
     DoneFn done = std::move(_txn.done);
     _txn.active = false;
+    Recovery *rc = _sys.recovery();
+    if (rc != nullptr) {
+        // The seq is retired: any still-uncovered drops charged to it
+        // can no longer need recovery.
+        rc->coverRequester(_id);
+    }
     done(OpResult{value, success, serial});
 }
 
@@ -159,6 +166,12 @@ Controller::retryTxn()
     _txn.acks_needed = 0;
     _txn.acks_got = 0;
     _txn.max_chain = 0;
+    Recovery *rc = _sys.recovery();
+    if (rc != nullptr) {
+        // The NACK retires this seq (the retry will draw a fresh one),
+        // so cover any drops still charged to it.
+        rc->coverRequester(_id);
+    }
     const MachineConfig &mc = _sys.cfg().machine;
     // Capped exponential backoff on retries: under heavy contention a
     // fixed retry delay floods the home memory module with requests
@@ -174,8 +187,8 @@ Controller::retryTxn()
     });
 }
 
-void
-Controller::sendReq(MsgType t)
+Msg
+Controller::buildReq(MsgType t) const
 {
     Msg m;
     m.type = t;
@@ -191,8 +204,59 @@ Controller::sendReq(MsgType t)
     m.serial = _txn.expected;
     m.chain = chainNext(0, _id, m.dst);
     m.txn_id = _txn.txn_id;
+    m.seq = _txn.seq;
+    m.attempt = _txn.attempt;
+    return m;
+}
+
+void
+Controller::sendReq(MsgType t)
+{
+    if (_sys.recovery() != nullptr) {
+        // Every *new* network request (a NACK-and-retry included) gets
+        // a fresh seq; only timeout retransmissions reuse one.
+        _txn.seq = ++_next_seq;
+        _txn.attempt = 1;
+        _txn.req_type = t;
+    }
     _txn.waiting = true;
-    send(m);
+    send(buildReq(t));
+    if (_sys.recovery() != nullptr)
+        armRecoveryTimer();
+}
+
+void
+Controller::armRecoveryTimer()
+{
+    // Capped exponential backoff, mirroring retryTxn()'s idiom but
+    // without jitter: the timeout must be deterministic so a fault-free
+    // run with recovery armed never consumes RNG draws.
+    Tick base = _sys.cfg().faults.req_timeout;
+    int shift = _txn.attempt < 5 ? _txn.attempt - 1 : 4;
+    std::uint64_t s = _txn.seq;
+    int a = _txn.attempt;
+    _sys.eq().scheduleIn(base << shift, [this, s, a] {
+        recoveryTimeout(s, a);
+    });
+}
+
+void
+Controller::recoveryTimeout(std::uint64_t seq, int attempt)
+{
+    // Stale timer: the reply arrived (or the txn moved on) first.
+    if (!_txn.active || !_txn.waiting || _txn.resp_seen ||
+        _txn.seq != seq || _txn.attempt != attempt)
+        return;
+    Recovery *rc = _sys.recovery();
+    ++rc->counters().retransmits;
+    // A retransmission is the recovery event that covers every drop
+    // charged to this seq so far (the resend supersedes them all).
+    rc->coverRequester(_id);
+    if (_txn.txn_id != 0)
+        _sys.txns().mark(_txn.txn_id, TxnPhase::RECOVERY, now(), _id);
+    ++_txn.attempt;
+    send(buildReq(_txn.req_type));
+    armRecoveryTimer();
 }
 
 void
@@ -418,6 +482,25 @@ Controller::beginUpd()
 void
 Controller::cpuResponse(const Msg &m)
 {
+    Recovery *rc = _sys.recovery();
+    if (rc != nullptr) {
+        // Replies to a retired or retransmitted seq are duplicates the
+        // recovery machinery manufactured; drop them at the door. A
+        // primary reply after resp_seen is the same thing (the original
+        // and a replayed copy both arrived).
+        bool is_ack = m.type == MsgType::INV_ACK ||
+                      m.type == MsgType::UPDATE_ACK;
+        bool current = _txn.active && _txn.waiting &&
+                       m.seq == _txn.seq &&
+                       blockBase(_txn.addr) == m.addr;
+        if (!current || (_txn.resp_seen && !is_ack)) {
+            if (m.type == MsgType::NACK)
+                ++rc->counters().nacks_stale;
+            else
+                ++rc->counters().stale_replies;
+            return;
+        }
+    }
     dsm_assert(_txn.active && _txn.waiting,
                "node %d got %s with no transaction waiting",
                _id, toString(m.type));

@@ -43,6 +43,14 @@ Controller::homeEnqueue(const Msg &m)
 void
 Controller::homeProcess(const Msg &m)
 {
+    // Recovery layer: filter duplicate requests (timeout
+    // retransmissions) before any directory action or fault hook, so a
+    // request is never serviced twice unless re-execution is provably
+    // idempotent. Runs after the memory-queue delay on purpose — a
+    // duplicate costs real memory bandwidth, like any other request.
+    if (!_dedup.empty() && recoverableRequest(m.type) && m.seq != 0 &&
+        dedupRequest(m))
+        return;
     // Fault injection: an extra NACK round for request types that
     // already carry retry machinery. Never for write-backs, drop
     // notifications, or owner replies — those have no retry path and
@@ -158,6 +166,8 @@ Controller::homeGetS(const Msg &m)
         f.word_addr = m.word_addr;
         f.chain = chainNext(m.chain, _id, e.owner);
         f.txn_id = m.txn_id;
+        f.seq = m.seq;
+        f.attempt = m.attempt;
         send(f);
         break;
       }
@@ -222,6 +232,8 @@ Controller::homeGetX(const Msg &m)
         f.word_addr = m.word_addr;
         f.chain = chainNext(m.chain, _id, e.owner);
         f.txn_id = m.txn_id;
+        f.seq = m.seq;
+        f.attempt = m.attempt;
         send(f);
         break;
       }
@@ -243,6 +255,7 @@ Controller::sendInvalidations(std::uint64_t targets, const Msg &req)
         inv.word_addr = req.word_addr;
         inv.chain = chainNext(req.chain, _id, n);
         inv.txn_id = req.txn_id;
+        inv.seq = req.seq;
         send(inv);
     }
 }
@@ -353,6 +366,8 @@ Controller::homeCasHome(const Msg &m)
         f.expected = m.expected;
         f.chain = chainNext(m.chain, _id, e.owner);
         f.txn_id = m.txn_id;
+        f.seq = m.seq;
+        f.attempt = m.attempt;
         send(f);
         break;
       }
@@ -550,6 +565,7 @@ Controller::homeUpdReq(const Msg &m)
             u.result = newval;
             u.chain = chainNext(m.chain, _id, n);
             u.txn_id = m.txn_id;
+            u.seq = m.seq;
             send(u);
         }
     }
@@ -618,6 +634,14 @@ Controller::nackNode(NodeId n, Addr block)
     // this block; stamp its id so the NACK closes the right phase.
     if (_sys.txns().enabled())
         r.txn_id = _sys.txns().activeId(n);
+    if (!_dedup.empty()) {
+        // Stamp the requester's in-progress seq (the forward that
+        // bounced here carried it) and cache the NACK so a racing
+        // retransmission replays it instead of re-entering the
+        // directory.
+        r.seq = _dedup[static_cast<std::size_t>(n)].seq;
+        captureReply(n, r.seq, r);
+    }
     send(r);
 }
 
@@ -657,6 +681,10 @@ Controller::homeOwnerReply(const Msg &m)
         r.word_addr = m.word_addr;
         r.chain = chainNext(m.chain, _id, req);
         r.txn_id = m.txn_id;
+        r.seq = m.seq;
+        r.attempt = m.attempt;
+        if (!_dedup.empty() && m.seq != 0)
+            captureReply(req, m.seq, r);
         send(r);
     };
 

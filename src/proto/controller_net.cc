@@ -36,6 +36,7 @@ Controller::handleInv(const Msg &m)
     ack.word_addr = m.word_addr;
     ack.chain = chainNext(m.chain, _id, m.requester);
     ack.txn_id = m.txn_id;
+    ack.seq = m.seq;
     Tick delay = _sys.cfg().machine.cache_access_latency;
     _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
 }
@@ -60,6 +61,7 @@ Controller::handleUpdate(const Msg &m)
     ack.word_addr = m.word_addr;
     ack.chain = chainNext(m.chain, _id, m.requester);
     ack.txn_id = m.txn_id;
+    ack.seq = m.seq;
     Tick delay = _sys.cfg().machine.cache_access_latency;
     _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
 }
@@ -84,6 +86,8 @@ Controller::handleFwd(const Msg &m)
         r.word_addr = m.word_addr;
         r.chain = chainNext(m.chain, _id, home);
         r.txn_id = m.txn_id;
+        r.seq = m.seq;
+        r.attempt = m.attempt;
         _sys.eq().scheduleIn(delay, [this, r] { send(r); });
     };
 

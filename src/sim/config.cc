@@ -127,6 +127,29 @@ Config::validate() const
     if (f.max_extra_nacks < 0)
         return csprintf("faults.max_extra_nacks must be >= 0, got %d",
                         f.max_extra_nacks);
+    if (f.msg_drop_prob < 0.0 || f.msg_drop_prob > 1.0)
+        return csprintf("faults.msg_drop_prob must be in [0, 1], got %g",
+                        f.msg_drop_prob);
+    if (f.flaky_drop_prob < 0.0 || f.flaky_drop_prob > 1.0)
+        return csprintf("faults.flaky_drop_prob must be in [0, 1], "
+                        "got %g", f.flaky_drop_prob);
+    if (f.flaky_links < 0)
+        return csprintf("faults.flaky_links must be >= 0, got %d",
+                        f.flaky_links);
+    if (f.flaky_links > 0 &&
+        (f.flaky_window == 0 || f.flaky_duration == 0))
+        return "faults.flaky_window and faults.flaky_duration must be "
+               "nonzero when faults.flaky_links > 0";
+    if (f.lossEnabled() && f.req_timeout == 0)
+        return "faults.req_timeout must be nonzero when message loss "
+               "(msg_drop_prob / flaky_links) is enabled; a lost "
+               "message is unrecoverable without retransmission";
+    if (f.quarantine_k < 0)
+        return csprintf("faults.quarantine_k must be >= 0, got %d",
+                        f.quarantine_k);
+    if (f.quarantine_k > 0 && f.quarantine_window == 0)
+        return "faults.quarantine_window must be nonzero when "
+               "faults.quarantine_k > 0";
 
     const WatchdogConfig &w = watchdog;
     if (w.max_retries < 0)

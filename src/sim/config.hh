@@ -195,11 +195,63 @@ struct FaultConfig
      */
     int max_extra_nacks = 4;
 
+    /** @name Message-loss faults and the end-to-end recovery layer.
+     *
+     * Losing a message silently would wedge the protocol, so enabling
+     * any loss knob requires req_timeout > 0: the requester-side
+     * transaction timer that retransmits unacknowledged requests with
+     * capped exponential backoff. Only the two droppable legs — a
+     * requester's request to the home and the home's reply back — are
+     * ever lost; forwards, invalidations, updates, acknowledgements,
+     * and write-backs stay reliable (see Msg::recoverableRequest).
+     * @{ */
+
+    /** Probability a droppable message is lost at mesh egress. */
+    double msg_drop_prob = 0.0;
+    /**
+     * Number of "flaky link" episodes: each picks one mesh link (seeded
+     * draw) that drops droppable messages with flaky_drop_prob for a
+     * seeded duration. 0 disables episodes.
+     */
+    int flaky_links = 0;
+    /** Episode start times are drawn uniformly from [0, flaky_window). */
+    Tick flaky_window = 0;
+    /** Episode durations are drawn uniformly from [1, flaky_duration]. */
+    Tick flaky_duration = 0;
+    /** Drop probability on a flaky link while its episode is active. */
+    double flaky_drop_prob = 1.0;
+    /**
+     * Requester-side retransmission timeout in cycles (0 disables the
+     * whole recovery layer; must be nonzero when any loss knob is on).
+     * Retransmits back off exponentially, capped at 16x this value.
+     */
+    Tick req_timeout = 0;
+    /**
+     * Link quarantine: after quarantine_k drops on one link within
+     * quarantine_window cycles, the mesh marks the link degraded and
+     * reroutes around it via the alternate dimension order. 0 disables.
+     */
+    int quarantine_k = 0;
+    Tick quarantine_window = 0;
+
+    /** @} */
+
+    /** True when any message-loss knob is armed (recovery required). */
+    bool lossEnabled() const
+    {
+        return enabled && (msg_drop_prob > 0.0 || flaky_links > 0);
+    }
+
+    /** True when the end-to-end recovery layer is armed. */
+    bool recoveryEnabled() const { return enabled && req_timeout > 0; }
+
     /**
      * Parse a DSM_FAULTS-style spec into this config. "1"/"on"/
      * "default" enables a standard mix; otherwise a comma-separated
      * key=value list (jitter_prob, jitter_max, resv_drop_prob,
-     * evict_prob, nack_prob, max_extra_nacks, seed).
+     * evict_prob, nack_prob, max_extra_nacks, seed, drop_prob,
+     * flaky_links, flaky_window, flaky_duration, flaky_drop_prob,
+     * req_timeout, quarantine_k, quarantine_window).
      *
      * @return "" on success, otherwise a descriptive error.
      */

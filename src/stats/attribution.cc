@@ -25,6 +25,8 @@ toString(TxnPhase ph)
         return "reply_transit";
     case TxnPhase::RETRY_WAIT:
         return "retry_wait";
+    case TxnPhase::RECOVERY:
+        return "recovery";
     case TxnPhase::NUM_PHASES:
         break;
     }

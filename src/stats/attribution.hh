@@ -35,6 +35,7 @@ enum class TxnPhase : std::uint8_t
     FANOUT,        ///< waiting on invalidation / update acknowledgments
     REPLY_TRANSIT, ///< reply (or ack tail) on the wire back
     RETRY_WAIT,    ///< backoff between a NACK and the retried request
+    RECOVERY,      ///< waiting out a loss-recovery timeout (retransmit)
     NUM_PHASES
 };
 

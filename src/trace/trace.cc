@@ -24,6 +24,7 @@ toString(TraceCat cat)
       case TraceCat::RETRY: return "retry";
       case TraceCat::RESV_SET: return "resv_set";
       case TraceCat::RESV_CLEAR: return "resv_clear";
+      case TraceCat::LINK_FAULT: return "link_fault";
       default: return "unknown";
     }
 }
@@ -137,6 +138,11 @@ eventDetail(const TraceEvent &ev)
       case TraceCat::RESV_SET:
       case TraceCat::RESV_CLEAR:
         return "";
+      case TraceCat::LINK_FAULT:
+        return csprintf("%s link=%d->%d %s",
+                        toString(static_cast<MsgType>(ev.op)),
+                        ev.node, ev.peer,
+                        ev.value != 0 ? "quarantined" : "dropped");
       default:
         return "";
     }
@@ -168,6 +174,10 @@ eventName(const TraceEvent &ev)
         return csprintf("line:%s->%s",
                         toString(static_cast<LineState>(ev.arg_a)),
                         toString(static_cast<LineState>(ev.arg_b)));
+      case TraceCat::LINK_FAULT:
+        return csprintf("%s:%d->%d",
+                        ev.value != 0 ? "quarantine" : "drop",
+                        ev.node, ev.peer);
       default:
         return toString(ev.cat);
     }

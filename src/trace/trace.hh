@@ -37,6 +37,7 @@ enum class TraceCat : std::uint8_t
     RETRY,           ///< requester retried after NACK/failure
     RESV_SET,        ///< LL reservation established
     RESV_CLEAR,      ///< LL reservation cleared
+    LINK_FAULT,      ///< message dropped on a link / link quarantined
 
     NUM_CATEGORIES
 };
@@ -68,6 +69,8 @@ constexpr std::uint32_t TRACE_ALL = (1u << NUM_TRACE_CATEGORIES) - 1;
  *  - NACK: node=home, peer=nacked requester, addr, op=request MsgType.
  *  - RETRY: node=requester, op=AtomicOp, addr, value=retry count.
  *  - RESV_SET/RESV_CLEAR: node=reserving node or home, addr.
+ *  - LINK_FAULT: node=link source, peer=link destination, op=dropped
+ *    message's MsgType, value=0 for a drop, 1 for quarantine.
  */
 struct TraceEvent
 {
