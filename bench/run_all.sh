@@ -2,7 +2,7 @@
 # Run every benchmark binary and collect the machine-readable outputs.
 #
 # Usage: bench/run_all.sh [--jobs N] [--seed S] [--trace BENCH]
-#        [build-dir] [output-dir]
+#        [--timeseries BENCH] [build-dir] [output-dir]
 #
 # Each binary prints its usual text tables and writes BENCH_<name>.json
 # (schema dsm-bench-v1; simcore_microbench writes google-benchmark's
@@ -13,6 +13,9 @@
 # --trace BENCH runs that benchmark with transaction tracing on
 # (DSM_TXN_TRACE=1), writing TRACE_<name>.json next to its
 # BENCH_<name>.json; open it at https://ui.perfetto.dev.
+# --timeseries BENCH runs that benchmark with time-resolved telemetry
+# on (DSM_TIMESERIES=1), writing TIMESERIES_<name>.json plus a
+# self-contained TIMESERIES_<name>.html report (open it in a browser).
 # --seed S exports DSM_SEED=S so every sweep's simulated machines use
 # seed S (recorded in each report's meta.seed); fault_sweep instead
 # uses S as the base of its per-point seed range.
@@ -20,6 +23,7 @@ set -eu
 
 jobs=
 trace_bench=
+ts_bench=
 while :; do
     case "${1:-}" in
     --jobs)
@@ -46,6 +50,14 @@ while :; do
         ;;
     --trace=*)
         trace_bench=${1#--trace=}
+        shift
+        ;;
+    --timeseries)
+        ts_bench=$2
+        shift 2
+        ;;
+    --timeseries=*)
+        ts_bench=${1#--timeseries=}
         shift
         ;;
     *)
@@ -99,6 +111,12 @@ for b in $benches; do
     else
         unset DSM_TXN_TRACE || true
     fi
+    if [ "$b" = "$ts_bench" ]; then
+        DSM_TIMESERIES=1
+        export DSM_TIMESERIES
+    else
+        unset DSM_TIMESERIES || true
+    fi
     if [ -n "$jobs" ]; then
         "$bin" --jobs "$jobs" | tee "$DSM_BENCH_DIR/$b.txt"
     else
@@ -110,3 +128,4 @@ done
 echo "collected reports in $DSM_BENCH_DIR:"
 ls -1 "$DSM_BENCH_DIR"/BENCH_*.json
 ls -1 "$DSM_BENCH_DIR"/TRACE_*.json 2>/dev/null || true
+ls -1 "$DSM_BENCH_DIR"/TIMESERIES_* 2>/dev/null || true

@@ -1,5 +1,6 @@
 #include "cpu/system.hh"
 
+#include "sim/json.hh"
 #include "sim/logging.hh"
 
 namespace dsm {
@@ -45,11 +46,87 @@ System::System(const Config &cfg)
     _watchdog.configure(_cfg.watchdog);
     if (_watchdog.enabled())
         _watchdog_on = &_watchdog;
+    if (_cfg.telemetry.enabled) {
+        _telemetry.configure(_cfg.telemetry);
+        _telemetry_on = &_telemetry;
+        _line_prof_on = &_line_prof;
+        _mesh.enableLinkCounters();
+        registerTelemetrySeries();
+        _eq.setSampler(_cfg.telemetry.window,
+                       [this](Tick t) { _telemetry.sample(t); });
+    }
     buildRegistry();
     if (_cfg.machine.spurious_resv_period > 0)
         scheduleSpuriousInvalidation();
     if (_watchdog.enabled() && _cfg.watchdog.max_txn_age > 0)
         scheduleWatchdogScan();
+}
+
+void
+System::registerTelemetrySeries()
+{
+    // Machine-wide series, sampled at window boundaries by the event
+    // queue. Getters that sum per-node counters are O(nodes) per
+    // window — off the per-event hot path entirely.
+    _telemetry.addDelta("events",
+                        [this] { return _eq.eventsExecuted(); });
+    _telemetry.addDelta("ops", [this] {
+        std::uint64_t v = 0;
+        for (const auto &p : _procs)
+            v += p->opsIssued();
+        return v;
+    });
+    const MeshStats &ms = _mesh.stats();
+    _telemetry.addDelta("messages", [&ms] { return ms.messages; });
+    _telemetry.addDelta("flits", [&ms] { return ms.flits; });
+    _telemetry.addDelta("nacks", [this] {
+        std::uint64_t v = 0;
+        for (const SysStats &s : _node_stats)
+            v += s.nacks;
+        return v;
+    });
+    _telemetry.addDelta("retries", [this] {
+        std::uint64_t v = 0;
+        for (const SysStats &s : _node_stats)
+            v += s.retries;
+        return v;
+    });
+    _telemetry.addDelta("invalidations", [this] {
+        std::uint64_t v = 0;
+        for (const SysStats &s : _node_stats)
+            v += s.invalidations;
+        return v;
+    });
+    _telemetry.addDelta("mem_queue_cycles", [this] {
+        std::uint64_t v = 0;
+        for (const MemModule &m : _mems)
+            v += m.queueCycles();
+        return v;
+    });
+    // Directory/memory backlog: cycles of already-reserved service
+    // time still ahead of the clock, summed and worst-node.
+    _telemetry.addGauge("mem_backlog", [this] {
+        std::uint64_t v = 0;
+        Tick t = _eq.now();
+        for (const MemModule &m : _mems)
+            if (m.freeAt() > t)
+                v += m.freeAt() - t;
+        return v;
+    });
+    _telemetry.addGauge("mem_backlog_max", [this] {
+        std::uint64_t v = 0;
+        Tick t = _eq.now();
+        for (const MemModule &m : _mems)
+            if (m.freeAt() > t && m.freeAt() - t > v)
+                v = m.freeAt() - t;
+        return v;
+    });
+    if (_cfg.faults.recoveryEnabled()) {
+        const Recovery::Counters &rc = _recovery.counters();
+        _telemetry.addDelta("recovery_drops", [&rc] { return rc.drops; });
+        _telemetry.addDelta("recovery_retransmits",
+                            [&rc] { return rc.retransmits; });
+    }
 }
 
 void
@@ -141,6 +218,33 @@ System::buildRegistry()
     if (_cfg.watchdog.enabled)
         _registry.addCounter("fault.watchdog_trips",
                              _watchdog.tripsCounter());
+
+    // Telemetry accounting: registered only when telemetry is on, so
+    // untelemetered runs keep their exact JSON shape.
+    if (_cfg.telemetry.enabled) {
+        _registry.addCounter("timeseries.windows", [this] {
+            return _telemetry.windowsSampled();
+        });
+        _registry.addCounter("timeseries.windows_evicted", [this] {
+            return _telemetry.windowsEvicted();
+        });
+        _registry.addCounter("timeseries.series", [this] {
+            return static_cast<std::uint64_t>(_telemetry.numSeries());
+        });
+        _registry.addCounter("timeseries.lines_tracked", [this] {
+            return _line_prof.linesTracked();
+        });
+    }
+
+    // Event-trace ring accounting: the ring silently overwrites its
+    // oldest records, so surface how many were lost. Registered only
+    // when tracing is on (same JSON-shape discipline as above).
+    if (_cfg.trace.enabled) {
+        _registry.addCounter("trace.recorded",
+                             [this] { return _tracer.totalRecorded(); });
+        _registry.addCounter("trace.dropped",
+                             [this] { return _tracer.dropped(); });
+    }
 
     // Per-node component counters. All pointed-to storage lives in
     // containers sized once by the constructor, so addresses are stable.
@@ -344,6 +448,51 @@ System::report() const
                     (unsigned long long)invs);
     out += stats().report();
     return out;
+}
+
+std::string
+System::telemetryJson()
+{
+    _telemetry.finalize(_eq.now());
+    JsonWriter w;
+    w.beginObject();
+    w.key("timeseries");
+    _telemetry.writeJson(w);
+    w.kv("lines_tracked", _line_prof.linesTracked());
+    w.key("hot_lines");
+    w.beginArray();
+    for (const LineProfiler::Ranked &r :
+         _line_prof.ranked(_cfg.telemetry.hot_lines)) {
+        w.beginObject();
+        w.kv("addr", static_cast<std::uint64_t>(r.addr));
+        w.kv("home", static_cast<int>(homeOf(r.addr)));
+        w.kv("sync", isSync(r.addr));
+        w.kv("requests", r.prof.requests);
+        w.kv("service_cycles", r.prof.service_cycles);
+        w.kv("nacks", r.prof.nacks);
+        w.kv("migrations", r.prof.migrations);
+        w.kv("sharer_joins", r.prof.sharer_joins);
+        w.kv("invalidations", r.prof.invalidations);
+        w.kv("score", r.prof.score());
+        w.endObject();
+    }
+    w.endArray();
+    // Cumulative offered load per directed link, row-major
+    // (src * nodes + dst) — the mesh heatmap of the HTML report.
+    w.key("links");
+    w.beginObject();
+    w.kv("nodes", numProcs());
+    w.kv("mesh_x", _cfg.machine.mesh_x);
+    w.kv("mesh_y", _cfg.machine.mesh_y);
+    w.key("flits");
+    w.beginArray();
+    for (int a = 0; a < numProcs(); ++a)
+        for (int b = 0; b < numProcs(); ++b)
+            w.value(_mesh.linkFlits(a, b));
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    return w.str();
 }
 
 RunResult

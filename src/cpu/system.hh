@@ -28,9 +28,11 @@
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "stats/line_profiler.hh"
 #include "stats/registry.hh"
 #include "stats/sharing_tracker.hh"
 #include "stats/stat_set.hh"
+#include "stats/timeseries.hh"
 #include "trace/trace.hh"
 #include "trace/txn.hh"
 
@@ -106,6 +108,12 @@ class System
         // they reconcile against (checker::checkFaultAccounting).
         _faults.clearCounters();
         _recovery.clearCounters();
+        // Telemetry delta series re-baseline against the zeroed
+        // counters and drop recorded windows, so post-clear windows
+        // again sum exactly to the post-clear aggregates. The line
+        // profiler and link-flit matrix stay cumulative, like the
+        // transaction tracer.
+        _telemetry.rebaseline();
     }
 
     /** The hierarchical stats registry (per-node and global entries). */
@@ -150,6 +158,33 @@ class System
 
     /** The recovery layer itself, for inspection even when disabled. */
     const Recovery &recoveryState() const { return _recovery; }
+
+    /**
+     * The time-resolved telemetry sampler, or nullptr when telemetry
+     * is off — the usual null-pointer gate. When on, the event queue
+     * drives it at every TelemetryConfig::window boundary.
+     */
+    TimeSeries *telemetry() { return _telemetry_on; }
+
+    /** The sampler itself, for inspection even when disabled. */
+    const TimeSeries &telemetryState() const { return _telemetry; }
+
+    /**
+     * The per-line contention profiler, or nullptr when telemetry is
+     * off. Protocol hot paths pay one branch, like the tracers.
+     */
+    LineProfiler *lineProfiler() { return _line_prof_on; }
+
+    /** The profiler itself, for inspection even when disabled. */
+    const LineProfiler &lineProfilerState() const { return _line_prof; }
+
+    /**
+     * Finalize sampling (records the residual partial window) and
+     * render the full telemetry snapshot — the windowed series, the
+     * ranked hot-line table, and the per-directed-link flit matrix —
+     * as one JSON object. The payload of the dsm-timeseries-v1 export.
+     */
+    std::string telemetryJson();
 
     /** The full registry rendered as nested JSON. */
     std::string statsJson() const { return _registry.toJson(); }
@@ -251,6 +286,9 @@ class System
     /** Populate the stats registry with per-node and global entries. */
     void buildRegistry();
 
+    /** Register the machine-wide telemetry series (telemetry on only). */
+    void registerTelemetrySeries();
+
     Config _cfg;
     EventQueue _eq;
     Mesh _mesh;
@@ -267,10 +305,14 @@ class System
     FaultPlan _faults;
     Watchdog _watchdog;
     Recovery _recovery;
+    TimeSeries _telemetry;
+    LineProfiler _line_prof;
     /** Non-null only when the corresponding feature is enabled. */
     FaultPlan *_faults_on = nullptr;
     Watchdog *_watchdog_on = nullptr;
     Recovery *_recovery_on = nullptr;
+    TimeSeries *_telemetry_on = nullptr;
+    LineProfiler *_line_prof_on = nullptr;
     SharingTracker _sharing;
     Rng _rng;
 

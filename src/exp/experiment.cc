@@ -8,7 +8,9 @@
 
 #include "cpu/system.hh"
 #include "fault/fault.hh"
+#include "sim/json.hh"
 #include "sim/logging.hh"
+#include "stats/telemetry_html.hh"
 
 namespace {
 
@@ -17,6 +19,15 @@ bool
 txnTraceEnv()
 {
     const char *v = std::getenv("DSM_TXN_TRACE");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+/** True when $DSM_TIMESERIES asks for time-resolved telemetry. */
+bool
+timeseriesEnv()
+{
+    const char *v = std::getenv("DSM_TIMESERIES");
     return v != nullptr && v[0] != '\0' &&
            !(v[0] == '0' && v[1] == '\0');
 }
@@ -168,6 +179,13 @@ Experiment &
 Experiment::traceTxns(bool on)
 {
     _trace_txns = on;
+    return *this;
+}
+
+Experiment &
+Experiment::timeseries(bool on)
+{
+    _timeseries = on;
     return *this;
 }
 
@@ -377,6 +395,24 @@ Experiment::run(int jobs)
         }
     }
 
+    // Time-resolved telemetry: flip it on in every point's Config and
+    // wrap each point function to harvest the finalized telemetry
+    // snapshot after the workload returns. Harvests are merged in
+    // declaration order below, so --jobs never changes the document.
+    bool ts_on = _timeseries || timeseriesEnv();
+    if (ts_on && !_ts_wrapped) {
+        _ts_wrapped = true;
+        for (Point &p : _points) {
+            p.cfg.telemetry.enabled = true;
+            PointFn inner = std::move(p.fn);
+            p.fn = [inner](System &sys) {
+                PointResult r = inner(sys);
+                r.ts_json = sys.telemetryJson();
+                return r;
+            };
+        }
+    }
+
     // Column order and label width for the printed table.
     _cols.clear();
     for (const Point &p : _points) {
@@ -485,6 +521,53 @@ Experiment::run(int jobs)
             } else {
                 _trace_path = path;
                 emit(csprintf("wrote %s\n", path.c_str()));
+            }
+        }
+    }
+
+    if (ts_on) {
+        // Merge the per-point telemetry fragments into one
+        // dsm-timeseries-v1 document. Each fragment is a complete JSON
+        // object, so splice its members after the point's identity keys
+        // by stripping the opening brace.
+        std::string doc = "{\"schema\":\"dsm-timeseries-v1\",\"bench\":\"" +
+                          jsonEscape(_name) + "\",\"meta\":{\"procs\":" +
+                          csprintf("%d", _base.machine.num_procs) +
+                          ",\"mesh_x\":" +
+                          csprintf("%d", _base.machine.mesh_x) +
+                          ",\"mesh_y\":" +
+                          csprintf("%d", _base.machine.mesh_y) +
+                          "},\"points\":[";
+        for (std::size_t i = 0; i < _points.size(); ++i) {
+            if (i != 0)
+                doc += ',';
+            doc += "{\"impl\":\"" + jsonEscape(_points[i].row) +
+                   "\",\"point\":\"" + jsonEscape(_points[i].col) + "\"";
+            const std::string &frag = _results[i].ts_json;
+            if (frag.size() > 2)
+                doc += "," + frag.substr(1);
+            else
+                doc += "}";
+        }
+        doc += "]}";
+        _timeseries_json = std::move(doc);
+        if (_write_report) {
+            const char *dir = std::getenv("DSM_BENCH_DIR");
+            std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
+            std::string path = d + "/TIMESERIES_" + _name + ".json";
+            std::ofstream out(path, std::ios::binary);
+            if (out)
+                out << _timeseries_json << '\n';
+            if (!out) {
+                dsm_warn("could not write timeseries %s", path.c_str());
+            } else {
+                _timeseries_path = path;
+                emit(csprintf("wrote %s\n", path.c_str()));
+            }
+            std::string hpath = d + "/TIMESERIES_" + _name + ".html";
+            if (writeTelemetryHtml(hpath, _timeseries_json, _name)) {
+                _timeseries_html_path = hpath;
+                emit(csprintf("wrote %s\n", hpath.c_str()));
             }
         }
     }

@@ -118,6 +118,19 @@ class Experiment
     Experiment &traceTxns(bool on);
 
     /**
+     * Enable time-resolved telemetry on every point: each point's
+     * Config gets telemetry.enabled, its System samples every series
+     * at each window boundary, and — when report writing is on — the
+     * merged dsm-timeseries-v1 document is written as
+     * TIMESERIES_<name>.json (plus a self-contained HTML rendering,
+     * TIMESERIES_<name>.html) next to BENCH_<name>.json. Also switched
+     * on by a nonempty $DSM_TIMESERIES (other than "0"). The merged
+     * document is assembled in declaration order, so a parallel run's
+     * export is byte-identical to a serial one.
+     */
+    Experiment &timeseries(bool on);
+
+    /**
      * Override the machine RNG seed of every point (0 is a no-op, so
      * chaining `.seed(parseSeedFlag(argc, argv))` is safe). Also
      * honoured from $DSM_SEED when no explicit seed is given. When a
@@ -200,6 +213,19 @@ class Experiment
     /** Where run() wrote TRACE_<name>.json ("" if not written). */
     const std::string &tracePath() const { return _trace_path; }
 
+    /** The merged dsm-timeseries-v1 document ("" unless telemetry ran). */
+    const std::string &timeseriesJson() const { return _timeseries_json; }
+
+    /** Where run() wrote TIMESERIES_<name>.json ("" if not written). */
+    const std::string &timeseriesPath() const { return _timeseries_path; }
+
+    /** Where run() wrote TIMESERIES_<name>.html ("" if not written). */
+    const std::string &
+    timeseriesHtmlPath() const
+    {
+        return _timeseries_html_path;
+    }
+
   private:
     struct SweepSpec
     {
@@ -228,6 +254,8 @@ class Experiment
     bool _write_report = true;
     bool _trace_txns = false;
     bool _txn_wrapped = false;
+    bool _timeseries = false;
+    bool _ts_wrapped = false;
     std::uint64_t _seed = 0;
     bool _seed_applied = false;
     FaultConfig _faults;
@@ -243,6 +271,9 @@ class Experiment
     BenchReport _report;
     std::string _report_path;
     std::string _trace_path;
+    std::string _timeseries_json;
+    std::string _timeseries_path;
+    std::string _timeseries_html_path;
     std::string _rendered;
 
     /** Column labels in first-appearance order. */

@@ -45,6 +45,13 @@ struct PointResult
     std::uint64_t txn_divergences = 0; ///< Table 1 chain divergences
     std::uint64_t txn_mismatches = 0;  ///< phase-sum != latency count
     /** @} */
+
+    /**
+     * Telemetry harvest (filled by Experiment when timeseries() is on,
+     * empty otherwise): System::telemetryJson() of this point, a
+     * rendered JSON object.
+     */
+    std::string ts_json;
 };
 
 /** The workload of one point, run on a freshly built System. */

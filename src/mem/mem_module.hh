@@ -53,6 +53,9 @@ class MemModule
     /** Per-request queue-wait distribution (cycles). */
     const Histogram &queueWait() const { return _queue_wait; }
 
+    /** Tick at which the bank next goes idle (backlog gauge). */
+    Tick freeAt() const { return _free; }
+
   private:
     Tick _service;
     Tick _free = 0;

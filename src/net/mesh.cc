@@ -37,6 +37,15 @@ Mesh::clearStats()
     std::fill(_inj_msgs.begin(), _inj_msgs.end(), 0);
     std::fill(_ej_msgs.begin(), _ej_msgs.end(), 0);
     std::fill(_inj_flits.begin(), _inj_flits.end(), 0);
+    std::fill(_link_flits.begin(), _link_flits.end(), 0);
+}
+
+void
+Mesh::enableLinkCounters()
+{
+    std::size_t links = static_cast<std::size_t>(_cfg.num_procs) *
+                        static_cast<std::size_t>(_cfg.num_procs);
+    _link_flits.assign(links, 0);
 }
 
 int
@@ -202,14 +211,15 @@ Mesh::send(const Msg &msg)
     // In-flight time: head latency over the dimension-order path.
     int nhops = hops(m.src, m.dst);
 
-    // Message-loss faults. Only when loss is armed do we materialize
-    // the path: XY dimension order, falling back to YX (identical hop
-    // count, so timing-neutral) when XY would cross a quarantined
-    // link. A dropped message has already consumed its injection slot
-    // — only the delivery (and the ejection port) never happens.
-    if (_faults != nullptr && _faults->lossArmed()) {
-        NodeId path[MAX_PATH_NODES];
-        int nnodes = buildPath(m.src, m.dst, false, path);
+    // Only a consumer — armed message loss, or per-link telemetry —
+    // makes us materialize the path: XY dimension order, falling back
+    // to YX (identical hop count, so timing-neutral) when XY would
+    // cross a quarantined link.
+    bool loss_armed = _faults != nullptr && _faults->lossArmed();
+    NodeId path[MAX_PATH_NODES];
+    int nnodes = 0;
+    if (loss_armed || !_link_flits.empty()) {
+        nnodes = buildPath(m.src, m.dst, false, path);
         if (_have_quarantine && pathQuarantined(path, nnodes)) {
             NodeId alt[MAX_PATH_NODES];
             int altn = buildPath(m.src, m.dst, true, alt);
@@ -218,6 +228,19 @@ Mesh::send(const Msg &msg)
                 nnodes = altn;
             }
         }
+    }
+
+    // Telemetry: attribute this message's flits to each directed link
+    // of its path. Counted before the loss check — a dropped message
+    // still offered its load to the links it would have crossed.
+    if (!_link_flits.empty())
+        for (int i = 0; i + 1 < nnodes; ++i)
+            _link_flits[linkId(path[i], path[i + 1])] += flits;
+
+    // Message-loss faults. A dropped message has already consumed its
+    // injection slot — only the delivery (and the ejection port) never
+    // happens.
+    if (loss_armed) {
         bool droppable = _recovery != nullptr && m.seq != 0 &&
                          (recoverableRequest(m.type) ||
                           recoverableReply(m.type));

@@ -117,6 +117,28 @@ class Mesh
     const std::uint64_t &injFlits(NodeId n) const { return _inj_flits[n]; }
     /** @} */
 
+    /** @name Per-directed-link flit counters (telemetry). @{ */
+
+    /**
+     * Allocate the N^2 per-directed-link flit matrix and attribute
+     * every subsequent message's flits to each adjacent link of its
+     * dimension-order path (the rerouted path when a quarantine is
+     * active, the intended path for dropped messages — offered load).
+     * Off by default: send() then never materializes paths for timing.
+     */
+    void enableLinkCounters();
+
+    bool linkCountersEnabled() const { return !_link_flits.empty(); }
+
+    /** Flits offered to the directed link @p a -> @p b. */
+    std::uint64_t
+    linkFlits(NodeId a, NodeId b) const
+    {
+        return _link_flits.empty() ? 0 : _link_flits[linkId(a, b)];
+    }
+
+    /** @} */
+
   private:
     unsigned flitsFor(const Msg &msg) const;
 
@@ -141,6 +163,8 @@ class Mesh
     std::vector<std::uint64_t> _inj_msgs; ///< messages injected per node
     std::vector<std::uint64_t> _ej_msgs;  ///< messages ejected per node
     std::vector<std::uint64_t> _inj_flits;///< flits injected per node
+    /** Flits per directed link; empty unless enableLinkCounters(). */
+    std::vector<std::uint64_t> _link_flits;
     Tracer *_tracer = nullptr;
     TxnTracer *_txns = nullptr;
     FaultPlan *_faults = nullptr;

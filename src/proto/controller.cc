@@ -209,6 +209,8 @@ void
 Controller::sendNack(const Msg &req)
 {
     ++_sys.stats(_id).nacks;
+    if (LineProfiler *lp = _sys.lineProfiler())
+        lp->noteNack(req.addr);
     traceNack(req.src, req.addr, req.type);
     Msg n;
     n.type = MsgType::NACK;

@@ -23,6 +23,10 @@ Controller::homeEnqueue(const Msg &m)
                toString(m.type), static_cast<unsigned long long>(m.addr),
                _id);
     Tick when = _sys.mem(_id).access(now());
+    // Telemetry: attribute this request and its full home cost (memory
+    // queueing plus service) to the block it targets.
+    if (LineProfiler *lp = _sys.lineProfiler())
+        lp->noteService(m.addr, when - now());
     if (m.txn_id != 0) {
         // Owner replies re-enter the home queue: their transit leg
         // belongs to the reply path, not the request path.
@@ -143,6 +147,8 @@ Controller::homeGetS(const Msg &m)
                                 e.numSharers(), false, INVALID_NODE, 0);
         setDirState(e, m.addr, DirState::SHARED);
         e.addSharer(m.src);
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteSharerJoin(m.addr);
         Msg r;
         r.type = MsgType::DATA_S;
         r.data = _sys.store().readBlock(m.addr);
@@ -190,6 +196,8 @@ Controller::homeGetX(const Msg &m)
                                 false, INVALID_NODE, 0);
         setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteOwner(m.addr, m.src);
         Msg r;
         r.type = MsgType::DATA_X;
         r.data = _sys.store().readBlock(m.addr);
@@ -208,6 +216,8 @@ Controller::homeGetX(const Msg &m)
         setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         e.sharers = 0;
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteOwner(m.addr, m.src);
         Msg r;
         r.type = MsgType::DATA_X;
         r.data = _sys.store().readBlock(m.addr);
@@ -243,10 +253,13 @@ Controller::homeGetX(const Msg &m)
 void
 Controller::sendInvalidations(std::uint64_t targets, const Msg &req)
 {
+    LineProfiler *lp = _sys.lineProfiler();
     for (NodeId n = 0; n < _sys.numProcs(); ++n) {
         if (!(targets & bit(n)))
             continue;
         ++_sys.stats(_id).invalidations;
+        if (lp != nullptr)
+            lp->noteInvalidation(req.addr);
         Msg inv;
         inv.type = MsgType::INV;
         inv.dst = n;
@@ -278,6 +291,8 @@ Controller::homeUpgrade(const Msg &m)
     setDirState(e, m.addr, DirState::EXCLUSIVE);
     e.owner = m.src;
     e.sharers = 0;
+    if (LineProfiler *lp = _sys.lineProfiler())
+        lp->noteOwner(m.addr, m.src);
     Msg r;
     r.type = MsgType::UPG_ACK;
     r.ack_count = __builtin_popcountll(others);
@@ -315,6 +330,8 @@ Controller::homeCasHome(const Msg &m)
             setDirState(e, m.addr, DirState::EXCLUSIVE);
             e.owner = m.src;
             e.sharers = 0;
+            if (LineProfiler *lp = _sys.lineProfiler())
+                lp->noteOwner(m.addr, m.src);
             Msg r;
             r.type = MsgType::DATA_X;
             r.data = _sys.store().readBlock(m.addr);
@@ -339,6 +356,8 @@ Controller::homeCasHome(const Msg &m)
                                     0);
             setDirState(e, m.addr, DirState::SHARED);
             e.addSharer(m.src);
+            if (LineProfiler *lp = _sys.lineProfiler())
+                lp->noteSharerJoin(m.addr);
             Msg r;
             r.type = MsgType::CAS_FAIL_S;
             r.result = old;
@@ -394,6 +413,8 @@ Controller::homeScReq(const Msg &m)
         setDirState(e, m.addr, DirState::EXCLUSIVE);
         e.owner = m.src;
         e.sharers = 0;
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteOwner(m.addr, m.src);
         if (e.reservations != 0)
             traceResv(TraceCat::RESV_CLEAR, m.addr);
         e.clearReservations();
@@ -576,6 +597,8 @@ Controller::homeUpdReq(const Msg &m)
     // The requester retains (or obtains) a shared copy.
     setDirState(e, m.addr, DirState::SHARED);
     e.addSharer(m.src);
+    if (LineProfiler *lp = _sys.lineProfiler())
+        lp->noteSharerJoin(m.addr);
 
     Msg r;
     r.type = MsgType::UPD_RESP;
@@ -622,6 +645,8 @@ void
 Controller::nackNode(NodeId n, Addr block)
 {
     ++_sys.stats(_id).nacks;
+    if (LineProfiler *lp = _sys.lineProfiler())
+        lp->noteNack(block);
     traceNack(n, block, MsgType::NACK);
     Msg r;
     r.type = MsgType::NACK;
@@ -696,6 +721,9 @@ Controller::homeOwnerReply(const Msg &m)
         e.owner = INVALID_NODE;
         e.busy = false;
         e.pending_requester = INVALID_NODE;
+        // The former owner downgraded in place; only req is new.
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteSharerJoin(m.addr);
         Msg r;
         r.type = MsgType::DATA_S;
         r.data = m.data;
@@ -707,6 +735,8 @@ Controller::homeOwnerReply(const Msg &m)
         e.owner = req;
         e.busy = false;
         e.pending_requester = INVALID_NODE;
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteOwner(m.addr, req);
         Msg r;
         r.type = MsgType::DATA_X;
         r.data = m.data;
@@ -734,6 +764,8 @@ Controller::homeOwnerReply(const Msg &m)
         e.owner = INVALID_NODE;
         e.busy = false;
         e.pending_requester = INVALID_NODE;
+        if (LineProfiler *lp = _sys.lineProfiler())
+            lp->noteSharerJoin(m.addr);
         Msg r;
         r.type = MsgType::CAS_FAIL_S;
         r.result = m.result;

@@ -104,6 +104,12 @@ Config::validate() const
     if (txn_trace.enabled && txn_trace.capacity == 0)
         return "txn_trace.capacity must be nonzero when transaction "
                "tracing is enabled";
+    if (telemetry.enabled && telemetry.window == 0)
+        return "telemetry.window must be nonzero when telemetry is "
+               "enabled";
+    if (telemetry.enabled && telemetry.max_windows == 0)
+        return "telemetry.max_windows must be nonzero when telemetry "
+               "is enabled";
 
     const FaultConfig &f = faults;
     struct { const char *name; double v; } probs[] = {

@@ -154,6 +154,30 @@ struct TxnTraceConfig
 };
 
 /**
+ * Time-resolved telemetry configuration (stats/timeseries.hh and
+ * stats/line_profiler.hh). Off by default and free when off: the event
+ * loop pays one branch per event, every protocol hook one null-pointer
+ * test, and the stats JSON keeps its exact shape. When enabled, the
+ * simulator samples windowed deltas of the registered counters every
+ * @c window cycles into bounded ring-buffered series, attributes
+ * traffic per cache line, and counts flits per directed mesh link.
+ */
+struct TelemetryConfig
+{
+    bool enabled = false;
+    /** Sampling window in cycles: one sample per series per window. */
+    Tick window = 4096;
+    /**
+     * Ring capacity per series, in windows. When a run outlives the
+     * ring, the oldest windows are folded into a per-series evicted
+     * sum, so retained + evicted always equals the aggregate.
+     */
+    std::size_t max_windows = 4096;
+    /** Rows of the ranked hot-line table in exports. */
+    std::size_t hot_lines = 16;
+};
+
+/**
  * Upper bound on FaultConfig::msg_jitter_max: keeps injected delays far
  * below any plausible run deadline so jitter can never masquerade as a
  * hang (the watchdogs must stay able to tell slow from stuck).
@@ -288,6 +312,7 @@ struct Config
     SyncConfig sync;
     TraceConfig trace;
     TxnTraceConfig txn_trace;
+    TelemetryConfig telemetry;
     FaultConfig faults;
     WatchdogConfig watchdog;
 

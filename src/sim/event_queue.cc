@@ -78,6 +78,8 @@ EventQueue::step()
         siftDown(0);
     }
     dsm_assert(e->when >= _now, "event queue time went backwards");
+    if (_sample_period != 0)
+        sampleUpTo(e->when);
     _now = e->when;
     ++_executed;
     // The callback may schedule new events (allocating from the pool);
@@ -104,8 +106,12 @@ EventQueue::runUntil(Tick when, std::uint64_t limit)
         step();
         ++n;
     }
-    if (_now < when)
+    if (_now < when) {
+        // The final clock jump crosses window boundaries too.
+        if (_sample_period != 0)
+            sampleUpTo(when);
         _now = when;
+    }
     return n;
 }
 

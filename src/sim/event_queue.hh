@@ -89,6 +89,36 @@ class EventQueue
     }
 
     /**
+     * Attach a periodic sampling hook (time-resolved telemetry). The
+     * callback fires once per window boundary — ticks period, 2*period,
+     * ... — immediately before the first event at or after each
+     * boundary executes, so a sample at boundary T observes exactly the
+     * events of [0, T). Boundaries with no events in between are still
+     * delivered (in order) before the next event runs; sampling never
+     * schedules events, so it cannot keep the queue alive. With no
+     * sampler attached the hot path pays a single branch per event.
+     */
+    using SamplerFn = std::function<void(Tick)>;
+    void
+    setSampler(Tick period, SamplerFn fn)
+    {
+        dsm_assert(period > 0, "sampler period must be nonzero");
+        _sample_period = period;
+        _next_sample = _now + period;
+        _sampler = std::move(fn);
+    }
+
+    /** Deliver any window boundaries up to and including @p when. */
+    void
+    sampleUpTo(Tick when)
+    {
+        while (_next_sample <= when) {
+            _sampler(_next_sample);
+            _next_sample += _sample_period;
+        }
+    }
+
+    /**
      * Execute the single next event, advancing the clock to it.
      * @return false if the queue was empty.
      */
@@ -190,6 +220,12 @@ class EventQueue
     Tick _now = 0;
     std::uint64_t _next_seq = 0;
     std::uint64_t _executed = 0;
+
+    /** @name Telemetry sampling hook (0 = no sampler attached). @{ */
+    Tick _sample_period = 0;
+    Tick _next_sample = 0;
+    SamplerFn _sampler;
+    /** @} */
 };
 
 } // namespace dsm

@@ -1,8 +1,10 @@
 /**
  * @file
- * Minimal streaming JSON emitter used by the stats registry, the trace
- * exporters, and the bench binaries' machine-readable output. Emits
- * compact, valid JSON; no parsing (tests carry their own tiny parser).
+ * Minimal JSON support: a streaming emitter used by the stats registry,
+ * the trace exporters, and the bench binaries' machine-readable output,
+ * plus a small recursive-descent parser (JsonValue/parseJson) for tools
+ * that read those documents back — most prominently bench_diff, the
+ * cross-run perf-regression harness.
  */
 
 #ifndef DSM_SIM_JSON_HH
@@ -10,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dsm {
@@ -65,6 +68,45 @@ class JsonWriter
     std::vector<bool> _first; ///< per open container: no elements yet
     bool _have_key = false;
 };
+
+/**
+ * Parsed JSON value. Numbers are held as doubles, which is exact for
+ * every counter the consumers compare (all < 2^53). Object member
+ * order is preserved.
+ */
+struct JsonValue
+{
+    enum class Kind { NUL, BOOL, NUMBER, STRING, ARRAY, OBJECT };
+
+    Kind kind = Kind::NUL;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::OBJECT; }
+    bool isArray() const { return kind == Kind::ARRAY; }
+    bool isNumber() const { return kind == Kind::NUMBER; }
+    bool isString() const { return kind == Kind::STRING; }
+
+    /** Object member lookup; nullptr if absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+
+    /** Member's numeric value, or @p fallback if absent/non-numeric. */
+    double num(const std::string &key, double fallback = -1.0) const;
+
+    /** Member's string value, or "" if absent/non-string. */
+    std::string str(const std::string &key) const;
+};
+
+/**
+ * Parse @p text into @p out. On failure returns false and leaves a
+ * human-readable message (with byte offset) in @p err when non-null.
+ */
+bool parseJson(const std::string &text, JsonValue *out, std::string *err);
 
 } // namespace dsm
 

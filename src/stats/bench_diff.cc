@@ -1,0 +1,273 @@
+#include "stats/bench_diff.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+/**
+ * Per-metric noise model. Only the harmful direction is gated;
+ * @c abs_slack absorbs fixed-cost jitter on tiny counts (a NACK count
+ * moving 2 -> 3 is +50% but meaningless).
+ */
+struct MetricRule
+{
+    const char *name;
+    bool higher_is_bad;
+    double rel_pct;   ///< relative threshold, percent of baseline
+    double abs_slack; ///< ignore changes at or below this magnitude
+};
+
+const MetricRule METRIC_RULES[] = {
+    {"ops", false, 5.0, 16.0},
+    {"mean_latency", true, 5.0, 8.0},
+    {"p50", true, 10.0, 16.0},
+    {"p95", true, 10.0, 16.0},
+    {"p99", true, 10.0, 32.0},
+    {"messages", true, 5.0, 64.0},
+    {"flits", true, 5.0, 256.0},
+    {"nacks", true, 10.0, 64.0},
+    {"retries", true, 10.0, 64.0},
+    {"ticks", true, 5.0, 256.0},
+    {"avg_cycles_per_update", true, 5.0, 8.0},
+};
+
+const MetricRule *
+findRule(const std::string &name)
+{
+    for (const MetricRule &r : METRIC_RULES)
+        if (name == r.name)
+            return &r;
+    return nullptr;
+}
+
+/** Row identity: every string-valued field, in order. */
+std::string
+rowLabel(const JsonValue &row, int index)
+{
+    std::string label;
+    for (const auto &[k, v] : row.object) {
+        if (!v.isString())
+            continue;
+        if (!label.empty())
+            label += ' ';
+        label += k + '=' + v.string;
+    }
+    if (label.empty())
+        label = csprintf("row %d", index);
+    return label;
+}
+
+} // anonymous namespace
+
+void
+DiffResult::merge(const DiffResult &other)
+{
+    regressions.insert(regressions.end(), other.regressions.begin(),
+                       other.regressions.end());
+    improvements.insert(improvements.end(), other.improvements.begin(),
+                        other.improvements.end());
+    errors.insert(errors.end(), other.errors.begin(),
+                  other.errors.end());
+    rows_compared += other.rows_compared;
+    metrics_compared += other.metrics_compared;
+}
+
+DiffResult
+diffBenchReports(const JsonValue &base, const JsonValue &cand,
+                 const DiffOptions &opt)
+{
+    DiffResult res;
+    if (base.str("schema") != "dsm-bench-v1" ||
+        cand.str("schema") != "dsm-bench-v1") {
+        res.errors.push_back("not a dsm-bench-v1 report");
+        return res;
+    }
+    std::string bench = base.str("bench");
+    if (cand.str("bench") != bench) {
+        res.errors.push_back("bench name mismatch: baseline \"" + bench +
+                             "\" vs candidate \"" + cand.str("bench") +
+                             "\"");
+        return res;
+    }
+    const JsonValue *brows = base.find("results");
+    const JsonValue *crows = cand.find("results");
+    if (brows == nullptr || !brows->isArray() || crows == nullptr ||
+        !crows->isArray()) {
+        res.errors.push_back(bench + ": missing results array");
+        return res;
+    }
+    if (brows->array.size() != crows->array.size()) {
+        res.errors.push_back(csprintf(
+            "%s: row count changed %zu -> %zu", bench.c_str(),
+            brows->array.size(), crows->array.size()));
+        return res;
+    }
+
+    for (std::size_t i = 0; i < brows->array.size(); ++i) {
+        const JsonValue &br = brows->array[i];
+        const JsonValue &cr = crows->array[i];
+        if (!br.isObject() || !cr.isObject()) {
+            res.errors.push_back(
+                csprintf("%s: row %zu is not an object", bench.c_str(), i));
+            continue;
+        }
+        std::string label = rowLabel(br, static_cast<int>(i));
+        // Identifying string fields must agree, or the sweep shape
+        // changed and per-metric comparison would be meaningless.
+        if (rowLabel(cr, static_cast<int>(i)) != label) {
+            res.errors.push_back(
+                bench + ": row identity changed: baseline [" + label +
+                "] vs candidate [" +
+                rowLabel(cr, static_cast<int>(i)) + "]");
+            continue;
+        }
+        ++res.rows_compared;
+
+        for (const auto &[key, bval] : br.object) {
+            const MetricRule *rule = findRule(key);
+            if (rule == nullptr || !bval.isNumber())
+                continue;
+            const JsonValue *cval = cr.find(key);
+            if (cval == nullptr || !cval->isNumber()) {
+                res.errors.push_back(bench + " [" + label +
+                                     "]: metric " + key +
+                                     " missing from candidate");
+                continue;
+            }
+            ++res.metrics_compared;
+            double b = bval.number, c = cval->number;
+            double diff = c - b;
+            if (std::abs(diff) <= rule->abs_slack)
+                continue;
+            double change_pct = b != 0.0
+                                    ? 100.0 * diff / b
+                                    : (diff > 0 ? 100.0 : -100.0);
+            double limit = rule->rel_pct * opt.threshold_scale;
+            bool harmful = rule->higher_is_bad ? diff > 0 : diff < 0;
+            if (std::abs(change_pct) <= limit)
+                continue;
+            DiffFinding f;
+            f.bench = bench;
+            f.row = label;
+            f.metric = key;
+            f.base = b;
+            f.cand = c;
+            f.change_pct = change_pct;
+            f.threshold_pct = limit;
+            (harmful ? res.regressions : res.improvements)
+                .push_back(std::move(f));
+        }
+    }
+    return res;
+}
+
+namespace {
+
+bool
+loadJsonFile(const std::string &path, JsonValue *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        *err = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string perr;
+    if (!parseJson(text.str(), out, &perr)) {
+        *err = path + ": " + perr;
+        return false;
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+DiffResult
+diffBenchFiles(const std::string &base_path, const std::string &cand_path,
+               const DiffOptions &opt)
+{
+    DiffResult res;
+    JsonValue base, cand;
+    std::string err;
+    if (!loadJsonFile(base_path, &base, &err) ||
+        !loadJsonFile(cand_path, &cand, &err)) {
+        res.errors.push_back(err);
+        return res;
+    }
+    return diffBenchReports(base, cand, opt);
+}
+
+DiffResult
+diffBenchDirs(const std::string &base_dir, const std::string &cand_dir,
+              const DiffOptions &opt)
+{
+    namespace fs = std::filesystem;
+    DiffResult res;
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(base_dir, ec)) {
+        std::string n = e.path().filename().string();
+        if (n.rfind("BENCH_", 0) == 0 && n.size() > 5 &&
+            n.substr(n.size() - 5) == ".json")
+            names.push_back(n);
+    }
+    if (ec) {
+        res.errors.push_back("cannot read directory " + base_dir + ": " +
+                             ec.message());
+        return res;
+    }
+    if (names.empty()) {
+        res.errors.push_back("no BENCH_*.json files in " + base_dir);
+        return res;
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string &n : names) {
+        std::string cand_path = cand_dir + "/" + n;
+        if (!fs::exists(cand_path)) {
+            res.errors.push_back("baseline " + n +
+                                 " has no candidate counterpart in " +
+                                 cand_dir);
+            continue;
+        }
+        res.merge(diffBenchFiles(base_dir + "/" + n, cand_path, opt));
+    }
+    return res;
+}
+
+std::string
+renderDiff(const DiffResult &r)
+{
+    std::string out;
+    for (const std::string &e : r.errors)
+        out += "ERROR: " + e + "\n";
+    auto line = [&](const char *tag, const DiffFinding &f) {
+        out += csprintf("%s %s [%s] %s: %g -> %g (%+.1f%%, threshold "
+                        "%.1f%%)\n",
+                        tag, f.bench.c_str(), f.row.c_str(),
+                        f.metric.c_str(), f.base, f.cand, f.change_pct,
+                        f.threshold_pct);
+    };
+    for (const DiffFinding &f : r.regressions)
+        line("REGRESSION", f);
+    for (const DiffFinding &f : r.improvements)
+        line("improvement", f);
+    out += csprintf("%d rows, %d metrics compared: %zu regression(s), "
+                    "%zu improvement(s), %zu error(s)\n",
+                    r.rows_compared, r.metrics_compared,
+                    r.regressions.size(), r.improvements.size(),
+                    r.errors.size());
+    return out;
+}
+
+} // namespace dsm

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Cross-run perf-regression comparison of dsm-bench-v1 reports.
+ *
+ * diffBenchReports() compares a baseline and a candidate report row by
+ * row. Rows are matched by position and verified by their identifying
+ * string fields (implementation label, sweep-point label); each known
+ * metric is then checked against a per-metric noise threshold in the
+ * harmful direction only (latency and traffic up, throughput down). An
+ * absolute slack per metric keeps tiny counts from tripping the
+ * relative threshold. Everything else — unknown metrics, improvements —
+ * is reported informationally, never as a failure.
+ *
+ * The bench/bench_diff CLI wraps this over files or whole directories
+ * of BENCH_*.json snapshots; CI runs it against bench/baselines/ as the
+ * perf gate.
+ */
+
+#ifndef DSM_STATS_BENCH_DIFF_HH
+#define DSM_STATS_BENCH_DIFF_HH
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+struct JsonValue;
+
+/** Tuning knobs for a comparison. */
+struct DiffOptions
+{
+    /**
+     * Multiplier on every metric's relative threshold (CLI
+     * --threshold-scale): 2.0 doubles the allowed noise, 0 flags any
+     * change beyond the absolute slack.
+     */
+    double threshold_scale = 1.0;
+};
+
+/** One out-of-threshold metric (or notable improvement). */
+struct DiffFinding
+{
+    std::string bench;   ///< bench name from the report
+    std::string row;     ///< row identity (string fields joined)
+    std::string metric;
+    double base = 0.0;
+    double cand = 0.0;
+    double change_pct = 0.0;    ///< signed, relative to base
+    double threshold_pct = 0.0; ///< effective (scaled) threshold
+};
+
+/** Outcome of comparing one report pair or two snapshot directories. */
+struct DiffResult
+{
+    std::vector<DiffFinding> regressions;
+    std::vector<DiffFinding> improvements; ///< informational only
+    /** Structural problems: schema/bench/row mismatches, parse errors. */
+    std::vector<std::string> errors;
+    int rows_compared = 0;
+    int metrics_compared = 0;
+
+    bool ok() const { return regressions.empty() && errors.empty(); }
+
+    /** Fold another result (e.g. one more file of a directory) in. */
+    void merge(const DiffResult &other);
+};
+
+/** Compare two parsed dsm-bench-v1 documents. */
+DiffResult diffBenchReports(const JsonValue &base, const JsonValue &cand,
+                            const DiffOptions &opt = {});
+
+/** Compare two BENCH_*.json files. */
+DiffResult diffBenchFiles(const std::string &base_path,
+                          const std::string &cand_path,
+                          const DiffOptions &opt = {});
+
+/**
+ * Compare every BENCH_*.json in @p base_dir against the same-named
+ * file in @p cand_dir. A baseline file with no candidate counterpart
+ * is an error; extra candidate files are ignored (new benches are not
+ * regressions).
+ */
+DiffResult diffBenchDirs(const std::string &base_dir,
+                         const std::string &cand_dir,
+                         const DiffOptions &opt = {});
+
+/** Human-readable rendering, one line per finding/error plus summary. */
+std::string renderDiff(const DiffResult &r);
+
+} // namespace dsm
+
+#endif // DSM_STATS_BENCH_DIFF_HH

@@ -1,7 +1,9 @@
 #include "stats/bench_report.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 
 #include "cpu/system.hh"
 #include "sim/json.hh"
@@ -127,9 +129,37 @@ BenchRow::merge(const BenchRow &other)
     return *this;
 }
 
-BenchReport::BenchReport(std::string name) : _name(std::move(name))
+BenchReport::BenchReport(std::string name)
+    : _name(std::move(name)), _created(std::chrono::steady_clock::now())
 {
 }
+
+namespace {
+
+/**
+ * Commit provenance for the written report: $DSM_GIT_SHA wins (CI sets
+ * it to the exact tested revision), else ask git, else "unknown" (e.g.
+ * running from an exported tarball).
+ */
+std::string
+gitSha()
+{
+    const char *env = std::getenv("DSM_GIT_SHA");
+    if (env != nullptr && env[0] != '\0')
+        return env;
+    std::string sha;
+    if (FILE *p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+        char buf[64];
+        if (std::fgets(buf, sizeof buf, p) != nullptr)
+            sha = buf;
+        pclose(p);
+    }
+    while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r'))
+        sha.pop_back();
+    return sha.empty() ? "unknown" : sha;
+}
+
+} // anonymous namespace
 
 void
 BenchReport::meta(const std::string &k, const std::string &v)
@@ -163,7 +193,7 @@ BenchReport::row()
 }
 
 std::string
-BenchReport::toJson() const
+BenchReport::render(bool provenance) const
 {
     JsonWriter w;
     w.beginObject();
@@ -174,6 +204,16 @@ BenchReport::toJson() const
     for (const auto &[k, v] : _meta) {
         w.key(k);
         w.raw(v);
+    }
+    if (provenance) {
+        using namespace std::chrono;
+        w.kv("git_sha", gitSha());
+        w.kv("wall_ms",
+             static_cast<std::uint64_t>(duration_cast<milliseconds>(
+                 steady_clock::now() - _created).count()));
+        w.kv("host_cores",
+             static_cast<std::uint64_t>(
+                 std::thread::hardware_concurrency()));
     }
     w.endObject();
     w.key("results");
@@ -192,6 +232,12 @@ BenchReport::toJson() const
 }
 
 std::string
+BenchReport::toJson() const
+{
+    return render(false);
+}
+
+std::string
 BenchReport::outputPath() const
 {
     const char *dir = std::getenv("DSM_BENCH_DIR");
@@ -205,7 +251,7 @@ BenchReport::write() const
     std::string path = outputPath();
     std::ofstream out(path, std::ios::binary);
     if (out)
-        out << toJson() << '\n';
+        out << render(true) << '\n';
     if (!out) {
         dsm_warn("could not write bench report %s", path.c_str());
         return "";

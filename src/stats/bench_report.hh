@@ -13,6 +13,7 @@
 #ifndef DSM_STATS_BENCH_REPORT_HH
 #define DSM_STATS_BENCH_REPORT_HH
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -93,22 +94,31 @@ class BenchReport
 
     std::size_t numRows() const { return _rows.size(); }
 
-    /** The full document. */
+    /** The full document (no provenance; byte-stable per run config). */
     std::string toJson() const;
 
     /** Path the report will be written to. */
     std::string outputPath() const;
 
     /**
-     * Write toJson() to outputPath().
+     * Write the document to outputPath(), with run-provenance entries
+     * (git_sha, wall_ms, host_cores) appended to the meta object. Only
+     * the written file carries provenance — toJson() never does, so
+     * in-memory documents stay byte-identical across hosts and
+     * schedules.
      * @return the path written, or "" on I/O failure (warned).
      */
     std::string write() const;
 
   private:
+    /** Render, optionally appending provenance meta entries. */
+    std::string render(bool provenance) const;
+
     std::string _name;
     std::vector<std::pair<std::string, std::string>> _meta;
     std::vector<BenchRow> _rows;
+    /** Construction time, for the written report's wall_ms. */
+    std::chrono::steady_clock::time_point _created;
 };
 
 } // namespace dsm

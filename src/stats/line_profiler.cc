@@ -1,0 +1,33 @@
+#include "stats/line_profiler.hh"
+
+#include <algorithm>
+
+namespace dsm {
+
+LineProfile
+LineProfiler::profile(Addr block) const
+{
+    auto it = _lines.find(block);
+    return it != _lines.end() ? it->second : LineProfile{};
+}
+
+std::vector<LineProfiler::Ranked>
+LineProfiler::ranked(std::size_t top) const
+{
+    std::vector<Ranked> all;
+    all.reserve(_lines.size());
+    for (const auto &[addr, prof] : _lines)
+        all.push_back(Ranked{addr, prof});
+    std::sort(all.begin(), all.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  std::uint64_t sa = a.prof.score(), sb = b.prof.score();
+                  if (sa != sb)
+                      return sa > sb;
+                  return a.addr < b.addr;
+              });
+    if (all.size() > top)
+        all.resize(top);
+    return all;
+}
+
+} // namespace dsm

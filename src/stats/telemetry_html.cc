@@ -1,0 +1,268 @@
+#include "stats/telemetry_html.hh"
+
+#include <fstream>
+
+#include "sim/json.hh"
+#include "sim/logging.hh"
+
+namespace dsm {
+
+namespace {
+
+/**
+ * Make a JSON document safe for embedding inside a <script> block: a
+ * literal "</" (as in a string containing "</script>") would terminate
+ * the block early, so split it with a backslash, which JSON string
+ * syntax treats as the identical character.
+ */
+std::string
+scriptEscape(const std::string &json)
+{
+    std::string out;
+    out.reserve(json.size());
+    for (std::size_t i = 0; i < json.size(); ++i) {
+        if (json[i] == '<' && i + 1 < json.size() && json[i + 1] == '/')
+            out += "<\\";
+        else
+            out += json[i];
+    }
+    return out;
+}
+
+const char *const HTML_HEAD = R"HTML(<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>%TITLE%</title>
+<style>
+  body { font: 13px/1.4 system-ui, sans-serif; margin: 1.5em;
+         background: #fafafa; color: #222; }
+  h1 { font-size: 1.3em; } h2 { font-size: 1.1em; margin-top: 1.4em; }
+  .meta { color: #666; margin-bottom: 1em; }
+  select { font: inherit; margin: .4em 0 1em; }
+  .grid { display: flex; flex-wrap: wrap; gap: 10px; }
+  .cell { background: #fff; border: 1px solid #ddd; border-radius: 4px;
+          padding: 6px 8px; }
+  .cell .name { font-weight: 600; }
+  .cell .tot { color: #666; font-size: 11px; }
+  svg.spark polyline { fill: none; stroke: #2a6fbb; stroke-width: 1; }
+  svg.spark rect.bg { fill: #f4f7fb; }
+  table { border-collapse: collapse; background: #fff; }
+  th, td { border: 1px solid #ddd; padding: 3px 8px; text-align: right;
+           font-variant-numeric: tabular-nums; }
+  th { background: #eef2f6; }
+  td.addr { font-family: monospace; text-align: left; }
+  .note { color: #666; font-size: 12px; }
+</style>
+</head>
+<body>
+<h1>%TITLE%</h1>
+<div class="meta" id="meta"></div>
+<label>Sweep point: <select id="point"></select></label>
+<h2>Series</h2>
+<div class="grid" id="series"></div>
+<h2>Hot lines</h2>
+<div id="hotlines"></div>
+<h2>Mesh link utilization</h2>
+<div class="note">Directed links of the dimension-order mesh; stroke
+scales with cumulative flits offered (both directions drawn offset).
+</div>
+<div id="mesh"></div>
+<script>
+const DATA =
+)HTML";
+
+const char *const HTML_TAIL = R"HTML(;
+
+function el(tag, attrs, text) {
+  const e = document.createElement(tag);
+  for (const k in attrs || {}) e.setAttribute(k, attrs[k]);
+  if (text !== undefined) e.textContent = text;
+  return e;
+}
+
+function spark(values, w, h) {
+  const ns = 'http://www.w3.org/2000/svg';
+  const svg = document.createElementNS(ns, 'svg');
+  svg.setAttribute('class', 'spark');
+  svg.setAttribute('width', w); svg.setAttribute('height', h);
+  const bg = document.createElementNS(ns, 'rect');
+  bg.setAttribute('class', 'bg');
+  bg.setAttribute('width', w); bg.setAttribute('height', h);
+  svg.appendChild(bg);
+  if (values.length > 0) {
+    const max = Math.max(1, ...values);
+    const pts = values.map((v, i) => {
+      const x = values.length > 1 ? i * (w - 2) / (values.length - 1) : 0;
+      return (1 + x) + ',' + (h - 1 - (h - 2) * v / max);
+    }).join(' ');
+    const line = document.createElementNS(ns, 'polyline');
+    line.setAttribute('points', pts);
+    svg.appendChild(line);
+  }
+  return svg;
+}
+
+function renderPoint(pt) {
+  const grid = document.getElementById('series');
+  grid.textContent = '';
+  const ts = pt.timeseries;
+  for (const name in ts.series) {
+    const s = ts.series[name];
+    const cell = el('div', {class: 'cell'});
+    cell.appendChild(el('div', {class: 'name'}, name));
+    cell.appendChild(spark(s.values, 180, 40));
+    const tot = s.kind === 'delta'
+        ? 'sum ' + (s.values.reduce((a, b) => a + b, 0) +
+                    (s.evicted_sum || 0))
+        : 'last ' + (s.values.length ?
+                     s.values[s.values.length - 1] : 0);
+    cell.appendChild(el('div', {class: 'tot'},
+        s.kind + ', ' + tot + ', ' + s.values.length + ' win @' +
+        ts.window_cycles + 'cy'));
+    grid.appendChild(cell);
+  }
+
+  const hot = document.getElementById('hotlines');
+  hot.textContent = '';
+  const cols = ['addr', 'home', 'sync', 'score', 'requests',
+                'service_cycles', 'nacks', 'migrations', 'sharer_joins',
+                'invalidations'];
+  const table = el('table');
+  const hr = el('tr');
+  for (const c of cols) hr.appendChild(el('th', {}, c));
+  table.appendChild(hr);
+  for (const l of pt.hot_lines) {
+    const tr = el('tr');
+    for (const c of cols) {
+      const v = c === 'addr' ? '0x' + l.addr.toString(16) : l[c];
+      tr.appendChild(el('td', {class: c === 'addr' ? 'addr' : ''},
+                        String(v)));
+    }
+    table.appendChild(tr);
+  }
+  hot.appendChild(table);
+  hot.appendChild(el('div', {class: 'note'},
+      pt.lines_tracked + ' lines tracked; top ' +
+      pt.hot_lines.length + ' shown'));
+
+  const mesh = document.getElementById('mesh');
+  mesh.textContent = '';
+  const L = pt.links, n = L.nodes, mx = L.mesh_x, my = L.mesh_y;
+  const cellpx = 56, pad = 30, r = 9;
+  const ns = 'http://www.w3.org/2000/svg';
+  const svg = document.createElementNS(ns, 'svg');
+  svg.setAttribute('width', pad * 2 + (mx - 1) * cellpx);
+  svg.setAttribute('height', pad * 2 + (my - 1) * cellpx);
+  let maxf = 1;
+  for (const f of L.flits) maxf = Math.max(maxf, f);
+  const cx = a => pad + (a % mx) * cellpx;
+  const cy = a => pad + Math.floor(a / mx) * cellpx;
+  for (let a = 0; a < n; ++a) {
+    for (const b of [a + 1, a + mx]) {  // right and down neighbours
+      if (b >= n) continue;
+      if (b === a + 1 && b % mx === 0) continue;
+      for (const [src, dst, off] of [[a, b, -2], [b, a, 2]]) {
+        const f = L.flits[src * n + dst];
+        const horiz = Math.abs(src - dst) === 1;
+        const line = document.createElementNS(ns, 'line');
+        line.setAttribute('x1', cx(src) + (horiz ? 0 : off));
+        line.setAttribute('y1', cy(src) + (horiz ? off : 0));
+        line.setAttribute('x2', cx(dst) + (horiz ? 0 : off));
+        line.setAttribute('y2', cy(dst) + (horiz ? off : 0));
+        const t = f / maxf;
+        line.setAttribute('stroke',
+            f === 0 ? '#e5e5e5'
+                    : 'hsl(' + Math.round(210 - 210 * t) + ',80%,45%)');
+        line.setAttribute('stroke-width', 1 + 4 * t);
+        const tt = document.createElementNS(ns, 'title');
+        tt.textContent = src + ' → ' + dst + ': ' + f + ' flits';
+        line.appendChild(tt);
+        svg.appendChild(line);
+      }
+    }
+  }
+  for (let a = 0; a < n; ++a) {
+    const c = document.createElementNS(ns, 'circle');
+    c.setAttribute('cx', cx(a)); c.setAttribute('cy', cy(a));
+    c.setAttribute('r', r);
+    c.setAttribute('fill', '#fff'); c.setAttribute('stroke', '#888');
+    svg.appendChild(c);
+    const t = document.createElementNS(ns, 'text');
+    t.setAttribute('x', cx(a)); t.setAttribute('y', cy(a) + 3);
+    t.setAttribute('text-anchor', 'middle');
+    t.setAttribute('font-size', '8');
+    t.textContent = a;
+    svg.appendChild(t);
+  }
+  mesh.appendChild(svg);
+}
+
+(function () {
+  const meta = [];
+  for (const k in DATA.meta || {}) meta.push(k + '=' + DATA.meta[k]);
+  document.getElementById('meta').textContent =
+      'bench ' + DATA.bench + (meta.length ? ' · ' : '') +
+      meta.join(' · ');
+  const sel = document.getElementById('point');
+  DATA.points.forEach((pt, i) => {
+    sel.appendChild(el('option', {value: i},
+                       pt.impl + ' · ' + pt.point));
+  });
+  sel.addEventListener('change',
+                       () => renderPoint(DATA.points[sel.value]));
+  if (DATA.points.length > 0) renderPoint(DATA.points[0]);
+})();
+</script>
+</body>
+</html>
+)HTML";
+
+/** Replace every %TITLE% placeholder. */
+std::string
+substituteTitle(std::string tmpl, const std::string &title)
+{
+    const std::string key = "%TITLE%";
+    std::string esc;
+    for (char c : title) {
+        switch (c) {
+          case '<': esc += "&lt;"; break;
+          case '>': esc += "&gt;"; break;
+          case '&': esc += "&amp;"; break;
+          default: esc += c;
+        }
+    }
+    std::size_t pos = 0;
+    while ((pos = tmpl.find(key, pos)) != std::string::npos) {
+        tmpl.replace(pos, key.size(), esc);
+        pos += esc.size();
+    }
+    return tmpl;
+}
+
+} // anonymous namespace
+
+std::string
+renderTelemetryHtml(const std::string &timeseries_json,
+                    const std::string &title)
+{
+    return substituteTitle(HTML_HEAD, title) +
+           scriptEscape(timeseries_json) + HTML_TAIL;
+}
+
+bool
+writeTelemetryHtml(const std::string &path,
+                   const std::string &timeseries_json,
+                   const std::string &title)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (out)
+        out << renderTelemetryHtml(timeseries_json, title);
+    if (!out) {
+        dsm_warn("could not write telemetry report %s", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace dsm

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Self-contained HTML rendering of a dsm-timeseries-v1 document.
+ *
+ * The generated page embeds the telemetry JSON verbatim and renders it
+ * with inline JavaScript — no external assets, so the file can be
+ * opened from a CI artifact or mailed around as-is. It shows, per sweep
+ * point: a sparkline grid of every sampled series, the ranked hot-line
+ * table, and an SVG heatmap of per-directed-link mesh utilization.
+ */
+
+#ifndef DSM_STATS_TELEMETRY_HTML_HH
+#define DSM_STATS_TELEMETRY_HTML_HH
+
+#include <string>
+
+namespace dsm {
+
+/**
+ * Render @p timeseries_json (a dsm-timeseries-v1 document) as a
+ * standalone HTML page titled @p title.
+ */
+std::string renderTelemetryHtml(const std::string &timeseries_json,
+                                const std::string &title);
+
+/**
+ * renderTelemetryHtml() to a file.
+ * @return true on success (warns on I/O failure).
+ */
+bool writeTelemetryHtml(const std::string &path,
+                        const std::string &timeseries_json,
+                        const std::string &title);
+
+} // namespace dsm
+
+#endif // DSM_STATS_TELEMETRY_HTML_HH

@@ -306,6 +306,11 @@ Tracer::exportChromeJson() const
     }
 
     w.endArray();
+    // Ring accounting footer: Perfetto ignores unknown top-level keys,
+    // but a consumer (or a human) can see how much the bounded ring
+    // silently overwrote.
+    w.kv("dsm_recorded", totalRecorded());
+    w.kv("dsm_dropped", dropped());
     w.endObject();
     return w.str();
 }
