@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Exhaustive small-configuration model checker over the pure transition
+ * functions (proto/transition.hh).
+ *
+ * The explorer builds a tiny closed system — 2–3 nodes, a single
+ * synchronization line, each processor executing a short fixed program
+ * of atomic operations — and enumerates *every* reachable state by DFS
+ * over all message-delivery interleavings (per-(src,dst) channels are
+ * FIFO, matching the mesh's in-order delivery; only channel heads are
+ * deliverable). Optionally it also branches on losing any single
+ * droppable message (loss budget 1), with the recovery layer's timeout
+ * retransmissions modeled as always-eventually firing.
+ *
+ * In every reachable state it checks:
+ *  - coherence safety: at most one exclusive copy, no exclusive copy
+ *    coexisting with shared copies, every cached copy consistent with
+ *    the directory, exclusive copy value authoritative (the same
+ *    CoherenceView invariants proto/checker.cc applies to a System);
+ *  - value correctness: on quiescence, each processor's fetch_and_add
+ *    results plus the final memory value form the unique serial
+ *    history {0, 1, ..., N*ops-1} (atomicity of the primitives);
+ *  - Table 1 chain facts: completed operations never exceed the
+ *    paper's serialized-message chain bound for the observed case;
+ *  - recovery-ledger closure: with a loss injected, every run still
+ *    quiesces with all processors' programs complete (the drop was
+ *    recovered), and dedup never double-applies a request.
+ *
+ * States with unfinished processors and no enabled transition are
+ * reported as deadlocks with a full state dump.
+ */
+
+#ifndef DSM_MC_EXPLORER_HH
+#define DSM_MC_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace dsm {
+namespace mc {
+
+/** One invariant violation or deadlock, with a full state dump. */
+struct Violation
+{
+    std::string kind;  ///< "coherence" / "value" / "chain" / "ledger" / "deadlock"
+    std::string detail;
+    std::string state_dump;
+};
+
+/** Result of one exhaustive exploration. */
+struct Result
+{
+    bool completed = false;        ///< hit no violation and no cap
+    std::uint64_t states = 0;      ///< distinct canonical states
+    std::uint64_t transitions = 0; ///< transitions executed
+    std::uint64_t terminals = 0;   ///< quiescent all-done states
+    std::uint64_t losses = 0;      ///< loss branches explored
+    std::uint64_t max_depth = 0;   ///< deepest DFS path
+    std::vector<Violation> violations;
+
+    bool ok() const { return completed && violations.empty(); }
+};
+
+/** Exhaustively explore the configuration in @p cfg (see McConfig). */
+Result explore(const Config &cfg);
+
+} // namespace mc
+} // namespace dsm
+
+#endif // DSM_MC_EXPLORER_HH

@@ -1,82 +1,90 @@
 #include "proto/checker.hh"
 
 #include <algorithm>
-#include <array>
 #include <map>
 
 #include "cpu/system.hh"
 #include "sim/logging.hh"
+#include "trace/txn.hh"
 
 namespace dsm {
 
-namespace {
-
-/** Snapshot of one node's copy of a block. */
-struct Copy
+CoherenceView
+coherenceView(System &sys)
 {
-    NodeId node;
-    LineState state;
-    std::array<Word, BLOCK_WORDS> data;
-};
+    CoherenceView v;
 
-} // namespace
-
-std::vector<std::string>
-checkCoherence(System &sys)
-{
-    std::vector<std::string> violations;
-    auto complain = [&violations](std::string s) {
-        violations.push_back(std::move(s));
-    };
-
-    // Gather every cached copy, per block.
-    std::map<Addr, std::vector<Copy>> copies;
+    // Gather every cached copy, per block, from the controllers'
+    // transition-function state.
+    std::map<Addr, std::vector<CopyView>> copies;
     for (NodeId n = 0; n < sys.numProcs(); ++n) {
-        for (const CacheLine &line : sys.ctrl(n).cache().lines()) {
+        for (const CacheLine &line : sys.ctrl(n).state().cache.lines()) {
             if (line.valid())
                 copies[line.base].push_back(
-                    Copy{n, line.state, line.data});
+                    CopyView{n, line.state, line.data});
         }
     }
 
     // Gather every directory entry, per block.
-    std::map<Addr, const DirEntry *> dirs;
+    std::map<Addr, DirEntry> dirs;
     for (NodeId n = 0; n < sys.numProcs(); ++n) {
         for (const auto &kv : sys.dir(n).entries()) {
             if (sys.homeOf(kv.first) != n) {
-                complain(csprintf("directory entry for block %#llx at "
-                                  "non-home node %d",
-                                  (unsigned long long)kv.first, n));
+                v.structural.push_back(
+                    csprintf("directory entry for block %#llx at "
+                             "non-home node %d",
+                             (unsigned long long)kv.first, n));
                 continue;
             }
-            dirs[kv.first] = &kv.second;
+            dirs[kv.first] = kv.second;
         }
     }
 
-    // Per-block invariants.
-    auto all_blocks = dirs;
-    for (const auto &kv : copies)
-        all_blocks.emplace(kv.first, nullptr);
+    std::map<Addr, BlockView> blocks;
+    for (auto &kv : dirs) {
+        BlockView &b = blocks[kv.first];
+        b.block = kv.first;
+        b.has_dir = true;
+        b.dir = kv.second;
+    }
+    for (auto &kv : copies) {
+        BlockView &b = blocks[kv.first];
+        b.block = kv.first;
+        b.copies = std::move(kv.second);
+    }
+    for (auto &kv : blocks) {
+        kv.second.mem = sys.store().readBlock(kv.first);
+        kv.second.unc_sync = sys.isSync(kv.first) &&
+                             sys.cfg().sync.policy == SyncPolicy::UNC;
+        v.blocks.push_back(std::move(kv.second));
+    }
+    return v;
+}
 
-    for (const auto &[block, dir] : all_blocks) {
-        const std::vector<Copy> *cs = nullptr;
-        auto cit = copies.find(block);
-        if (cit != copies.end())
-            cs = &cit->second;
+std::vector<std::string>
+checkCoherenceView(const CoherenceView &v)
+{
+    std::vector<std::string> violations = v.structural;
+    auto complain = [&violations](std::string s) {
+        violations.push_back(std::move(s));
+    };
 
-        if (dir == nullptr) {
-            if (cs != nullptr)
+    for (const BlockView &b : v.blocks) {
+        Addr block = b.block;
+
+        if (!b.has_dir) {
+            if (!b.copies.empty())
                 complain(csprintf("block %#llx cached with no directory "
                                   "entry",
                                   (unsigned long long)block));
             continue;
         }
-        if (dir->busy)
+        if (b.dir.busy)
             complain(csprintf("block %#llx left busy after quiesce",
                               (unsigned long long)block));
 
         int exclusives = 0, shareds = 0;
-        for (const Copy &c : cs ? *cs : std::vector<Copy>{}) {
+        for (const CopyView &c : b.copies) {
             if (c.state == LineState::EXCLUSIVE)
                 ++exclusives;
             else
@@ -90,9 +98,9 @@ checkCoherence(System &sys)
                               "copies",
                               (unsigned long long)block));
 
-        switch (dir->state) {
+        switch (b.dir.state) {
           case DirState::UNCACHED:
-            if (cs != nullptr)
+            if (!b.copies.empty())
                 complain(csprintf("block %#llx cached while directory "
                                   "says uncached",
                                   (unsigned long long)block));
@@ -101,19 +109,18 @@ checkCoherence(System &sys)
             if (exclusives != 1) {
                 complain(csprintf("block %#llx: directory exclusive at "
                                   "%d but %d exclusive copies exist",
-                                  (unsigned long long)block, dir->owner,
+                                  (unsigned long long)block, b.dir.owner,
                                   exclusives));
                 break;
             }
-            const Copy &owner_copy =
-                *std::find_if(cs->begin(), cs->end(),
-                              [](const Copy &c) {
-                                  return c.state == LineState::EXCLUSIVE;
-                              });
-            if (owner_copy.node != dir->owner)
+            const CopyView &owner_copy = *std::find_if(
+                b.copies.begin(), b.copies.end(), [](const CopyView &c) {
+                    return c.state == LineState::EXCLUSIVE;
+                });
+            if (owner_copy.node != b.dir.owner)
                 complain(csprintf("block %#llx: directory owner %d but "
                                   "node %d holds it exclusively",
-                                  (unsigned long long)block, dir->owner,
+                                  (unsigned long long)block, b.dir.owner,
                                   owner_copy.node));
             break;
           }
@@ -122,14 +129,13 @@ checkCoherence(System &sys)
                 complain(csprintf("block %#llx: exclusive copy while "
                                   "directory says shared",
                                   (unsigned long long)block));
-            auto mem = sys.store().readBlock(block);
-            for (const Copy &c : cs ? *cs : std::vector<Copy>{}) {
-                if (!dir->isSharer(c.node))
+            for (const CopyView &c : b.copies) {
+                if (!b.dir.isSharer(c.node))
                     complain(csprintf("block %#llx: node %d holds a "
                                       "copy but is not a sharer",
                                       (unsigned long long)block,
                                       c.node));
-                if (c.data != mem)
+                if (c.data != b.mem)
                     complain(csprintf("block %#llx: node %d's shared "
                                       "copy differs from memory",
                                       (unsigned long long)block,
@@ -140,13 +146,51 @@ checkCoherence(System &sys)
         }
 
         // UNC synchronization data must never be cached.
-        if (sys.isSync(block) &&
-            sys.cfg().sync.policy == SyncPolicy::UNC && cs != nullptr)
+        if (b.unc_sync && !b.copies.empty())
             complain(csprintf("UNC sync block %#llx is cached",
                               (unsigned long long)block));
     }
 
     return violations;
+}
+
+std::vector<std::string>
+checkCoherence(System &sys)
+{
+    return checkCoherenceView(coherenceView(sys));
+}
+
+int
+expectedChain(const ChainFact &f)
+{
+    // Delegate to the transaction tracer's analytic model so the
+    // simulator and the model checker validate against one formula.
+    TxnRecord r;
+    r.proc = f.requester;
+    r.serviced = f.serviced;
+    r.forwarded = f.forwarded;
+    r.home = f.home;
+    r.owner = f.owner;
+    r.fanout_mask = f.fanout_mask;
+    return TxnTracer::expectedChain(r);
+}
+
+std::vector<std::string>
+checkChainFacts(const std::vector<ChainFact> &facts)
+{
+    std::vector<std::string> out;
+    for (const ChainFact &f : facts) {
+        int expect = expectedChain(f);
+        if (f.observed_chain != expect)
+            out.push_back(csprintf(
+                "%s at proc %d (home %d%s%s): observed chain %d, "
+                "Table 1 expects %d",
+                toString(f.op), f.requester, f.home,
+                f.forwarded ? ", forwarded" : "",
+                f.serviced ? "" : ", unserviced",
+                f.observed_chain, expect));
+    }
+    return out;
 }
 
 std::vector<std::string>

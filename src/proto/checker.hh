@@ -1,11 +1,17 @@
 /**
  * @file
- * Whole-system coherence invariant checker.
+ * Coherence / Table 1 / fault-accounting invariant checkers.
  *
- * Intended to run on a quiesced system (no in-flight protocol traffic:
- * after System::run() completes all tasks, the run loop drains the
- * event queue). Verifies the classic single-writer/multiple-reader
- * invariants plus the directory/cache agreement this protocol promises:
+ * The core invariants run over *snapshots* (CoherenceView) and *facts*
+ * (ChainFact), not over a live System: the event-driven simulator and
+ * the exhaustive model checker (mc/explorer.cc) build the same
+ * structures from their own worlds and share one checking code path.
+ * No checker peeks into controller internals — everything it consumes
+ * is public transition-function state (tf::CtrlState via
+ * Controller::state()) or data carried by tf::Outcome records
+ * (ServiceFacts from TXN_SERVICE effects, chains from messages).
+ *
+ * Coherence invariants (quiesced system, no in-flight traffic):
  *
  *  - at most one EXCLUSIVE copy of any block exists, and the home
  *    directory names exactly that node as owner;
@@ -19,18 +25,102 @@
 #ifndef DSM_PROTO_CHECKER_HH
 #define DSM_PROTO_CHECKER_HH
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
+
+#include "cache/cache.hh"
+#include "mem/directory.hh"
+#include "net/msg.hh"
+#include "sim/types.hh"
 
 namespace dsm {
 
 class System;
 
+/** One node's cached copy of a block (snapshot). */
+struct CopyView
+{
+    NodeId node = INVALID_NODE;
+    LineState state = LineState::INVALID;
+    std::array<Word, BLOCK_WORDS> data{};
+};
+
+/** Snapshot of everything known about one block. */
+struct BlockView
+{
+    Addr block = 0;
+    bool has_dir = false;       ///< a directory entry exists at the home
+    DirEntry dir;               ///< valid when has_dir
+    std::vector<CopyView> copies;
+    std::array<Word, BLOCK_WORDS> mem{};
+    /** The block is UNC-policy synchronization data (never cacheable). */
+    bool unc_sync = false;
+};
+
 /**
- * Check every coherence invariant on a quiesced system.
+ * A full-system coherence snapshot: per-block views plus structural
+ * complaints collected while building it (e.g. a directory entry found
+ * at a non-home node).
+ */
+struct CoherenceView
+{
+    std::vector<BlockView> blocks;
+    std::vector<std::string> structural;
+};
+
+/** Build the snapshot of a (quiesced) simulated system. */
+CoherenceView coherenceView(System &sys);
+
+/**
+ * Check every coherence invariant on a snapshot.
  * @return a description of each violation; empty means coherent.
  */
+std::vector<std::string> checkCoherenceView(const CoherenceView &v);
+
+/**
+ * checkCoherenceView(coherenceView(sys)) — the simulator entry point.
+ */
 std::vector<std::string> checkCoherence(System &sys);
+
+/**
+ * Everything needed to validate one completed operation against the
+ * paper's Table 1 serialized-message chains. The model checker fills
+ * these directly from tf::Outcome records: the ServiceFacts of the
+ * last TXN_SERVICE effect the home emitted for the operation, and the
+ * observed chain at its COMPLETE effect.
+ */
+struct ChainFact
+{
+    AtomicOp op = AtomicOp::LOAD;
+    NodeId requester = INVALID_NODE;
+    NodeId home = INVALID_NODE;
+    /** A home directory serviced the final attempt (misses only). */
+    bool serviced = false;
+    bool forwarded = false;
+    NodeId owner = INVALID_NODE;
+    std::uint64_t fanout_mask = 0;
+    /** Longest serialized chain carried by any received message. */
+    int observed_chain = 0;
+};
+
+/**
+ * Analytic Table 1 serialized chain length for the case @p f observed:
+ * the longest of the reply path (requester -> home [-> owner -> home]
+ * -> requester) and any invalidation/update path (requester -> home ->
+ * target -> requester), counting only inter-node messages. Unserviced
+ * (cache-hit / local) cases are 0. Shares TxnTracer::expectedChain's
+ * arithmetic.
+ */
+int expectedChain(const ChainFact &f);
+
+/**
+ * Check each fact's observed chain against its Table 1 expectation.
+ * @return a description of each divergence; empty means all match.
+ */
+std::vector<std::string> checkChainFacts(
+    const std::vector<ChainFact> &facts);
 
 /**
  * Report the transaction tracer's Table 1 chain divergences: completed

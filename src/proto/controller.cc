@@ -1,16 +1,27 @@
 /**
  * @file
- * Controller: construction, message dispatch, and helpers shared by the
- * CPU-side, home-side, and remote-side implementation files.
+ * Controller driver: feeds delivered messages and processor requests to
+ * the pure transition functions (proto/transition.hh) and commits their
+ * outcomes — memory/directory writes, stat deltas, and ordered effects
+ * (sends, trace records via ProtoHooks, completions, retries, recovery
+ * timers). Everything impure lives here: the event queue, the mesh, the
+ * memory-module queue, RNG draws, fault injection, and the completion
+ * callback.
  */
 
 #include "proto/controller.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "cpu/system.hh"
+#include "fault/fault.hh"
 #include "fault/recovery.hh"
+#include "fault/watchdog.hh"
+#include "proto/hooks.hh"
+#include "proto/transition_impl.hh"
 #include "sim/logging.hh"
+#include "stats/attribution.hh"
 
 namespace dsm {
 
@@ -28,10 +39,10 @@ traceEnabled()
 
 Controller::Controller(System &sys, NodeId id)
     : _sys(sys), _id(id),
-      _cache(sys.cfg().machine.cache_sets, sys.cfg().machine.cache_ways)
+      _st(sys.cfg().machine.cache_sets, sys.cfg().machine.cache_ways)
 {
     if (sys.cfg().faults.recoveryEnabled())
-        _dedup.resize(
+        _st.dedup.resize(
             static_cast<std::size_t>(sys.cfg().machine.num_procs));
 }
 
@@ -47,6 +58,303 @@ Controller::send(Msg m)
     m.src = _id;
     _sys.mesh().send(m);
 }
+
+// ===================== StepCtx world view ================================
+
+bool
+Controller::isSync(Addr a) const
+{
+    return _sys.isSync(a);
+}
+
+DirEntry
+Controller::dirEntry(Addr block) const
+{
+    const DirEntry *e = _sys.dir(_id).find(block);
+    return e != nullptr ? *e : DirEntry{};
+}
+
+Word
+Controller::memWord(Addr a) const
+{
+    return _sys.store().readWord(a);
+}
+
+std::array<Word, BLOCK_WORDS>
+Controller::memBlock(Addr block) const
+{
+    return _sys.store().readBlock(block);
+}
+
+std::uint64_t
+Controller::activeTxnId(NodeId n) const
+{
+    return _sys.txns().enabled() ? _sys.txns().activeId(n) : 0;
+}
+
+tf::Env
+Controller::env() const
+{
+    tf::Env e;
+    e.cfg = &_sys.cfg();
+    e.self = _id;
+    e.ctx = this;
+    return e;
+}
+
+ProtoHooks
+Controller::hooks()
+{
+    ProtoHooks h;
+    h.stats = &_sys.stats(_id);
+    h.tracer = &_sys.tracer();
+    h.txns = &_sys.txns();
+    h.lp = _sys.lineProfiler();
+    h.dir = &_sys.dir(_id);
+    h.recovery = _sys.recovery();
+    return h;
+}
+
+// ===================== Outcome commit ====================================
+
+void
+Controller::commit(tf::Outcome o)
+{
+    for (const tf::MemWrite &mw : o.mem_writes) {
+        if (mw.is_block)
+            _sys.store().writeBlock(mw.addr, mw.block);
+        else
+            _sys.store().writeWord(mw.addr, mw.word);
+    }
+    for (const tf::DirWrite &dw : o.dir_writes)
+        _sys.dir(_id).entry(dw.addr) = dw.entry;
+    ProtoHooks h = hooks();
+    h.applyStats(o.stats);
+    for (const tf::Effect &ef : o.effects) {
+        if (h.applyEffect(ef, _id, now()))
+            continue;
+        switch (ef.kind) {
+          case tf::EffectKind::SEND:
+            if (ef.delay == 0) {
+                send(ef.msg);
+            } else {
+                Msg m = ef.msg;
+                _sys.eq().scheduleIn(ef.delay, [this, m] { send(m); });
+            }
+            break;
+          case tf::EffectKind::COMPLETE:
+            if (ef.delay == 0) {
+                finishNow(ef.value, ef.flag, ef.serial);
+            } else {
+                Word value = ef.value;
+                bool success = ef.flag;
+                Word serial = ef.serial;
+                _sys.eq().scheduleIn(ef.delay,
+                                     [this, value, success, serial] {
+                                         finishNow(value, success, serial);
+                                     });
+            }
+            break;
+          case tf::EffectKind::RETRY:
+            driverRetry();
+            break;
+          case tf::EffectKind::ARM_TIMER:
+            armRecoveryTimer();
+            break;
+          default:
+            dsm_panic("unhandled effect kind %d",
+                      static_cast<int>(ef.kind));
+        }
+    }
+}
+
+// ===================== CPU side ==========================================
+
+void
+Controller::cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
+                       DoneFn done)
+{
+    dsm_assert(!_st.txn.active,
+               "processor %d issued %s with a transaction outstanding",
+               _id, toString(op));
+    dsm_assert(addr == wordBase(addr),
+               "unaligned operand address %#llx",
+               static_cast<unsigned long long>(addr));
+    // Fault injection, at issue time only (never mid-transaction, so
+    // the protocol's in-flight invariants are preserved): model a
+    // context switch clearing the load_linked reservation and/or a
+    // conflict miss evicting the target block just before the
+    // operation starts. Both are events the paper's protocols must
+    // already survive; the injector just makes them frequent.
+    FaultPlan *fp = _sys.faults();
+    if (fp != nullptr) {
+        if (_st.cache.reservationValid() && fp->dropReservation())
+            _st.cache.clearReservation();
+        const CacheLine *line = _st.cache.peek(addr);
+        if (line != nullptr && fp->forceEviction()) {
+            Victim v;
+            v.valid = true;
+            v.base = blockBase(addr);
+            v.state = line->state;
+            v.data = line->data;
+            ++_st.cache.stats().evictions;
+            _st.cache.invalidate(addr);
+            tf::Outcome evict;
+            tf::detail::emitTraceLine(evict, v.base, v.state,
+                                      LineState::INVALID);
+            tf::detail::evictVictim(env(), _st, evict, v);
+            commit(std::move(evict));
+        }
+    }
+    _done = std::move(done);
+    _trace_flow = 0;
+    Tracer &tr = _sys.tracer();
+    if (tr.on(TraceCat::ATOMIC_START)) {
+        _trace_flow = tr.nextFlowId();
+        TraceEvent ev;
+        ev.tick = now();
+        ev.cat = TraceCat::ATOMIC_START;
+        ev.node = static_cast<std::int16_t>(_id);
+        ev.op = static_cast<std::uint8_t>(op);
+        ev.addr = addr;
+        ev.flow = _trace_flow;
+        tr.record(ev);
+    }
+    std::uint64_t txn_id = 0;
+    TxnTracer &tx = _sys.txns();
+    if (tx.enabled())
+        txn_id = tx.begin(
+            _id, op, addr, _sys.policyOf(addr),
+            static_cast<std::uint8_t>(_st.cache.stateOf(addr)), now());
+    tf::OpReq req;
+    req.op = op;
+    req.addr = addr;
+    req.value = value;
+    req.expected = expected;
+    req.txn_id = txn_id;
+    req.start = now();
+    commit(tf::issue(env(), _st, req));
+}
+
+void
+Controller::finishNow(Word value, bool success, Word serial)
+{
+    dsm_assert(_st.txn.active, "finish without an active transaction");
+    SysStats &st = _sys.stats(_id);
+    st.sampleOp(_st.txn.op, now() - _st.txn.start, _st.txn.max_chain);
+    if (_st.txn.txn_id != 0)
+        _sys.txns().complete(_st.txn.txn_id, now(), _st.txn.max_chain,
+                             success);
+    Tracer &tr = _sys.tracer();
+    if (tr.on(TraceCat::ATOMIC_COMPLETE)) {
+        TraceEvent ev;
+        ev.tick = now();
+        ev.cat = TraceCat::ATOMIC_COMPLETE;
+        ev.node = static_cast<std::int16_t>(_id);
+        ev.op = static_cast<std::uint8_t>(_st.txn.op);
+        ev.addr = _st.txn.addr;
+        ev.value = now() - _st.txn.start;
+        ev.flow = _trace_flow;
+        tr.record(ev);
+    }
+    if (_st.txn.op == AtomicOp::CAS) {
+        if (success)
+            ++st.cas_successes;
+        else
+            ++st.cas_failures;
+    } else if (_st.txn.op == AtomicOp::SC ||
+               _st.txn.op == AtomicOp::SCS) {
+        if (success)
+            ++st.sc_successes;
+        else
+            ++st.sc_failures;
+    }
+    DoneFn done = std::move(_done);
+    _st.txn.active = false;
+    Recovery *rc = _sys.recovery();
+    if (rc != nullptr) {
+        // The seq is retired: any still-uncovered drops charged to it
+        // can no longer need recovery.
+        rc->coverRequester(_id);
+    }
+    done(OpResult{value, success, serial});
+}
+
+void
+Controller::driverRetry()
+{
+    // The transition already bumped txn.retries / the retry stat and
+    // reset the per-attempt response state; the driver owns the
+    // watchdog hook, the trace record, ledger coverage, and the
+    // backoff RNG draw.
+    Watchdog *wd = _sys.watchdog();
+    if (wd != nullptr)
+        wd->onRetry(_sys, _id, _st.txn.op, _st.txn.addr,
+                    _st.txn.retries);
+    Tracer &tr = _sys.tracer();
+    if (tr.on(TraceCat::RETRY)) {
+        TraceEvent ev;
+        ev.tick = now();
+        ev.cat = TraceCat::RETRY;
+        ev.node = static_cast<std::int16_t>(_id);
+        ev.op = static_cast<std::uint8_t>(_st.txn.op);
+        ev.addr = _st.txn.addr;
+        ev.value = static_cast<std::uint64_t>(_st.txn.retries);
+        ev.flow = _trace_flow;
+        tr.record(ev);
+    }
+    Recovery *rc = _sys.recovery();
+    if (rc != nullptr) {
+        // The NACK retires this seq (the retry will draw a fresh one),
+        // so cover any drops still charged to it.
+        rc->coverRequester(_id);
+    }
+    const MachineConfig &mc = _sys.cfg().machine;
+    // Capped exponential backoff on retries: under heavy contention a
+    // fixed retry delay floods the home memory module with requests
+    // that will only be NACKed again.
+    int shift = _st.txn.retries < 5 ? _st.txn.retries - 1 : 4;
+    Tick delay = (mc.retry_delay << shift) *
+                 _sys.rng().range(1, mc.retry_jitter);
+    _sys.eq().scheduleIn(delay, [this] {
+        dsm_assert(_st.txn.active, "retry fired without a transaction");
+        if (_st.txn.txn_id != 0)
+            _sys.txns().retry(_st.txn.txn_id, now());
+        commit(tf::dispatch(env(), _st));
+    });
+}
+
+void
+Controller::armRecoveryTimer()
+{
+    // Capped exponential backoff, mirroring driverRetry()'s idiom but
+    // without jitter: the timeout must be deterministic so a fault-free
+    // run with recovery armed never consumes RNG draws.
+    Tick base = _sys.cfg().faults.req_timeout;
+    int shift = _st.txn.attempt < 5 ? _st.txn.attempt - 1 : 4;
+    std::uint64_t s = _st.txn.seq;
+    int a = _st.txn.attempt;
+    _sys.eq().scheduleIn(base << shift, [this, s, a] {
+        recoveryTimeout(s, a);
+    });
+}
+
+void
+Controller::recoveryTimeout(std::uint64_t seq, int attempt)
+{
+    // Stale timer: the reply arrived (or the txn moved on) first.
+    if (!_st.txn.active || !_st.txn.waiting || _st.txn.resp_seen ||
+        _st.txn.seq != seq || _st.txn.attempt != attempt)
+        return;
+    Recovery *rc = _sys.recovery();
+    ++rc->counters().retransmits;
+    // A retransmission is the recovery event that covers every drop
+    // charged to this seq so far (the resend supersedes them all).
+    rc->coverRequester(_id);
+    commit(tf::retransmit(env(), _st));
+}
+
+// ===================== Message delivery ==================================
 
 void
 Controller::handleMsg(const Msg &m)
@@ -89,275 +397,82 @@ Controller::handleMsg(const Msg &m)
         homeEnqueue(m);
         break;
 
-      // Responses addressed to this node as the requester.
-      case MsgType::DATA_S:
-      case MsgType::DATA_X:
-      case MsgType::UPG_ACK:
-      case MsgType::NACK:
-      case MsgType::CAS_FAIL:
-      case MsgType::CAS_FAIL_S:
-      case MsgType::UNC_RESP:
-      case MsgType::UPD_RESP:
-      case MsgType::SC_RESP:
-      case MsgType::INV_ACK:
-      case MsgType::UPDATE_ACK:
-        cpuResponse(m);
-        break;
-
-      // Third-party coherence actions.
-      case MsgType::INV:
-        handleInv(m);
-        break;
-      case MsgType::UPDATE:
-        handleUpdate(m);
-        break;
-      case MsgType::FWD_GET_S:
-      case MsgType::FWD_GET_X:
-      case MsgType::FWD_CAS:
-        handleFwd(m);
+      // Everything else acts immediately at this node (responses to
+      // the local requester, invalidations, updates, forwards).
+      default:
+        commit(tf::deliver(env(), _st, m));
         break;
     }
 }
 
 void
-Controller::reply(const Msg &req, Msg resp)
+Controller::homeEnqueue(const Msg &m)
 {
-    resp.src = _id;
-    resp.dst = req.src;
-    resp.requester = req.src;
-    resp.addr = req.addr;
-    resp.word_addr = req.word_addr;
-    resp.chain = chainNext(req.chain, _id, req.src);
-    resp.txn_id = req.txn_id;
-    resp.seq = req.seq;
-    resp.attempt = req.attempt;
-    if (!_dedup.empty() && recoverableRequest(req.type) && req.seq != 0)
-        captureReply(req.src, req.seq, resp);
-    send(resp);
-}
-
-void
-Controller::captureReply(NodeId requester, std::uint64_t seq,
-                         const Msg &resp)
-{
-    DedupEntry &de = _dedup[static_cast<std::size_t>(requester)];
-    if (de.seq != seq)
-        return; // a newer request already owns the slot
-    de.has_reply = true;
-    de.reply = resp;
-}
-
-bool
-Controller::dedupRequest(const Msg &m)
-{
-    DedupEntry &de = _dedup[static_cast<std::size_t>(m.src)];
-    Recovery::Counters &rc = _sys.recovery()->counters();
-    if (m.seq > de.seq) {
-        // New request: the requester is done with every older seq, so
-        // the slot (and any cached reply) can be recycled.
-        de = DedupEntry{};
-        de.seq = m.seq;
-        return false;
-    }
-    ++rc.dup_requests;
-    if (m.seq < de.seq) {
-        // Stale retransmission of a seq the requester already retired;
-        // nothing references it anymore.
-        ++rc.dup_stale;
-        return true;
-    }
-    if (!de.has_reply) {
-        // Original still in service (typically forwarded to the owner);
-        // its reply will answer the requester.
-        ++rc.dup_in_progress;
-        return true;
-    }
-    // Shared grants cannot be replayed: a third party's invalidation
-    // may have removed the requester from the sharer set since the
-    // cached reply was built, and replaying it would install a stale,
-    // untracked copy. Failed CAS verdicts are re-evaluated for the
-    // same reason (CAS_FAIL_S grants a shared copy; a fresh verdict is
-    // linearizable because a failure wrote nothing). Everything else —
-    // notably granted exclusive replies, which the directory pins to
-    // this requester until it answers (handleFwd NACKs forwards while
-    // the local transaction waits) — is replayed verbatim.
-    bool reexec =
-        m.type == MsgType::GET_S ||
-        (m.type == MsgType::CAS_HOME &&
-         (de.reply.type == MsgType::CAS_FAIL ||
-          de.reply.type == MsgType::CAS_FAIL_S));
-    if (reexec && de.reply.type != MsgType::NACK) {
-        ++rc.dup_reprocessed;
-        de.has_reply = false; // re-execution re-captures the reply
-        return false;
-    }
-    ++rc.dup_replayed;
-    if (de.reply.type == MsgType::NACK)
-        ++rc.nacks_replayed;
-    Msg r = de.reply;
-    // UPD copies track memory: refresh the block payload so the replay
-    // carries any updates the requester's dead original missed. The
-    // result word stays — it is the operation's execution-time value.
-    if (r.type == MsgType::UPD_RESP && r.has_data)
-        r.data = _sys.store().readBlock(r.addr);
-    r.attempt = m.attempt;
-    send(r);
-    return true;
-}
-
-void
-Controller::sendNack(const Msg &req)
-{
-    ++_sys.stats(_id).nacks;
+    dsm_assert(_sys.homeOf(m.addr) == _id,
+               "%s for block %#llx delivered to non-home node %d",
+               toString(m.type), static_cast<unsigned long long>(m.addr),
+               _id);
+    Tick when = _sys.mem(_id).access(now());
+    // Telemetry: attribute this request and its full home cost (memory
+    // queueing plus service) to the block it targets.
     if (LineProfiler *lp = _sys.lineProfiler())
-        lp->noteNack(req.addr);
-    traceNack(req.src, req.addr, req.type);
-    Msg n;
-    n.type = MsgType::NACK;
-    reply(req, n);
-}
-
-void
-Controller::traceLineState(Addr block, LineState from, LineState to)
-{
-    Tracer &tr = _sys.tracer();
-    if (!tr.on(TraceCat::LINE_STATE) || from == to)
-        return;
-    TraceEvent ev;
-    ev.tick = now();
-    ev.cat = TraceCat::LINE_STATE;
-    ev.node = static_cast<std::int16_t>(_id);
-    ev.addr = block;
-    ev.arg_a = static_cast<std::uint8_t>(from);
-    ev.arg_b = static_cast<std::uint8_t>(to);
-    tr.record(ev);
-}
-
-void
-Controller::setDirState(DirEntry &e, Addr block, DirState to)
-{
-    DirState from = e.state;
-    e.state = to;
-    if (from == to)
-        return;
-    _sys.dir(_id).noteTransition();
-    Tracer &tr = _sys.tracer();
-    if (!tr.on(TraceCat::DIR_STATE))
-        return;
-    TraceEvent ev;
-    ev.tick = now();
-    ev.cat = TraceCat::DIR_STATE;
-    ev.node = static_cast<std::int16_t>(_id);
-    ev.addr = block;
-    ev.arg_a = static_cast<std::uint8_t>(from);
-    ev.arg_b = static_cast<std::uint8_t>(to);
-    tr.record(ev);
-}
-
-void
-Controller::traceResv(TraceCat cat, Addr block)
-{
-    Tracer &tr = _sys.tracer();
-    if (!tr.on(cat))
-        return;
-    TraceEvent ev;
-    ev.tick = now();
-    ev.cat = cat;
-    ev.node = static_cast<std::int16_t>(_id);
-    ev.addr = block;
-    tr.record(ev);
-}
-
-void
-Controller::traceNack(NodeId victim, Addr block, MsgType req_type)
-{
-    Tracer &tr = _sys.tracer();
-    if (!tr.on(TraceCat::NACK))
-        return;
-    TraceEvent ev;
-    ev.tick = now();
-    ev.cat = TraceCat::NACK;
-    ev.node = static_cast<std::int16_t>(_id);
-    ev.peer = static_cast<std::int16_t>(victim);
-    ev.addr = block;
-    ev.op = static_cast<std::uint8_t>(req_type);
-    tr.record(ev);
-}
-
-Word
-Controller::applyOp(AtomicOp op, Word old, Word operand)
-{
-    switch (op) {
-      case AtomicOp::STORE:
-      case AtomicOp::FAS:
-        return operand;
-      case AtomicOp::TAS:
-        return 1;
-      case AtomicOp::FAA:
-        return old + operand;
-      case AtomicOp::FAO:
-        return old | operand;
-      default:
-        dsm_panic("applyOp on non-modifying op %s", toString(op));
+        lp->noteService(m.addr, when - now());
+    if (m.txn_id != 0) {
+        // Owner replies re-enter the home queue: their transit leg
+        // belongs to the reply path, not the request path.
+        bool reply_leg = m.type == MsgType::OWNER_DATA_S ||
+                         m.type == MsgType::OWNER_DATA_X ||
+                         m.type == MsgType::CAS_OWNER_FAIL ||
+                         m.type == MsgType::CAS_OWNER_FAIL_S ||
+                         m.type == MsgType::FWD_NACK_RETRY ||
+                         m.type == MsgType::FWD_NACK_WB;
+        _sys.txns().markService(m.txn_id, _id, now(),
+                                when - _sys.cfg().machine.mem_service_time,
+                                when, reply_leg);
     }
-}
-
-bool
-Controller::effectiveWrite(AtomicOp op, bool success)
-{
-    switch (op) {
-      case AtomicOp::STORE:
-      case AtomicOp::TAS:
-      case AtomicOp::FAA:
-      case AtomicOp::FAS:
-      case AtomicOp::FAO:
-        return true;
-      case AtomicOp::CAS:
-      case AtomicOp::SC:
-      case AtomicOp::SCS:
-        return success;
-      default:
-        return false;
-    }
-}
-
-CacheLine *
-Controller::installLine(Addr addr, LineState state,
-                        const std::array<Word, BLOCK_WORDS> &data)
-{
-    Addr base = blockBase(addr);
-    CacheLine *line = _cache.lookup(base);
-    LineState prev = LineState::INVALID;
-    if (line == nullptr) {
-        Victim victim;
-        line = _cache.allocate(base, &victim);
-        if (victim.valid)
-            evictVictim(victim);
-    } else {
-        prev = line->state;
-    }
-    line->state = state;
-    line->data = data;
-    traceLineState(base, prev, state);
-    return line;
+    Msg copy = m;
+    _sys.eq().schedule(when, [this, copy] { homeService(copy); });
 }
 
 void
-Controller::evictVictim(const Victim &v)
+Controller::homeService(const Msg &m)
 {
-    if (v.state != LineState::EXCLUSIVE)
-        return; // shared lines are dropped silently (DASH-style)
-    ++_sys.stats(_id).writebacks;
-    Msg wb;
-    wb.type = MsgType::WB_DATA;
-    wb.dst = _sys.homeOf(v.base);
-    wb.requester = _id;
-    wb.addr = v.base;
-    wb.word_addr = v.base;
-    wb.data = v.data;
-    wb.has_data = true;
-    wb.chain = 1;
-    send(wb);
+    // Recovery layer: filter duplicate requests (timeout
+    // retransmissions) before any directory action or fault hook, so a
+    // request is never serviced twice unless re-execution is provably
+    // idempotent. Runs after the memory-queue delay on purpose — a
+    // duplicate costs real memory bandwidth, like any other request.
+    if (!_st.dedup.empty() && recoverableRequest(m.type) && m.seq != 0) {
+        tf::Outcome o;
+        bool handled = tf::tryDedup(env(), _st, m, o);
+        commit(std::move(o));
+        if (handled)
+            return;
+    }
+    // Fault injection: an extra NACK round for request types that
+    // already carry retry machinery. Never for write-backs, drop
+    // notifications, or owner replies — those have no retry path and
+    // NACKing them would wedge the directory's busy-state machine.
+    FaultPlan *fp = _sys.faults();
+    if (fp != nullptr) {
+        switch (m.type) {
+          case MsgType::GET_S:
+          case MsgType::GET_X:
+          case MsgType::UPGRADE:
+          case MsgType::CAS_HOME:
+          case MsgType::SC_REQ:
+          case MsgType::UNC_REQ:
+          case MsgType::UPD_REQ:
+            if (fp->injectNack(m.src)) {
+                commit(tf::injectNack(env(), _st, m));
+                return;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    commit(tf::deliver(env(), _st, m));
 }
 
 } // namespace dsm

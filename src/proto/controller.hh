@@ -1,25 +1,18 @@
 /**
  * @file
- * Per-node coherence/synchronization controller.
+ * Per-node coherence/synchronization controller — the event-driven
+ * *driver* over the pure transition functions in proto/transition.hh.
  *
- * Each processing node has one Controller that plays three roles:
- *
- * 1. **CPU side** — services the local processor's (single outstanding)
- *    memory or synchronization operation: cache hits complete locally;
- *    misses launch a protocol transaction and complete when the response
- *    (plus any invalidation/update acknowledgements) arrives. Atomic
- *    primitives execute here for the INV implementations (computational
- *    power in the cache controllers, Section 3).
- *
- * 2. **Home side** — owns the directory and memory module for the blocks
- *    whose home is this node. Atomic primitives execute here for the UNC
- *    and UPD implementations (computational power in the memory), and the
- *    INVd/INVs compare_and_swap comparisons happen here when memory has
- *    the most up-to-date copy.
- *
- * 3. **Remote side** — answers invalidations, word updates, and requests
- *    forwarded to this node as the exclusive owner of a line (including
- *    the INVd/INVs comparison when the owner has the up-to-date copy).
+ * Each processing node has one Controller that plays three roles
+ * (CPU side, home directory side, remote side; see transition_*.cc for
+ * the protocol itself). The driver owns everything a pure transition
+ * cannot: the event queue, the mesh, the memory-module queue, RNG draws
+ * (retry backoff jitter), fault injection, the completion callback, and
+ * the Tracer/TxnTracer/LineProfiler/Recovery hook sinks bundled in a
+ * ProtoHooks. A delivered message becomes a tf::deliver() call whose
+ * Outcome is then committed: memory and directory writes applied, stat
+ * deltas folded in, and effects walked in order (sends scheduled,
+ * trace records emitted, completions/retries/timers armed).
  *
  * The protocol is DASH-style: requests to a busy directory entry are
  * NACKed and retried; invalidation acknowledgements are collected by the
@@ -32,18 +25,16 @@
 
 #include <cstdint>
 #include <functional>
-#include <vector>
 
 #include "cache/cache.hh"
-#include "mem/directory.hh"
 #include "net/msg.hh"
-#include "sim/config.hh"
+#include "proto/transition.hh"
 #include "sim/types.hh"
-#include "trace/trace.hh"
 
 namespace dsm {
 
 class System;
+struct ProtoHooks;
 
 /** Result of a completed processor operation. */
 struct OpResult
@@ -64,8 +55,8 @@ struct OpResult
     Word serial = 0;
 };
 
-/** One node's cache/directory controller. */
-class Controller
+/** One node's cache/directory controller (transition-function driver). */
+class Controller : private tf::StepCtx
 {
   public:
     using DoneFn = std::function<void(OpResult)>;
@@ -84,16 +75,16 @@ class Controller
                     DoneFn done);
 
     /** True while a processor operation is in flight. */
-    bool cpuBusy() const { return _txn.active; }
+    bool cpuBusy() const { return _st.txn.active; }
 
     /** @name Active-transaction introspection (watchdogs, failure
      *  dumps). Meaningful only while cpuBusy(). @{ */
-    AtomicOp cpuOp() const { return _txn.op; }
-    Addr cpuAddr() const { return _txn.addr; }
-    Tick cpuStart() const { return _txn.start; }
-    int cpuRetries() const { return _txn.retries; }
-    bool cpuWaiting() const { return _txn.waiting; }
-    int cpuAttempt() const { return _txn.attempt; }
+    AtomicOp cpuOp() const { return _st.txn.op; }
+    Addr cpuAddr() const { return _st.txn.addr; }
+    Tick cpuStart() const { return _st.txn.start; }
+    int cpuRetries() const { return _st.txn.retries; }
+    bool cpuWaiting() const { return _st.txn.waiting; }
+    int cpuAttempt() const { return _st.txn.attempt; }
     /** @} */
 
     /**
@@ -103,210 +94,73 @@ class Controller
     std::uint64_t
     cpuAwaitedSeq() const
     {
-        return _txn.active && _txn.waiting ? _txn.seq : 0;
+        return _st.txn.active && _st.txn.waiting ? _st.txn.seq : 0;
     }
 
     /** Network/local message delivery entry point. */
     void handleMsg(const Msg &m);
 
     /** The node's cache (exposed for tests and debug reads). */
-    Cache &cache() { return _cache; }
-    const Cache &cache() const { return _cache; }
+    Cache &cache() { return _st.cache; }
+    const Cache &cache() const { return _st.cache; }
+
+    /** The full protocol-visible state (transition-function view). */
+    const tf::CtrlState &state() const { return _st; }
 
     NodeId id() const { return _id; }
 
   private:
-    /** State of the single outstanding CPU-side transaction. */
-    struct Txn
-    {
-        bool active = false;
-        AtomicOp op = AtomicOp::LOAD;
-        Addr addr = 0;      ///< word address of the operand
-        Word value = 0;     ///< operand / new value
-        Word expected = 0;  ///< CAS expected value
-        DoneFn done;
-        Tick start = 0;
+    /** @name tf::StepCtx — the transitions' read-only world view. @{ */
+    bool isSync(Addr a) const override;
+    DirEntry dirEntry(Addr block) const override;
+    Word memWord(Addr a) const override;
+    std::array<Word, BLOCK_WORDS> memBlock(Addr block) const override;
+    std::uint64_t activeTxnId(NodeId n) const override;
+    /** @} */
 
-        bool waiting = false;    ///< a network request is outstanding
-        bool resp_seen = false;  ///< primary response arrived
-        int acks_needed = 0;
-        int acks_got = 0;
-        Word resp_value = 0;
-        bool resp_success = false;
-        Word resp_serial = 0;
-        int max_chain = 0;       ///< longest serialized message chain
-        int retries = 0;
-        std::uint32_t trace_flow = 0; ///< tracer flow id for this op
-        std::uint64_t txn_id = 0;     ///< transaction-tracer id (0 = off)
+    /** Per-call environment handed to every transition function. */
+    tf::Env env() const;
 
-        /** @name Recovery layer (meaningful only when it is armed). @{ */
-        std::uint64_t seq = 0;   ///< seq of the outstanding request
-        int attempt = 1;         ///< retransmission attempt for seq
-        MsgType req_type = MsgType::NACK; ///< outstanding request type
-        /** @} */
-    };
+    /** The hook sink bundle for this node (see proto/hooks.hh). */
+    ProtoHooks hooks();
 
     /**
-     * Home-side recovery state for one requester: the highest request
-     * seq seen and, once sent, a copy of its reply. One slot per
-     * requester suffices — each CPU has a single outstanding operation
-     * and per-destination delivery is FIFO, so a request with a newer
-     * seq proves every older seq is finished with.
+     * Commit one transition outcome: apply memory writes, directory
+     * writes, and the stat delta, then walk the effects in order —
+     * trace/profiler/txn records go through ProtoHooks; SEND, COMPLETE,
+     * RETRY, and ARM_TIMER are driver-owned (scheduling, RNG, the
+     * completion callback).
      */
-    struct DedupEntry
-    {
-        std::uint64_t seq = 0;
-        bool has_reply = false;
-        Msg reply;
-    };
+    void commit(tf::Outcome o);
 
-    // ===================== CPU side (controller_cpu.cc) ==================
+    /** Complete the active transaction now (COMPLETE effect body). */
+    void finishNow(Word value, bool success, Word serial);
 
-    /** (Re)dispatch the active transaction from current cache state. */
-    void beginTxn();
-    void beginInv();
-    void beginUnc();
-    void beginUpd();
+    /** RETRY effect body: watchdog/trace/backoff + scheduled redispatch. */
+    void driverRetry();
 
-    /** Complete the active transaction now. */
-    void finishTxn(Word value, bool success, Word serial = 0);
-    /** Complete after @p delay cycles (used for cache hits). */
-    void finishTxnAfter(Tick delay, Word value, bool success,
-                        Word serial = 0);
-    /** Schedule a retry of the active transaction after a NACK. */
-    void retryTxn();
-
-    /** Send a CPU-side request to the home node of the txn address. */
-    void sendReq(MsgType t);
-    /** Build the network request message for the active transaction. */
-    Msg buildReq(MsgType t) const;
     /** Schedule the loss-recovery retransmission timer (recovery on). */
     void armRecoveryTimer();
     /** Timer body: retransmit if (seq, attempt) is still outstanding. */
     void recoveryTimeout(std::uint64_t seq, int attempt);
 
-    /** Handle a response addressed to this node as requester. */
-    void cpuResponse(const Msg &m);
-    /** Exclusive grant complete: run the deferred local operation. */
-    void completeExclusive();
-    /** UPD response complete (response + update acks). */
-    void completeUpd();
-    /** Track limited-reservation denials from LL responses. */
-    void noteReservationVerdict(const Msg &m);
-    /** Try to complete an ack-gated transaction. */
-    void maybeComplete();
-
-    /** Install a block in the cache, handling victim write-back. */
-    CacheLine *installLine(Addr addr, LineState state,
-                           const std::array<Word, BLOCK_WORDS> &data);
-    /** Write back / drop an evicted line. */
-    void evictVictim(const Victim &v);
-
-    /** New value of a fetch_and_Phi/store on @p old with @p operand. */
-    static Word applyOp(AtomicOp op, Word old, Word operand);
-    /** True if @p op (with verdict @p success) wrote memory. */
-    static bool effectiveWrite(AtomicOp op, bool success);
-
-    // ===================== Home side (controller_home.cc) ================
-
     /** Queue a home-targeted message behind the memory module. */
     void homeEnqueue(const Msg &m);
-    /** Process a home-targeted message after the memory access. */
-    void homeProcess(const Msg &m);
+    /** Home service after the memory access: dedup, faults, deliver. */
+    void homeService(const Msg &m);
 
-    void homeGetS(const Msg &m);
-    void homeGetX(const Msg &m);
-    void homeUpgrade(const Msg &m);
-    void homeCasHome(const Msg &m);
-    void homeScReq(const Msg &m);
-    void homeUncReq(const Msg &m);
-    void homeUpdReq(const Msg &m);
-    void homeWbData(const Msg &m);
-    void homeDropNotify(const Msg &m);
-    void homeOwnerReply(const Msg &m);
-
-    /** Outcome of a memory-executed operation. */
-    struct MemOpOut
-    {
-        Word result = 0;
-        bool success = true;
-        /** Block write serial number after the operation. */
-        Word serial = 0;
-    };
-
-    /**
-     * Perform an operation on memory at the home (UNC/UPD execution of
-     * atomic primitives), maintaining the in-memory reservation vector
-     * and the block's write serial number.
-     */
-    MemOpOut memoryOp(const Msg &m);
-
-    /**
-     * Recovery-layer request dedup, run before any directory action.
-     * Returns true when the message was fully handled here (stale or
-     * in-progress duplicate dropped, or a cached reply replayed) and
-     * homeProcess must not act on it.
-     */
-    bool dedupRequest(const Msg &m);
-    /** Cache @p resp as the reply to @p requester's seq @p seq. */
-    void captureReply(NodeId requester, std::uint64_t seq,
-                      const Msg &resp);
-
-    /** Send a NACK for a request. */
-    void sendNack(const Msg &req);
-    /** Send a NACK to a node that is not the direct message source. */
-    void nackNode(NodeId n, Addr block);
-    /** Reply to a request (fills src/dst/requester/addr/chain). */
-    void reply(const Msg &req, Msg resp);
-    /** Send INV to every node in the @p targets bit mask. */
-    void sendInvalidations(std::uint64_t targets, const Msg &req);
-
-    // ===================== Remote side (controller_net.cc) ===============
-
-    void handleInv(const Msg &m);
-    void handleUpdate(const Msg &m);
-    void handleFwd(const Msg &m);
-
-    // ===================== Common helpers =================================
-
+    /** Stamp src and inject into the mesh. */
     void send(Msg m);
     Tick now() const;
 
-    // ===================== Trace hooks ====================================
-
-    /** Record a cache-line state transition (LINE_STATE category). */
-    void traceLineState(Addr block, LineState from, LineState to);
-    /** Change a directory entry's stable state, counting + tracing. */
-    void setDirState(DirEntry &e, Addr block, DirState to);
-    /** Record an LL reservation set/clear at this node. */
-    void traceResv(TraceCat cat, Addr block);
-    /** Record a NACK aimed at @p victim. */
-    void traceNack(NodeId victim, Addr block, MsgType req_type);
-
-    /** Chain length of a message sent with parent chain @p parent. */
-    static int
-    chainNext(int parent, NodeId src, NodeId dst)
-    {
-        return parent + (src != dst ? 1 : 0);
-    }
-
     System &_sys;
     NodeId _id;
-    Cache _cache;
-    Txn _txn;
+    tf::CtrlState _st;
 
-    /** Next request seq for this node (recovery layer; 0 = unused). */
-    std::uint64_t _next_seq = 0;
-    /** Per-requester dedup table; empty when the recovery layer is off. */
-    std::vector<DedupEntry> _dedup;
-
-    /**
-     * Set when an in-memory load_linked was denied a reservation
-     * (limited-reservation option, Section 3.1): the matching
-     * store_conditional fails locally without network traffic.
-     */
-    bool _resv_denied = false;
-    Addr _resv_denied_block = 0;
+    /** Completion callback of the outstanding operation (driver-only). */
+    DoneFn _done;
+    /** Tracer flow id of the outstanding operation (driver-only). */
+    std::uint32_t _trace_flow = 0;
 };
 
 } // namespace dsm

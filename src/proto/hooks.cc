@@ -1,0 +1,141 @@
+/**
+ * @file
+ * ProtoHooks implementation: the single place where transition effect
+ * records turn into Tracer/TxnTracer/LineProfiler/Directory/Recovery
+ * hook calls and where stat deltas land in the counters.
+ */
+
+#include "proto/hooks.hh"
+
+#include "fault/recovery.hh"
+#include "mem/directory.hh"
+#include "stats/attribution.hh"
+#include "stats/line_profiler.hh"
+#include "stats/stat_set.hh"
+#include "trace/trace.hh"
+#include "trace/txn.hh"
+
+namespace dsm {
+
+void
+ProtoHooks::applyStats(const tf::StatDelta &d) const
+{
+    if (stats != nullptr) {
+        stats->nacks += d.nacks;
+        stats->retries += d.retries;
+        stats->invalidations += d.invalidations;
+        stats->updates += d.updates;
+        stats->writebacks += d.writebacks;
+        stats->drop_notifies += d.drop_notifies;
+        stats->sc_local_failures += d.sc_local_failures;
+    }
+    if (recovery != nullptr) {
+        Recovery::Counters &c = recovery->counters();
+        c.dup_requests += d.dup_requests;
+        c.dup_stale += d.dup_stale;
+        c.dup_in_progress += d.dup_in_progress;
+        c.dup_reprocessed += d.dup_reprocessed;
+        c.dup_replayed += d.dup_replayed;
+        c.nacks_replayed += d.nacks_replayed;
+        c.nacks_stale += d.nacks_stale;
+        c.stale_replies += d.stale_replies;
+    }
+}
+
+bool
+ProtoHooks::applyEffect(const tf::Effect &ef, NodeId self, Tick now) const
+{
+    switch (ef.kind) {
+      case tf::EffectKind::TRACE_LINE: {
+        if (tracer == nullptr || !tracer->on(TraceCat::LINE_STATE))
+            return true;
+        TraceEvent ev;
+        ev.tick = now;
+        ev.cat = TraceCat::LINE_STATE;
+        ev.node = static_cast<std::int16_t>(self);
+        ev.addr = ef.addr;
+        ev.arg_a = ef.a;
+        ev.arg_b = ef.b;
+        tracer->record(ev);
+        return true;
+      }
+      case tf::EffectKind::TRACE_DIR: {
+        // Emitted only on an actual stable-state change; the transition
+        // counter is unconditional, the trace record is mask-gated.
+        if (dir != nullptr)
+            dir->noteTransition();
+        if (tracer == nullptr || !tracer->on(TraceCat::DIR_STATE))
+            return true;
+        TraceEvent ev;
+        ev.tick = now;
+        ev.cat = TraceCat::DIR_STATE;
+        ev.node = static_cast<std::int16_t>(self);
+        ev.addr = ef.addr;
+        ev.arg_a = ef.a;
+        ev.arg_b = ef.b;
+        tracer->record(ev);
+        return true;
+      }
+      case tf::EffectKind::TRACE_RESV: {
+        TraceCat cat = ef.a != 0 ? TraceCat::RESV_CLEAR
+                                 : TraceCat::RESV_SET;
+        if (tracer == nullptr || !tracer->on(cat))
+            return true;
+        TraceEvent ev;
+        ev.tick = now;
+        ev.cat = cat;
+        ev.node = static_cast<std::int16_t>(self);
+        ev.addr = ef.addr;
+        tracer->record(ev);
+        return true;
+      }
+      case tf::EffectKind::TRACE_NACK: {
+        if (tracer == nullptr || !tracer->on(TraceCat::NACK))
+            return true;
+        TraceEvent ev;
+        ev.tick = now;
+        ev.cat = TraceCat::NACK;
+        ev.node = static_cast<std::int16_t>(self);
+        ev.peer = static_cast<std::int16_t>(ef.node);
+        ev.addr = ef.addr;
+        ev.op = ef.a;
+        tracer->record(ev);
+        return true;
+      }
+      case tf::EffectKind::LP_NACK:
+        if (lp != nullptr)
+            lp->noteNack(ef.addr);
+        return true;
+      case tf::EffectKind::LP_OWNER:
+        if (lp != nullptr)
+            lp->noteOwner(ef.addr, ef.node);
+        return true;
+      case tf::EffectKind::LP_SHARER_JOIN:
+        if (lp != nullptr)
+            lp->noteSharerJoin(ef.addr);
+        return true;
+      case tf::EffectKind::LP_INVALIDATION:
+        if (lp != nullptr)
+            lp->noteInvalidation(ef.addr);
+        return true;
+      case tf::EffectKind::TXN_MARK:
+        if (txns != nullptr)
+            txns->mark(ef.id, static_cast<TxnPhase>(ef.a),
+                       now + ef.delay, ef.node);
+        return true;
+      case tf::EffectKind::TXN_SERVICE:
+        if (txns != nullptr)
+            txns->service(ef.id, self, ef.facts.dir_state,
+                          ef.facts.sharers, ef.facts.forwarded,
+                          ef.facts.owner, ef.facts.fanout_mask);
+        return true;
+      case tf::EffectKind::SEND:
+      case tf::EffectKind::COMPLETE:
+      case tf::EffectKind::RETRY:
+      case tf::EffectKind::ARM_TIMER:
+        return false;
+    }
+    return false;
+}
+
+} // namespace dsm

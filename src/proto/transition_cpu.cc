@@ -1,0 +1,579 @@
+/**
+ * @file
+ * CPU-side transitions: dispatch of processor operations under the
+ * three coherence policies (Section 3), response handling, and local
+ * execution of atomic primitives for the INV implementations.
+ */
+
+#include "proto/transition_impl.hh"
+
+#include "sim/logging.hh"
+#include "stats/attribution.hh"
+
+namespace dsm {
+namespace tf {
+
+using namespace detail;
+
+namespace {
+
+Tick
+hitLatency(const Env &env)
+{
+    return env.cfg->machine.cache_hit_latency;
+}
+
+void
+sendReq(const Env &env, CtrlState &s, Outcome &o, MsgType t)
+{
+    if (env.recoveryOn()) {
+        // Every *new* network request (a NACK-and-retry included) gets
+        // a fresh seq; only timeout retransmissions reuse one.
+        s.txn.seq = ++s.next_seq;
+        s.txn.attempt = 1;
+        s.txn.req_type = t;
+    }
+    s.txn.waiting = true;
+    emitSend(o, buildReq(env, s, t));
+    if (env.recoveryOn())
+        emitArmTimer(o);
+}
+
+void
+retryTxn(CtrlState &s, Outcome &o)
+{
+    dsm_assert(s.txn.active, "retry without an active transaction");
+    ++s.txn.retries;
+    ++o.stats.retries;
+    s.txn.waiting = false;
+    s.txn.resp_seen = false;
+    s.txn.acks_needed = 0;
+    s.txn.acks_got = 0;
+    s.txn.max_chain = 0;
+    emitRetry(o);
+}
+
+void
+beginInv(const Env &env, CtrlState &s, Outcome &o)
+{
+    const Tick hit = hitLatency(env);
+    Addr a = s.txn.addr;
+    CacheLine *line = s.cache.lookup(a);
+
+    switch (s.txn.op) {
+      case AtomicOp::LOAD:
+        if (line != nullptr) {
+            ++s.cache.stats().hits;
+            emitComplete(o, hit, line->readWord(a), true);
+        } else {
+            ++s.cache.stats().misses;
+            sendReq(env, s, o, MsgType::GET_S);
+        }
+        break;
+
+      case AtomicOp::LL:
+        // load_linked obtains a *shared* copy; an exclusive load_linked
+        // would invite livelock (Section 4.3.2).
+        if (line != nullptr) {
+            ++s.cache.stats().hits;
+            s.cache.setReservation(a);
+            emitTraceResv(o, blockBase(a), false);
+            emitComplete(o, hit, line->readWord(a), true);
+        } else {
+            ++s.cache.stats().misses;
+            sendReq(env, s, o, MsgType::GET_S);
+        }
+        break;
+
+      case AtomicOp::LOAD_EXCL:
+        if (line != nullptr && line->state == LineState::EXCLUSIVE) {
+            ++s.cache.stats().hits;
+            emitComplete(o, hit, line->readWord(a), true);
+        } else if (line != nullptr) {
+            sendReq(env, s, o, MsgType::UPGRADE);
+        } else {
+            ++s.cache.stats().misses;
+            sendReq(env, s, o, MsgType::GET_X);
+        }
+        break;
+
+      case AtomicOp::STORE:
+      case AtomicOp::TAS:
+      case AtomicOp::FAA:
+      case AtomicOp::FAS:
+      case AtomicOp::FAO:
+        if (line != nullptr && line->state == LineState::EXCLUSIVE) {
+            ++s.cache.stats().hits;
+            Word old = line->readWord(a);
+            line->writeWord(a, applyOp(s.txn.op, old, s.txn.value));
+            emitComplete(o, hit,
+                         s.txn.op == AtomicOp::STORE ? 0 : old, true);
+        } else if (line != nullptr) {
+            sendReq(env, s, o, MsgType::UPGRADE);
+        } else {
+            ++s.cache.stats().misses;
+            sendReq(env, s, o, MsgType::GET_X);
+        }
+        break;
+
+      case AtomicOp::CAS: {
+        // Ordinary (non-sync) data always uses the plain INV flavour.
+        CasVariant variant = env.ctx->isSync(a)
+                                 ? env.cfg->sync.cas_variant
+                                 : CasVariant::PLAIN;
+        if (line != nullptr && line->state == LineState::EXCLUSIVE) {
+            ++s.cache.stats().hits;
+            Word old = line->readWord(a);
+            bool ok = old == s.txn.expected;
+            if (ok)
+                line->writeWord(a, s.txn.value);
+            emitComplete(o, hit, old, ok);
+        } else if (variant == CasVariant::PLAIN) {
+            if (line != nullptr) {
+                sendReq(env, s, o, MsgType::UPGRADE);
+            } else {
+                ++s.cache.stats().misses;
+                sendReq(env, s, o, MsgType::GET_X);
+            }
+        } else {
+            // INVd/INVs: the comparison happens at the home or owner.
+            sendReq(env, s, o, MsgType::CAS_HOME);
+        }
+        break;
+      }
+
+      case AtomicOp::SC: {
+        bool reserved = s.cache.reservationValid() &&
+                        s.cache.reservationAddr() == blockBase(a);
+        if (!reserved) {
+            // Fails locally without causing any network traffic.
+            ++o.stats.sc_local_failures;
+            emitComplete(o, hit, 0, false);
+        } else if (line != nullptr &&
+                   line->state == LineState::EXCLUSIVE) {
+            ++s.cache.stats().hits;
+            line->writeWord(a, s.txn.value);
+            s.cache.clearReservation();
+            emitTraceResv(o, blockBase(a), true);
+            emitComplete(o, hit, 0, true);
+        } else {
+            dsm_assert(line != nullptr,
+                       "valid reservation without a cached line");
+            sendReq(env, s, o, MsgType::SC_REQ);
+        }
+        break;
+      }
+
+      case AtomicOp::LLS:
+      case AtomicOp::SCS:
+        dsm_fatal("serial-number load_linked/store_conditional is an "
+                  "in-memory primitive (Section 3.1); the block must use "
+                  "the UNC or UPD policy");
+        break;
+
+      case AtomicOp::DROP_COPY:
+        if (line != nullptr) {
+            Victim v;
+            v.valid = true;
+            v.base = blockBase(a);
+            v.state = line->state;
+            v.data = line->data;
+            if (line->state == LineState::SHARED) {
+                ++o.stats.drop_notifies;
+                Msg d;
+                d.type = MsgType::DROP_NOTIFY;
+                d.dst = env.homeOf(a);
+                d.requester = env.self;
+                d.addr = blockBase(a);
+                d.word_addr = a;
+                d.chain = 1;
+                emitSend(o, d);
+            } else {
+                evictVictim(env, s, o, v); // sends the write-back
+            }
+            s.cache.invalidate(a);
+        }
+        emitComplete(o, hit, 0, true);
+        break;
+    }
+}
+
+void
+beginUnc(const Env &env, CtrlState &s, Outcome &o)
+{
+    if (s.txn.op == AtomicOp::DROP_COPY) {
+        // Nothing is ever cached under UNC.
+        emitComplete(o, hitLatency(env), 0, true);
+        return;
+    }
+    if (s.txn.op == AtomicOp::SC && s.resv_denied &&
+        s.resv_denied_block == blockBase(s.txn.addr)) {
+        // The load_linked was denied a reservation (limited-reservation
+        // option): the store_conditional is doomed, so it fails locally
+        // without causing any network traffic (Section 3.1).
+        s.resv_denied = false;
+        ++o.stats.sc_local_failures;
+        emitComplete(o, hitLatency(env), 0, false);
+        return;
+    }
+    // Every access goes to the memory at the home node.
+    sendReq(env, s, o, MsgType::UNC_REQ);
+}
+
+void
+beginUpd(const Env &env, CtrlState &s, Outcome &o)
+{
+    const Tick hit = hitLatency(env);
+    Addr a = s.txn.addr;
+    CacheLine *line = s.cache.lookup(a);
+
+    switch (s.txn.op) {
+      case AtomicOp::LOAD:
+      case AtomicOp::LOAD_EXCL:
+        // UPD lines are only ever shared; load_exclusive degenerates to
+        // an ordinary load.
+        if (line != nullptr) {
+            ++s.cache.stats().hits;
+            emitComplete(o, hit, line->readWord(a), true);
+        } else {
+            ++s.cache.stats().misses;
+            sendReq(env, s, o, MsgType::GET_S);
+        }
+        break;
+
+      case AtomicOp::DROP_COPY:
+        if (line != nullptr) {
+            ++o.stats.drop_notifies;
+            Msg d;
+            d.type = MsgType::DROP_NOTIFY;
+            d.dst = env.homeOf(a);
+            d.requester = env.self;
+            d.addr = blockBase(a);
+            d.word_addr = a;
+            d.chain = 1;
+            emitSend(o, d);
+            s.cache.invalidate(a);
+        }
+        emitComplete(o, hit, 0, true);
+        break;
+
+      case AtomicOp::SC:
+        if (s.resv_denied && s.resv_denied_block == blockBase(a)) {
+            s.resv_denied = false;
+            ++o.stats.sc_local_failures;
+            emitComplete(o, hit, 0, false);
+            break;
+        }
+        sendReq(env, s, o, MsgType::UPD_REQ);
+        break;
+
+      default:
+        // All writes and atomic operations -- and load_linked, which must
+        // set its reservation at the memory -- go to the home node.
+        sendReq(env, s, o, MsgType::UPD_REQ);
+        break;
+    }
+}
+
+void
+dispatchInto(const Env &env, CtrlState &s, Outcome &o)
+{
+    switch (env.policyOf(s.txn.addr)) {
+      case SyncPolicy::INV:
+        beginInv(env, s, o);
+        break;
+      case SyncPolicy::UNC:
+        beginUnc(env, s, o);
+        break;
+      case SyncPolicy::UPD:
+        beginUpd(env, s, o);
+        break;
+    }
+}
+
+void
+noteReservationVerdict(CtrlState &s, const Msg &m)
+{
+    if (s.txn.op != AtomicOp::LL)
+        return;
+    if (m.success) {
+        if (s.resv_denied && s.resv_denied_block == m.addr)
+            s.resv_denied = false;
+    } else {
+        // Beyond-the-limit load_linked: remember that the matching
+        // store_conditional is doomed (Section 3.1, option 3).
+        s.resv_denied = true;
+        s.resv_denied_block = m.addr;
+    }
+}
+
+void
+completeUpd(CtrlState &s, Outcome &o)
+{
+    emitComplete(o, 0, s.txn.resp_value, s.txn.resp_success,
+                 s.txn.resp_serial);
+}
+
+void
+completeExclusive(CtrlState &s, Outcome &o)
+{
+    Addr a = s.txn.addr;
+    CacheLine *line = s.cache.lookup(a);
+    dsm_assert(line != nullptr && line->state == LineState::EXCLUSIVE,
+               "exclusive completion without an exclusive line");
+
+    switch (s.txn.op) {
+      case AtomicOp::LOAD_EXCL:
+        emitComplete(o, 0, line->readWord(a), true);
+        break;
+      case AtomicOp::STORE:
+        line->writeWord(a, s.txn.value);
+        emitComplete(o, 0, 0, true);
+        break;
+      case AtomicOp::TAS:
+      case AtomicOp::FAA:
+      case AtomicOp::FAS:
+      case AtomicOp::FAO: {
+        Word old = line->readWord(a);
+        line->writeWord(a, applyOp(s.txn.op, old, s.txn.value));
+        emitComplete(o, 0, old, true);
+        break;
+      }
+      case AtomicOp::CAS: {
+        // For the INVd/INVs paths the home/owner already verified
+        // equality, so this local comparison succeeds; for plain INV it
+        // decides the verdict.
+        Word old = line->readWord(a);
+        bool ok = old == s.txn.expected;
+        if (ok)
+            line->writeWord(a, s.txn.value);
+        emitComplete(o, 0, old, ok);
+        break;
+      }
+      case AtomicOp::SC:
+        line->writeWord(a, s.txn.value);
+        s.cache.clearReservation();
+        emitTraceResv(o, blockBase(a), true);
+        emitComplete(o, 0, 0, true);
+        break;
+      default:
+        dsm_panic("unexpected exclusive completion for %s",
+                  toString(s.txn.op));
+    }
+}
+
+void
+maybeComplete(const Env &env, CtrlState &s, Outcome &o)
+{
+    if (!s.txn.resp_seen || s.txn.acks_got < s.txn.acks_needed)
+        return;
+    if (env.policyOf(s.txn.addr) == SyncPolicy::UPD)
+        completeUpd(s, o);
+    else
+        completeExclusive(s, o);
+}
+
+} // namespace
+
+namespace detail {
+
+Msg
+buildReq(const Env &env, const CtrlState &s, MsgType t)
+{
+    Msg m;
+    m.type = t;
+    m.dst = env.homeOf(s.txn.addr);
+    m.requester = env.self;
+    m.addr = blockBase(s.txn.addr);
+    m.word_addr = s.txn.addr;
+    m.op = s.txn.op;
+    m.value = s.txn.value;
+    m.expected = s.txn.expected;
+    // Serial-number SC carries the expected serial in the same field a
+    // CAS uses for its expected value.
+    m.serial = s.txn.expected;
+    m.chain = chainNext(0, env.self, m.dst);
+    m.txn_id = s.txn.txn_id;
+    m.seq = s.txn.seq;
+    m.attempt = s.txn.attempt;
+    return m;
+}
+
+void
+cpuResponse(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
+{
+    if (env.recoveryOn()) {
+        // Replies to a retired or retransmitted seq are duplicates the
+        // recovery machinery manufactured; drop them at the door. A
+        // primary reply after resp_seen is the same thing (the original
+        // and a replayed copy both arrived).
+        bool is_ack = m.type == MsgType::INV_ACK ||
+                      m.type == MsgType::UPDATE_ACK;
+        bool current = s.txn.active && s.txn.waiting &&
+                       m.seq == s.txn.seq &&
+                       blockBase(s.txn.addr) == m.addr;
+        if (!current || (s.txn.resp_seen && !is_ack)) {
+            if (m.type == MsgType::NACK)
+                ++o.stats.nacks_stale;
+            else
+                ++o.stats.stale_replies;
+            return;
+        }
+    }
+    dsm_assert(s.txn.active && s.txn.waiting,
+               "node %d got %s with no transaction waiting",
+               env.self, toString(m.type));
+    dsm_assert(blockBase(s.txn.addr) == m.addr,
+               "response block %#llx does not match transaction %#llx",
+               static_cast<unsigned long long>(m.addr),
+               static_cast<unsigned long long>(s.txn.addr));
+    if (m.chain > s.txn.max_chain)
+        s.txn.max_chain = m.chain;
+    if (m.txn_id != 0) {
+        TxnPhase ph = (m.type == MsgType::INV_ACK ||
+                       m.type == MsgType::UPDATE_ACK)
+                          ? TxnPhase::FANOUT
+                          : TxnPhase::REPLY_TRANSIT;
+        emitTxnMark(o, m.txn_id, static_cast<std::uint8_t>(ph), 0,
+                    env.self);
+    }
+
+    switch (m.type) {
+      case MsgType::NACK:
+        retryTxn(s, o);
+        break;
+
+      case MsgType::DATA_S: {
+        CacheLine *line =
+            installLine(env, s, o, m.addr, LineState::SHARED, m.data);
+        if (s.txn.op == AtomicOp::LL) {
+            s.cache.setReservation(s.txn.addr);
+            emitTraceResv(o, m.addr, false);
+        }
+        emitComplete(o, 0, line->readWord(s.txn.addr), true);
+        break;
+      }
+
+      case MsgType::DATA_X:
+        installLine(env, s, o, m.addr, LineState::EXCLUSIVE, m.data);
+        s.txn.resp_seen = true;
+        s.txn.acks_needed = m.ack_count;
+        maybeComplete(env, s, o);
+        break;
+
+      case MsgType::UPG_ACK: {
+        CacheLine *line = s.cache.lookup(s.txn.addr);
+        dsm_assert(line != nullptr && line->state == LineState::SHARED,
+                   "upgrade granted without a shared copy");
+        line->state = LineState::EXCLUSIVE;
+        emitTraceLine(o, m.addr, LineState::SHARED,
+                      LineState::EXCLUSIVE);
+        s.txn.resp_seen = true;
+        s.txn.acks_needed = m.ack_count;
+        maybeComplete(env, s, o);
+        break;
+      }
+
+      case MsgType::SC_RESP:
+        if (!m.success) {
+            s.cache.clearReservation();
+            emitTraceResv(o, m.addr, true);
+            emitComplete(o, 0, 0, false);
+        } else {
+            CacheLine *line = s.cache.lookup(s.txn.addr);
+            dsm_assert(line != nullptr &&
+                       line->state == LineState::SHARED,
+                       "SC success without a shared copy");
+            line->state = LineState::EXCLUSIVE;
+            emitTraceLine(o, m.addr, LineState::SHARED,
+                          LineState::EXCLUSIVE);
+            s.txn.resp_seen = true;
+            s.txn.acks_needed = m.ack_count;
+            maybeComplete(env, s, o);
+        }
+        break;
+
+      case MsgType::CAS_FAIL:
+        emitComplete(o, 0, m.result, false);
+        break;
+
+      case MsgType::CAS_FAIL_S:
+        installLine(env, s, o, m.addr, LineState::SHARED, m.data);
+        emitComplete(o, 0, m.result, false);
+        break;
+
+      case MsgType::UNC_RESP:
+        noteReservationVerdict(s, m);
+        emitComplete(o, 0, m.result, m.success, m.serial);
+        break;
+
+      case MsgType::UPD_RESP:
+        noteReservationVerdict(s, m);
+        installLine(env, s, o, m.addr, LineState::SHARED, m.data);
+        s.txn.resp_seen = true;
+        s.txn.acks_needed = m.ack_count;
+        s.txn.resp_value = m.result;
+        s.txn.resp_success = m.success;
+        s.txn.resp_serial = m.serial;
+        maybeComplete(env, s, o);
+        break;
+
+      case MsgType::INV_ACK:
+      case MsgType::UPDATE_ACK:
+        ++s.txn.acks_got;
+        maybeComplete(env, s, o);
+        break;
+
+      default:
+        dsm_panic("unexpected CPU response %s", toString(m.type));
+    }
+}
+
+} // namespace detail
+
+Outcome
+issue(const Env &env, CtrlState &s, const OpReq &req)
+{
+    dsm_assert(!s.txn.active,
+               "processor %d issued %s with a transaction outstanding",
+               env.self, toString(req.op));
+    dsm_assert(req.addr == wordBase(req.addr),
+               "unaligned operand address %#llx",
+               static_cast<unsigned long long>(req.addr));
+    s.txn = TxnState{};
+    s.txn.active = true;
+    s.txn.op = req.op;
+    s.txn.addr = req.addr;
+    s.txn.value = req.value;
+    s.txn.expected = req.expected;
+    s.txn.start = req.start;
+    s.txn.txn_id = req.txn_id;
+    Outcome o;
+    dispatchInto(env, s, o);
+    return o;
+}
+
+Outcome
+dispatch(const Env &env, CtrlState &s)
+{
+    dsm_assert(s.txn.active, "dispatch without an active transaction");
+    Outcome o;
+    dispatchInto(env, s, o);
+    return o;
+}
+
+Outcome
+retransmit(const Env &env, CtrlState &s)
+{
+    Outcome o;
+    emitTxnMark(o, s.txn.txn_id,
+                static_cast<std::uint8_t>(TxnPhase::RECOVERY), 0,
+                env.self);
+    ++s.txn.attempt;
+    emitSend(o, buildReq(env, s, s.txn.req_type));
+    emitArmTimer(o);
+    return o;
+}
+
+} // namespace tf
+} // namespace dsm

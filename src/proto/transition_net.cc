@@ -1,31 +1,36 @@
 /**
  * @file
- * Remote side of the controller: invalidations, word updates, and
- * requests forwarded to this node as the exclusive owner of a line
- * (including the owner-side comparison of the INVd/INVs
- * compare_and_swap variants).
+ * Remote-side transitions: invalidations, word updates, and requests
+ * forwarded to this node as the exclusive owner of a line (including
+ * the owner-side comparison of the INVd/INVs compare_and_swap
+ * variants).
  */
 
-#include "cpu/system.hh"
-#include "proto/controller.hh"
+#include "proto/transition_impl.hh"
+
 #include "sim/logging.hh"
+#include "stats/attribution.hh"
 
 namespace dsm {
+namespace tf {
+
+namespace detail {
 
 void
-Controller::handleInv(const Msg &m)
+handleInv(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
 {
     // An invalidation clears any load_linked reservation covering the
     // block (Section 3) and drops the copy if still present (a silent
     // eviction may have removed it already; the ack is owed regardless).
-    _cache.clearReservationIfCovers(m.addr);
-    const CacheLine *line = _cache.peek(m.addr);
+    s.cache.clearReservationIfCovers(m.addr);
+    const CacheLine *line = s.cache.peek(m.addr);
     if (line != nullptr) {
         dsm_assert(line->state == LineState::SHARED,
-                   "invalidation hit an exclusive line at node %d", _id);
-        ++_cache.stats().invalidations_received;
-        _cache.invalidate(m.addr);
-        traceLineState(m.addr, LineState::SHARED, LineState::INVALID);
+                   "invalidation hit an exclusive line at node %d",
+                   env.self);
+        ++s.cache.stats().invalidations_received;
+        s.cache.invalidate(m.addr);
+        emitTraceLine(o, m.addr, LineState::SHARED, LineState::INVALID);
     }
 
     Msg ack;
@@ -34,22 +39,21 @@ Controller::handleInv(const Msg &m)
     ack.requester = m.requester;
     ack.addr = m.addr;
     ack.word_addr = m.word_addr;
-    ack.chain = chainNext(m.chain, _id, m.requester);
+    ack.chain = chainNext(m.chain, env.self, m.requester);
     ack.txn_id = m.txn_id;
     ack.seq = m.seq;
-    Tick delay = _sys.cfg().machine.cache_access_latency;
-    _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
+    emitSend(o, ack, env.cfg->machine.cache_access_latency);
 }
 
 void
-Controller::handleUpdate(const Msg &m)
+handleUpdate(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
 {
     // Word update under the UPD policy: refresh the copy if present.
-    _cache.clearReservationIfCovers(m.addr);
-    CacheLine *line = _cache.lookup(m.addr);
+    s.cache.clearReservationIfCovers(m.addr);
+    CacheLine *line = s.cache.lookup(m.addr);
     if (line != nullptr) {
         dsm_assert(line->state == LineState::SHARED,
-                   "update hit a non-shared line at node %d", _id);
+                   "update hit a non-shared line at node %d", env.self);
         line->writeWord(m.word_addr, m.result);
     }
 
@@ -59,49 +63,50 @@ Controller::handleUpdate(const Msg &m)
     ack.requester = m.requester;
     ack.addr = m.addr;
     ack.word_addr = m.word_addr;
-    ack.chain = chainNext(m.chain, _id, m.requester);
+    ack.chain = chainNext(m.chain, env.self, m.requester);
     ack.txn_id = m.txn_id;
     ack.seq = m.seq;
-    Tick delay = _sys.cfg().machine.cache_access_latency;
-    _sys.eq().scheduleIn(delay, [this, ack] { send(ack); });
+    emitSend(o, ack, env.cfg->machine.cache_access_latency);
 }
 
 void
-Controller::handleFwd(const Msg &m)
+handleFwd(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
 {
-    NodeId home = _sys.homeOf(m.addr);
-    Tick delay = _sys.cfg().machine.cache_access_latency;
+    NodeId home = env.homeOf(m.addr);
+    Tick delay = env.cfg->machine.cache_access_latency;
 
     // The forwarded leg's transit ends here; the owner's cache access
     // (its reply departs `delay` from now) is attributed to OWNER.
-    if (m.txn_id != 0) {
-        _sys.txns().mark(m.txn_id, TxnPhase::REQ_TRANSIT, now(), _id);
-        _sys.txns().mark(m.txn_id, TxnPhase::OWNER, now() + delay, _id);
-    }
+    emitTxnMark(o, m.txn_id,
+                static_cast<std::uint8_t>(TxnPhase::REQ_TRANSIT), 0,
+                env.self);
+    emitTxnMark(o, m.txn_id,
+                static_cast<std::uint8_t>(TxnPhase::OWNER), delay,
+                env.self);
 
-    auto respond = [this, home, delay, &m](Msg r) {
+    auto respond = [&](Msg r) {
         r.dst = home;
         r.requester = m.requester;
         r.addr = m.addr;
         r.word_addr = m.word_addr;
-        r.chain = chainNext(m.chain, _id, home);
+        r.chain = chainNext(m.chain, env.self, home);
         r.txn_id = m.txn_id;
         r.seq = m.seq;
         r.attempt = m.attempt;
-        _sys.eq().scheduleIn(delay, [this, r] { send(r); });
+        emitSend(o, r, delay);
     };
 
     // If this node's own transaction on the block is still collecting
     // its grant or acknowledgements, it cannot surrender the line yet.
-    if (_txn.active && _txn.waiting &&
-        blockBase(_txn.addr) == m.addr) {
+    if (s.txn.active && s.txn.waiting &&
+        blockBase(s.txn.addr) == m.addr) {
         Msg r;
         r.type = MsgType::FWD_NACK_RETRY;
         respond(r);
         return;
     }
 
-    CacheLine *line = _cache.lookup(m.addr);
+    CacheLine *line = s.cache.lookup(m.addr);
     if (line == nullptr) {
         // The line was evicted or dropped; its write-back is in flight
         // (or already at home). This is the drop_copy race of
@@ -113,13 +118,14 @@ Controller::handleFwd(const Msg &m)
     }
     dsm_assert(line->state == LineState::EXCLUSIVE,
                "forwarded request at node %d found a %s line",
-               _id, toString(line->state));
+               env.self, toString(line->state));
 
     switch (m.type) {
       case MsgType::FWD_GET_S: {
         // Downgrade and keep a shared copy.
         line->state = LineState::SHARED;
-        traceLineState(m.addr, LineState::EXCLUSIVE, LineState::SHARED);
+        emitTraceLine(o, m.addr, LineState::EXCLUSIVE,
+                      LineState::SHARED);
         Msg r;
         r.type = MsgType::OWNER_DATA_S;
         r.data = line->data;
@@ -132,8 +138,9 @@ Controller::handleFwd(const Msg &m)
         r.type = MsgType::OWNER_DATA_X;
         r.data = line->data;
         r.has_data = true;
-        _cache.invalidate(m.addr);
-        traceLineState(m.addr, LineState::EXCLUSIVE, LineState::INVALID);
+        s.cache.invalidate(m.addr);
+        emitTraceLine(o, m.addr, LineState::EXCLUSIVE,
+                      LineState::INVALID);
         respond(r);
         break;
       }
@@ -146,11 +153,11 @@ Controller::handleFwd(const Msg &m)
             r.type = MsgType::OWNER_DATA_X;
             r.data = line->data;
             r.has_data = true;
-            _cache.invalidate(m.addr);
-            traceLineState(m.addr, LineState::EXCLUSIVE,
-                           LineState::INVALID);
+            s.cache.invalidate(m.addr);
+            emitTraceLine(o, m.addr, LineState::EXCLUSIVE,
+                          LineState::INVALID);
             respond(r);
-        } else if (_sys.cfg().sync.cas_variant == CasVariant::DENY) {
+        } else if (env.cfg->sync.cas_variant == CasVariant::DENY) {
             // INVd: the failing request gets no copy; ours stays intact.
             Msg r;
             r.type = MsgType::CAS_OWNER_FAIL;
@@ -159,8 +166,8 @@ Controller::handleFwd(const Msg &m)
         } else {
             // INVs: downgrade and give the requester a read-only copy.
             line->state = LineState::SHARED;
-            traceLineState(m.addr, LineState::EXCLUSIVE,
-                           LineState::SHARED);
+            emitTraceLine(o, m.addr, LineState::EXCLUSIVE,
+                          LineState::SHARED);
             Msg r;
             r.type = MsgType::CAS_OWNER_FAIL_S;
             r.result = old;
@@ -175,4 +182,7 @@ Controller::handleFwd(const Msg &m)
     }
 }
 
+} // namespace detail
+
+} // namespace tf
 } // namespace dsm

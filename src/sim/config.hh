@@ -305,6 +305,37 @@ struct WatchdogConfig
     Tick scan_period = 10000;
 };
 
+/**
+ * Model-checker configuration (mc/explorer.hh). Controls the shape of
+ * the closed system the exhaustive explorer enumerates. The bounds are
+ * deliberately tight: exhaustive interleaving enumeration is
+ * exponential, so only genuinely small configurations terminate.
+ * Config::validate() rejects anything outside them with a descriptive
+ * error; the simulator itself ignores this block entirely.
+ */
+struct McConfig
+{
+    /** Processing nodes in the model-checked system (2 or 3). */
+    int nodes = 2;
+    /** Universal primitive each processor's fetch&add program uses. */
+    Primitive primitive = Primitive::FAP;
+    /** Synchronization cache lines explored (exactly 1 for now). */
+    int lines = 1;
+    /** Atomic operations each processor's program issues (1..4). */
+    int ops_per_proc = 1;
+    /**
+     * How many messages one exploration may lose: 0 explores the
+     * fault-free protocol, 1 additionally branches on dropping each
+     * droppable message once (exercising dedup + retransmission).
+     */
+    int loss_budget = 0;
+    /**
+     * Abort an exploration that exceeds this many distinct canonical
+     * states (a state-space-explosion fuse, not a correctness knob).
+     */
+    std::uint64_t max_states = 5'000'000;
+};
+
 /** Complete simulation configuration. */
 struct Config
 {
@@ -315,6 +346,7 @@ struct Config
     TelemetryConfig telemetry;
     FaultConfig faults;
     WatchdogConfig watchdog;
+    McConfig mc;
 
     /**
      * Check the whole configuration for user error: machine shape

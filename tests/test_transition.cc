@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests of the pure transition-function API (proto/transition.hh):
+ *
+ *  - purity: tf::step on the same (state, msg) twice yields
+ *    byte-identical successor states and outcomes, and never mutates
+ *    its input state;
+ *  - stat-shape stability: the statsJson of a fixed Table 1-style
+ *    counter run is byte-identical to the committed baseline, pinning
+ *    the refactored driver's counters to the event-driven engine's.
+ *    Regenerate with DSM_REGEN_BASELINES=1 after an *intended* stats
+ *    change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cpu/system.hh"
+#include "proto/transition.hh"
+#include "sync/lockfree_counter.hh"
+
+using namespace dsm;
+
+namespace {
+
+constexpr Addr BLOCK = BLOCK_BYTES;
+
+/** A fixed world view for driving transitions without a System. */
+struct FakeCtx : tf::StepCtx
+{
+    DirEntry de;
+    std::array<Word, BLOCK_WORDS> blk{};
+
+    bool isSync(Addr) const override { return true; }
+    DirEntry dirEntry(Addr) const override { return de; }
+    Word
+    memWord(Addr a) const override
+    {
+        return blk[wordInBlock(a)];
+    }
+    std::array<Word, BLOCK_WORDS>
+    memBlock(Addr) const override
+    {
+        return blk;
+    }
+    std::uint64_t activeTxnId(NodeId) const override { return 0; }
+};
+
+Config
+twoNodeConfig(SyncPolicy pol)
+{
+    Config cfg;
+    cfg.machine.num_procs = 2;
+    cfg.machine.mesh_x = 2;
+    cfg.machine.mesh_y = 1;
+    cfg.machine.cache_sets = 1;
+    cfg.machine.cache_ways = 1;
+    cfg.sync.policy = pol;
+    return cfg;
+}
+
+tf::Env
+envFor(const Config &cfg, NodeId self, const FakeCtx &ctx)
+{
+    tf::Env e;
+    e.cfg = &cfg;
+    e.self = self;
+    e.ctx = &ctx;
+    return e;
+}
+
+} // namespace
+
+TEST(Transition, StepIsPureAtHome)
+{
+    Config cfg = twoNodeConfig(SyncPolicy::INV);
+    FakeCtx ctx;
+    tf::Env env = envFor(cfg, 1, ctx);
+
+    Msg m;
+    m.type = MsgType::GET_X;
+    m.src = 0;
+    m.dst = 1;
+    m.requester = 0;
+    m.addr = BLOCK;
+    m.word_addr = BLOCK;
+    m.op = AtomicOp::FAA;
+    m.value = 1;
+    m.chain = 1;
+
+    tf::CtrlState s(1, 1);
+    const std::string before = tf::debugString(s);
+
+    tf::StepResult r1 = tf::step(env, s, m);
+    tf::StepResult r2 = tf::step(env, s, m);
+
+    EXPECT_EQ(tf::debugString(s), before)
+        << "step() mutated its const input state";
+    EXPECT_EQ(tf::debugString(r1.next), tf::debugString(r2.next));
+    EXPECT_EQ(tf::debugString(r1.out), tf::debugString(r2.out));
+    EXPECT_FALSE(r1.out.effects.empty());
+}
+
+TEST(Transition, StepIsPureAtRequester)
+{
+    Config cfg = twoNodeConfig(SyncPolicy::INV);
+    FakeCtx ctx;
+    tf::Env env = envFor(cfg, 0, ctx);
+
+    // Put node 0 into the waiting-for-DATA_X state via a real issue.
+    tf::CtrlState s(1, 1);
+    tf::OpReq req;
+    req.op = AtomicOp::FAA;
+    req.addr = BLOCK;
+    req.value = 1;
+    tf::Outcome issued = tf::issue(env, s, req);
+    ASSERT_TRUE(s.txn.active);
+    ASSERT_TRUE(s.txn.waiting);
+    ASSERT_FALSE(issued.effects.empty());
+
+    Msg m;
+    m.type = MsgType::DATA_X;
+    m.src = 1;
+    m.dst = 0;
+    m.requester = 0;
+    m.addr = BLOCK;
+    m.word_addr = BLOCK;
+    m.has_data = true;
+    m.data = {7, 0, 0, 0};
+    m.chain = 2;
+
+    const std::string before = tf::debugString(s);
+    tf::StepResult r1 = tf::step(env, s, m);
+    tf::StepResult r2 = tf::step(env, s, m);
+
+    EXPECT_EQ(tf::debugString(s), before);
+    EXPECT_EQ(tf::debugString(r1.next), tf::debugString(r2.next));
+    EXPECT_EQ(tf::debugString(r1.out), tf::debugString(r2.out));
+    // The grant completes the fetch&add: old value 7.
+    bool completed = false;
+    for (const tf::Effect &ef : r1.out.effects) {
+        if (ef.kind == tf::EffectKind::COMPLETE) {
+            completed = true;
+            EXPECT_EQ(ef.value, 7u);
+        }
+    }
+    EXPECT_TRUE(completed);
+    // Retiring the transaction (txn.active = false) is the driver's
+    // job on committing COMPLETE; the pure layer only records the
+    // response.
+    EXPECT_TRUE(r1.next.txn.resp_seen);
+}
+
+TEST(Transition, IssueIsDeterministic)
+{
+    Config cfg = twoNodeConfig(SyncPolicy::UNC);
+    FakeCtx ctx;
+    tf::Env env = envFor(cfg, 0, ctx);
+
+    tf::OpReq req;
+    req.op = AtomicOp::FAA;
+    req.addr = BLOCK;
+    req.value = 1;
+
+    tf::CtrlState a(1, 1), b(1, 1);
+    tf::Outcome oa = tf::issue(env, a, req);
+    tf::Outcome ob = tf::issue(env, b, req);
+    EXPECT_EQ(tf::debugString(a), tf::debugString(b));
+    EXPECT_EQ(tf::debugString(oa), tf::debugString(ob));
+}
+
+namespace {
+
+Task
+incTimes(Proc &p, LockFreeCounter &c, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await c.fetchInc(p);
+}
+
+/** The fixed Table 1-style run the baseline pins: paper-default
+ *  64-node machine, INV policy, four contending fetch&add loops. */
+std::string
+baselineRunJson()
+{
+    Config cfg; // paper machine: 64 nodes, 8x8 mesh
+    cfg.sync.policy = SyncPolicy::INV;
+    System sys(cfg);
+    LockFreeCounter ctr(sys, Primitive::FAP);
+    for (NodeId p = 0; p < 4; ++p)
+        sys.spawn(incTimes(sys.proc(p), ctr, 2));
+    RunResult r = sys.run();
+    EXPECT_TRUE(r.completed);
+    return sys.statsJson();
+}
+
+} // namespace
+
+TEST(Transition, StatsJsonMatchesCommittedBaseline)
+{
+    const std::string path =
+        std::string(DSM_TEST_BASELINE_DIR) + "/statsjson_table1.json";
+    std::string json = baselineRunJson();
+
+    if (std::getenv("DSM_REGEN_BASELINES") != nullptr) {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << json;
+        GTEST_SKIP() << "baseline regenerated: " << path;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing baseline " << path
+        << " (regenerate with DSM_REGEN_BASELINES=1)";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(json, buf.str())
+        << "statsJson drifted from the committed baseline; if the "
+           "change is intended, regenerate with DSM_REGEN_BASELINES=1";
+}
