@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Open-loop serving campaign: the Figure 6 implementation matrix
+ * (INV/UPD/UNC x FAP/LL-SC/CAS) under a seeded Poisson arrival process
+ * at increasing offered load, plus one bursty level. Unlike the
+ * paper's closed-loop figures, the arrival rate is independent of
+ * service times, so the campaign traces out the serving curves the
+ * tail-observability layer exists for: throughput vs offered load
+ * (rising, then saturating) and sojourn p50/p99/p999 vs offered load
+ * (exploding past saturation), with an SLO-violation fraction as a
+ * first-class metric.
+ *
+ * Every point also asserts the observability invariants: the run
+ * completes with an exact counter, the transaction tracer's phase sums
+ * still partition every latency with the ADMIT (admission-wait) phase
+ * included (txn.phase_sum_mismatches == 0), and the per-impl
+ * throughput curve over the pure-rate axis never collapses as load
+ * rises (monotone saturation, with tolerance).
+ *
+ * Usage: openloop_sweep [--seed BASE] [--jobs N]
+ *
+ * DSM_OPENLOOP, when set, replaces the built-in load axis with the
+ * given spec as a single level — the failure repro line uses exactly
+ * this.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cpu/admission.hh"
+#include "cpu/system.hh"
+#include "exp/experiment.hh"
+#include "sim/json.hh"
+#include "sim/logging.hh"
+#include "workloads/openloop.hh"
+
+using namespace dsm;
+
+namespace {
+
+/** One load level: a label and a DSM_OPENLOOP-style spec. */
+struct LoadLevel
+{
+    std::string label;
+    OpenLoopConfig cfg;
+    std::string spec;
+};
+
+LoadLevel
+makeLevel(std::string label, std::string spec)
+{
+    LoadLevel lv;
+    lv.label = std::move(label);
+    lv.spec = std::move(spec);
+    std::string err = lv.cfg.parse(lv.spec);
+    if (!err.empty())
+        dsm_fatal("load level '%s': %s", lv.label.c_str(), err.c_str());
+    return lv;
+}
+
+struct Failure
+{
+    std::string impl;
+    std::string level;
+    std::string spec;
+    std::string problem;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int jobs = parseJobsFlag(argc, argv);
+    std::uint64_t seed = parseSeedFlag(argc, argv);
+    if (seed == 0)
+        seed = seedFromEnv();
+    if (seed == 0)
+        seed = 1;
+    // The seed is applied per point below; consume the global override
+    // so Experiment::run() does not flatten it again.
+    unsetenv("DSM_SEED");
+
+    // The load axis: Poisson arrivals per processor per cycle, from
+    // well under saturation to well past it, plus one bursty level at
+    // a moderate rate. DSM_OPENLOOP replaces the axis with a single
+    // custom level.
+    std::vector<LoadLevel> levels;
+    OpenLoopConfig env = openLoopConfigFromEnv();
+    bool custom = env.enabled;
+    if (custom) {
+        LoadLevel lv;
+        lv.label = "custom";
+        lv.cfg = env;
+        lv.spec = env.summary();
+        levels.push_back(std::move(lv));
+    } else {
+        const char *common = "slo_cycles=2000,ops_per_proc=256";
+        levels.push_back(makeLevel(
+            "1e-4", csprintf("rate=0.0001,%s", common)));
+        levels.push_back(makeLevel(
+            "3e-4", csprintf("rate=0.0003,%s", common)));
+        levels.push_back(makeLevel(
+            "1e-3", csprintf("rate=0.001,%s", common)));
+        levels.push_back(makeLevel(
+            "3e-3", csprintf("rate=0.003,%s", common)));
+        levels.push_back(makeLevel(
+            "3e-4x8", csprintf("rate=0.0003,burst=8,%s", common)));
+    }
+
+    Config cfg0;
+    cfg0.machine.num_procs = 16;
+    cfg0.machine.mesh_x = 4;
+    cfg0.machine.mesh_y = 4;
+    cfg0.machine.retry_jitter = 4;
+
+    Experiment ex("openloop_sweep", cfg0);
+    ex.title(csprintf("Open-loop serving campaign: Poisson arrivals "
+                      "into bounded admission queues, p=16, %zu "
+                      "level(s), seed %llu; cell value = sojourn p99",
+                      levels.size(), (unsigned long long)seed))
+        .meta("app", "open-loop lock-free counter")
+        .meta("levels", static_cast<int>(levels.size()))
+        .meta("seed", static_cast<int>(seed))
+        .rowKey("impl")
+        .colKey("load")
+        .table(true)
+        // Always harvest the Chrome/Perfetto span trees: the exemplar
+        // slices (category txn_exemplar) are the point of the campaign,
+        // and the TRACE_ file only lands when DSM_BENCH_DIR is set.
+        .traceTxns(true);
+
+    std::mutex fail_mutex;
+    std::vector<Failure> failures;
+
+    for (const ImplCase &impl : applicationMatrix()) {
+        for (const LoadLevel &lv : levels) {
+            Config cfg = ex.configFor(impl);
+            cfg.machine.seed = seed;
+            cfg.openloop = lv.cfg;
+            // Tail attribution and exemplar capture ride along on
+            // every point: the ADMIT phase keeps the phase-sum
+            // invariant honest under queueing, and the four slowest
+            // transactions' span trees land in the report.
+            cfg.txn_trace.enabled = true;
+            cfg.txn_trace.exemplar_k = 4;
+            std::string spec = lv.spec;
+            std::string level = lv.label;
+            ex.point(
+                impl.label, level, cfg,
+                [&, impl, spec, level](System &sys) {
+                    OpenLoopResult r = runOpenLoop(sys, impl.prim);
+
+                    std::vector<std::string> problems;
+                    if (!r.completed_run)
+                        problems.push_back("run did not complete");
+                    else if (!r.correct)
+                        problems.push_back(
+                            "final counter value != completed updates");
+                    if (sys.txns().phaseSumMismatches() != 0)
+                        problems.push_back(csprintf(
+                            "%llu transaction phase-sum mismatch(es)",
+                            (unsigned long long)
+                                sys.txns().phaseSumMismatches()));
+
+                    PointResult res;
+                    res.value = static_cast<double>(r.sojourn_p99);
+                    res.metrics = collectRunMetrics(sys);
+                    res.fields.set("offered", r.offered)
+                        .set("admitted", r.admitted)
+                        .set("rejected", r.rejected)
+                        .set("completed", r.completed)
+                        .set("slo_violations", r.slo_violations)
+                        .set("slo_frac", r.slo_frac)
+                        .set("throughput", r.throughput)
+                        .set("sojourn_mean", r.sojourn_mean)
+                        .set("sojourn_p50",
+                             static_cast<std::uint64_t>(r.sojourn_p50))
+                        .set("sojourn_p99",
+                             static_cast<std::uint64_t>(r.sojourn_p99))
+                        .set("sojourn_p999",
+                             static_cast<std::uint64_t>(r.sojourn_p999))
+                        .set("sojourn_max",
+                             static_cast<std::uint64_t>(r.sojourn_max))
+                        .set("admission_wait_mean",
+                             r.admission_wait_mean)
+                        .set("ok", static_cast<std::uint64_t>(
+                                       problems.empty() ? 1 : 0));
+                    // The full tail picture of the point: conditional
+                    // per-phase attribution above p90/p99 plus the
+                    // slowest transactions' summaries.
+                    JsonWriter w;
+                    w.beginObject();
+                    w.key("attribution");
+                    w.raw(sys.txns().attribution().tailJson());
+                    w.key("exemplars");
+                    w.raw(sys.txns().exemplarsJson());
+                    w.endObject();
+                    res.fields.setRaw("tail", w.str());
+
+                    if (!problems.empty()) {
+                        std::lock_guard<std::mutex> g(fail_mutex);
+                        for (std::string &p : problems)
+                            failures.push_back(Failure{
+                                impl.label, level, spec,
+                                std::move(p)});
+                    }
+                    return res;
+                });
+        }
+    }
+
+    const std::vector<PointResult> &results = ex.run(jobs);
+
+    // Campaign-level gates over the built-in axis. The pure-rate axis
+    // is levels[0..3] in declaration order within each impl row.
+    std::uint64_t total_rejected = 0, total_violations = 0,
+                  total_completed = 0;
+    std::size_t nlevels = levels.size();
+    std::size_t nimpls = results.size() / nlevels;
+    std::vector<ImplCase> impls = applicationMatrix();
+    dsm_assert(results.size() == impls.size() * nlevels,
+               "unexpected result count");
+    std::string gate_errors;
+    JsonValue report;
+    std::string perr;
+    if (!parseJson(ex.reportJson(), &report, &perr))
+        dsm_fatal("cannot reparse own report: %s", perr.c_str());
+    const JsonValue *rows = report.find("results");
+    dsm_assert(rows != nullptr && rows->isArray(), "no results array");
+    for (std::size_t ii = 0; ii < nimpls; ++ii) {
+        double peak_tput = 0.0;
+        for (std::size_t li = 0; li + (custom ? 0 : 1) < nlevels; ++li) {
+            const JsonValue &row = rows->array[ii * nlevels + li];
+            double tput = row.num("throughput");
+            total_rejected +=
+                static_cast<std::uint64_t>(row.num("rejected"));
+            total_violations +=
+                static_cast<std::uint64_t>(row.num("slo_violations"));
+            total_completed +=
+                static_cast<std::uint64_t>(row.num("completed"));
+            // Saturation gate: the curve rises, flattens, and may sag
+            // past the knee (LLSC/CAS retry traffic legitimately eats
+            // 10-20% of peak under overload -- the paper's own story).
+            // What must never happen is a cliff: a lost wakeup or a
+            // wedged admission queue drops throughput toward zero, so
+            // flag any level that falls below half the running peak.
+            if (!custom && peak_tput > 0 && tput < peak_tput * 0.5) {
+                gate_errors += csprintf(
+                    "%s: throughput collapsed at load %s: peak %g -> %g\n",
+                    impls[ii].label.c_str(),
+                    levels[li].label.c_str(), peak_tput, tput);
+            }
+            peak_tput = std::max(peak_tput, tput);
+        }
+        // The bursty level rides outside the monotone gate but still
+        // contributes to the exercised-machinery totals.
+        if (!custom) {
+            const JsonValue &row =
+                rows->array[ii * nlevels + (nlevels - 1)];
+            total_rejected +=
+                static_cast<std::uint64_t>(row.num("rejected"));
+            total_violations +=
+                static_cast<std::uint64_t>(row.num("slo_violations"));
+            total_completed +=
+                static_cast<std::uint64_t>(row.num("completed"));
+        }
+    }
+
+    std::printf("campaign: %zu points (%zu impls x %zu levels), %llu "
+                "completed, %llu rejected, %llu SLO violations, %zu "
+                "failure(s)\n",
+                ex.numPoints(), nimpls, nlevels,
+                (unsigned long long)total_completed,
+                (unsigned long long)total_rejected,
+                (unsigned long long)total_violations,
+                failures.size());
+
+    for (const Failure &f : failures)
+        std::fprintf(stderr, "FAILED %s load=%s: %s\n", f.impl.c_str(),
+                     f.level.c_str(), f.problem.c_str());
+    if (!gate_errors.empty())
+        std::fprintf(stderr, "%s", gate_errors.c_str());
+
+    // The campaign must actually exercise the machinery it certifies:
+    // a sweep whose top load level sheds nothing and never misses the
+    // SLO is not probing the tail at all.
+    if (!custom && (total_rejected == 0 || total_violations == 0)) {
+        std::printf("campaign error: no shed arrivals or no SLO "
+                    "violations; the load axis never saturates\n");
+        return 1;
+    }
+    if (!failures.empty() || !gate_errors.empty()) {
+        const std::string &spec =
+            failures.empty() ? levels.front().spec
+                             : failures.front().spec;
+        std::printf("reproduce with: DSM_OPENLOOP='%s' openloop_sweep "
+                    "--seed %llu\n",
+                    spec.c_str(), (unsigned long long)seed);
+        return 1;
+    }
+    return 0;
+}

@@ -2,7 +2,7 @@
 # Run every benchmark binary and collect the machine-readable outputs.
 #
 # Usage: bench/run_all.sh [--jobs N] [--seed S] [--trace BENCH]
-#        [--timeseries BENCH] [build-dir] [output-dir]
+#        [--timeseries BENCH] [--openloop[=SPEC]] [build-dir] [output-dir]
 #
 # Each binary prints its usual text tables and writes BENCH_<name>.json
 # (schema dsm-bench-v1; simcore_microbench writes google-benchmark's
@@ -19,11 +19,15 @@
 # --seed S exports DSM_SEED=S so every sweep's simulated machines use
 # seed S (recorded in each report's meta.seed); fault_sweep instead
 # uses S as the base of its per-point seed range.
+# --openloop appends the open-loop serving campaign (openloop_sweep) to
+# the bench list; --openloop=SPEC additionally exports DSM_OPENLOOP=SPEC
+# so the sweep replaces its built-in load axis with the given level.
 set -eu
 
 jobs=
 trace_bench=
 ts_bench=
+openloop=
 while :; do
     case "${1:-}" in
     --jobs)
@@ -58,6 +62,16 @@ while :; do
         ;;
     --timeseries=*)
         ts_bench=${1#--timeseries=}
+        shift
+        ;;
+    --openloop)
+        openloop=1
+        shift
+        ;;
+    --openloop=*)
+        openloop=1
+        DSM_OPENLOOP=${1#--openloop=}
+        export DSM_OPENLOOP
         shift
         ;;
     *)
@@ -97,6 +111,11 @@ ablation_barrier
 fault_sweep
 simcore_microbench
 "
+if [ -n "$openloop" ]; then
+    benches="$benches
+openloop_sweep
+"
+fi
 
 for b in $benches; do
     bin="$build_dir/bench/$b"

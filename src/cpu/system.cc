@@ -46,6 +46,10 @@ System::System(const Config &cfg)
     _watchdog.configure(_cfg.watchdog);
     if (_watchdog.enabled())
         _watchdog_on = &_watchdog;
+    if (_cfg.openloop.enabled) {
+        _admission.configure(_cfg.openloop, n);
+        _admission_on = &_admission;
+    }
     if (_cfg.telemetry.enabled) {
         _telemetry.configure(_cfg.telemetry);
         _telemetry_on = &_telemetry;
@@ -127,6 +131,21 @@ System::registerTelemetrySeries()
         _telemetry.addDelta("recovery_retransmits",
                             [&rc] { return rc.retransmits; });
     }
+    if (_cfg.openloop.enabled) {
+        const OpenLoopStats &os = _admission.stats();
+        _telemetry.addDelta("openloop_admitted",
+                            [&os] { return os.admitted; });
+        _telemetry.addDelta("openloop_rejected",
+                            [&os] { return os.rejected; });
+        _telemetry.addDelta("openloop_completed",
+                            [&os] { return os.completed; });
+        _telemetry.addGauge("openloop_queue_depth", [this] {
+            std::uint64_t v = 0;
+            for (int i = 0; i < numProcs(); ++i)
+                v += _admission.depth(i);
+            return v;
+        });
+    }
 }
 
 void
@@ -159,6 +178,24 @@ System::buildRegistry()
         _registry.addHistogram("txn.retries", at.retriesHist());
         _registry.addHistogram("txn.fanout", at.fanoutHist());
         _registry.addHistogram("txn.observed_chain", at.chainHist());
+        // Tail attribution scalars; the full conditional breakdown is
+        // exported via PhaseAttribution::tailJson() (telemetry tail
+        // section and bench rows). Getters are lazy: the cuts are only
+        // computed when the registry is rendered or snapshotted.
+        _registry.addCounter("txn.tail.records", [this] {
+            return _txns.attribution().tailRecords();
+        });
+        _registry.addCounter("txn.tail.dropped", [this] {
+            return _txns.attribution().tailDropped();
+        });
+        _registry.addCounter("txn.tail.p90_threshold", [this] {
+            return static_cast<std::uint64_t>(
+                _txns.attribution().tailCut(0.90).threshold);
+        });
+        _registry.addCounter("txn.tail.p99_threshold", [this] {
+            return static_cast<std::uint64_t>(
+                _txns.attribution().tailCut(0.99).threshold);
+        });
         for (int op = 0; op < NUM_ATOMIC_OPS; ++op) {
             std::string base = std::string("txn.ops.") +
                                toString(static_cast<AtomicOp>(op));
@@ -218,6 +255,23 @@ System::buildRegistry()
     if (_cfg.watchdog.enabled)
         _registry.addCounter("fault.watchdog_trips",
                              _watchdog.tripsCounter());
+
+    // Open-loop serving counters: registered only when open-loop
+    // arrivals are on, so closed-loop runs keep their exact JSON shape.
+    if (_cfg.openloop.enabled) {
+        const OpenLoopStats &os = _admission.stats();
+        _registry.addCounter("openloop.offered", &os.offered);
+        _registry.addCounter("openloop.admitted", &os.admitted);
+        _registry.addCounter("openloop.rejected", &os.rejected);
+        _registry.addCounter("openloop.completed", &os.completed);
+        _registry.addCounter("openloop.slo_violations",
+                             &os.slo_violations);
+        _registry.addHistogram("openloop.depth_on_arrival",
+                               &os.depth_on_arrival);
+        _registry.addLatency("openloop.admission_wait",
+                             &os.admission_wait);
+        _registry.addLatency("openloop.sojourn", &os.sojourn);
+    }
 
     // Telemetry accounting: registered only when telemetry is on, so
     // untelemetered runs keep their exact JSON shape.
@@ -491,6 +545,41 @@ System::telemetryJson()
             w.value(_mesh.linkFlits(a, b));
     w.endArray();
     w.endObject();
+    // Tail-latency section: conditional p90/p99 phase attribution and
+    // the slowest-transaction exemplars, plus the open-loop serving
+    // counters when an arrival process drove the run. Present only
+    // when transaction tracing is on (the attribution source).
+    if (_cfg.txn_trace.enabled) {
+        w.key("tail");
+        w.beginObject();
+        w.key("attribution");
+        w.raw(_txns.attribution().tailJson());
+        w.key("exemplars");
+        w.raw(_txns.exemplarsJson());
+        if (_admission_on != nullptr) {
+            const OpenLoopStats &os = _admission.stats();
+            w.key("openloop");
+            w.beginObject();
+            w.kv("offered", os.offered);
+            w.kv("admitted", os.admitted);
+            w.kv("rejected", os.rejected);
+            w.kv("completed", os.completed);
+            w.kv("slo_cycles",
+                 static_cast<std::uint64_t>(_cfg.openloop.slo_cycles));
+            w.kv("slo_violations", os.slo_violations);
+            w.key("sojourn");
+            w.beginObject();
+            w.kv("count", os.sojourn.count);
+            w.kv("mean", os.sojourn.mean());
+            w.kv("p50", static_cast<std::uint64_t>(os.sojourn.p50()));
+            w.kv("p99", static_cast<std::uint64_t>(os.sojourn.p99()));
+            w.kv("p999", static_cast<std::uint64_t>(os.sojourn.p999()));
+            w.kv("max", static_cast<std::uint64_t>(os.sojourn.max));
+            w.endObject();
+            w.endObject();
+        }
+        w.endObject();
+    }
     w.endObject();
     return w.str();
 }

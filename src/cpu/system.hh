@@ -14,6 +14,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cpu/admission.hh"
 #include "cpu/proc.hh"
 #include "cpu/sync_barrier.hh"
 #include "cpu/task.hh"
@@ -158,6 +159,18 @@ class System
 
     /** The recovery layer itself, for inspection even when disabled. */
     const Recovery &recoveryState() const { return _recovery; }
+
+    /**
+     * The open-loop admission queues, or nullptr when open-loop
+     * arrivals are off — the usual null-pointer gate (closed-loop runs
+     * pay nothing and keep their exact stats JSON shape). Like the
+     * transaction tracer, the serving counters are cumulative and not
+     * reset by clearStats().
+     */
+    AdmissionQueues *admission() { return _admission_on; }
+
+    /** The admission layer itself, for inspection even when disabled. */
+    const AdmissionQueues &admissionState() const { return _admission; }
 
     /**
      * The time-resolved telemetry sampler, or nullptr when telemetry
@@ -307,12 +320,14 @@ class System
     Recovery _recovery;
     TimeSeries _telemetry;
     LineProfiler _line_prof;
+    AdmissionQueues _admission;
     /** Non-null only when the corresponding feature is enabled. */
     FaultPlan *_faults_on = nullptr;
     Watchdog *_watchdog_on = nullptr;
     Recovery *_recovery_on = nullptr;
     TimeSeries *_telemetry_on = nullptr;
     LineProfiler *_line_prof_on = nullptr;
+    AdmissionQueues *_admission_on = nullptr;
     SharingTracker _sharing;
     Rng _rng;
 

@@ -1,5 +1,7 @@
 #include "sim/config.hh"
 
+#include <cstdlib>
+
 #include "sim/logging.hh"
 
 namespace dsm {
@@ -48,6 +50,81 @@ SyncConfig::label() const
     if (use_drop_copy)
         s += "+dc";
     return s;
+}
+
+std::string
+OpenLoopConfig::parse(const std::string &spec)
+{
+    if (spec == "1" || spec == "on" || spec == "default") {
+        // A mid-load default: well below saturation for every impl at
+        // the 16-proc sweep shape, so smoke runs finish quickly.
+        *this = OpenLoopConfig();
+        enabled = true;
+        rate_ppc = 0.001;
+        return "";
+    }
+
+    OpenLoopConfig out;
+    out.enabled = true;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return csprintf("openloop spec item '%s' is not key=value",
+                            item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        char *end = nullptr;
+        double d = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0')
+            return csprintf("openloop spec value '%s' for '%s' is not "
+                            "a number", val.c_str(), key.c_str());
+        if (key == "rate") {
+            out.rate_ppc = d;
+        } else if (key == "burst") {
+            out.burst = static_cast<int>(d);
+        } else if (key == "queue_cap") {
+            out.queue_cap = static_cast<int>(d);
+        } else if (key == "slo_cycles") {
+            out.slo_cycles = static_cast<Tick>(d);
+        } else if (key == "ops_per_proc") {
+            out.ops_per_proc = static_cast<int>(d);
+        } else {
+            return csprintf("unknown openloop spec key '%s'",
+                            key.c_str());
+        }
+    }
+    *this = out;
+    return "";
+}
+
+std::string
+OpenLoopConfig::summary() const
+{
+    return csprintf("rate=%g,burst=%d,queue_cap=%d,slo_cycles=%llu,"
+                    "ops_per_proc=%d",
+                    rate_ppc, burst, queue_cap,
+                    (unsigned long long)slo_cycles, ops_per_proc);
+}
+
+OpenLoopConfig
+openLoopConfigFromEnv()
+{
+    OpenLoopConfig ol;
+    const char *spec = std::getenv("DSM_OPENLOOP");
+    if (spec == nullptr || *spec == '\0' || std::string(spec) == "0")
+        return ol;
+    std::string err = ol.parse(spec);
+    if (!err.empty())
+        dsm_fatal("DSM_OPENLOOP: %s", err.c_str());
+    return ol;
 }
 
 void
@@ -110,6 +187,24 @@ Config::validate() const
     if (telemetry.enabled && telemetry.max_windows == 0)
         return "telemetry.max_windows must be nonzero when telemetry "
                "is enabled";
+
+    const OpenLoopConfig &ol = openloop;
+    if (ol.enabled) {
+        if (!(ol.rate_ppc > 0.0) || ol.rate_ppc > 1.0)
+            return csprintf("openloop.rate_ppc must be in (0, 1] "
+                            "arrivals/cycle/proc when open-loop "
+                            "arrivals are enabled, got %g", ol.rate_ppc);
+        if (ol.burst < 1 || ol.burst > 4096)
+            return csprintf("openloop.burst must be in [1, 4096], "
+                            "got %d", ol.burst);
+        if (ol.queue_cap < 1)
+            return csprintf("openloop.queue_cap must be >= 1 (a node "
+                            "needs at least one admission slot), got %d",
+                            ol.queue_cap);
+        if (ol.ops_per_proc < 1)
+            return csprintf("openloop.ops_per_proc must be >= 1, got %d",
+                            ol.ops_per_proc);
+    }
 
     const FaultConfig &f = faults;
     struct { const char *name; double v; } probs[] = {

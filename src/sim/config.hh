@@ -151,6 +151,22 @@ struct TxnTraceConfig
     std::size_t max_spans = 512;
     /** Chain-divergence messages kept for proto/checker reporting. */
     std::size_t max_divergences = 16;
+    /**
+     * Slowest-transaction exemplar reservoir: keep the K slowest
+     * completed transactions (by end-to-end latency, ids break ties)
+     * with their full span trees, independent of the record capacity
+     * above. They are exported into the Perfetto trace and the tail
+     * section of telemetry/BENCH output. 0 disables the reservoir.
+     */
+    std::size_t exemplar_k = 0;
+    /**
+     * Per-transaction compact phase records kept for tail-vs-median
+     * attribution (stats/attribution.hh): the conditional per-phase
+     * histograms over transactions above the p90/p99 cut are computed
+     * from these. Completions beyond the cap are counted as
+     * tail_dropped but still aggregate normally.
+     */
+    std::size_t tail_capacity = 1u << 16;
 };
 
 /**
@@ -176,6 +192,57 @@ struct TelemetryConfig
     /** Rows of the ranked hot-line table in exports. */
     std::size_t hot_lines = 16;
 };
+
+/**
+ * Open-loop arrival configuration (workloads/openloop.hh). Off by
+ * default and free when off: no admission queues are built, no stats
+ * registered, and the stats JSON keeps its exact shape. When enabled,
+ * a seeded Poisson (optionally bursty) arrival process offers
+ * operations to bounded per-node admission queues; each node's
+ * processor serves its queue in FIFO order, so latency is measured as
+ * *sojourn* time (admission wait + service) against an optional SLO.
+ * The arrival streams draw from per-node RNGs derived from the machine
+ * seed, preserving the determinism contract: same seed + config =>
+ * byte-identical statsJson regardless of --jobs.
+ */
+struct OpenLoopConfig
+{
+    bool enabled = false;
+    /** Mean arrivals per cycle per processor (offered load). */
+    double rate_ppc = 0.0;
+    /**
+     * Mean operations per arrival event. 1 gives a pure Poisson
+     * process; b > 1 draws a uniform batch in [1, 2b-1] (mean b) per
+     * event and scales the inter-arrival gap by b, so the offered
+     * rate stays rate_ppc while arrivals clump.
+     */
+    int burst = 1;
+    /** Bounded admission-queue depth; arrivals beyond it are shed. */
+    int queue_cap = 64;
+    /** Sojourn-time SLO in cycles; ops over it count as violations. 0 = off. */
+    Tick slo_cycles = 0;
+    /** Arrivals offered per processor (the run's stopping criterion). */
+    int ops_per_proc = 256;
+
+    /**
+     * Parse a DSM_OPENLOOP-style spec into this config. "1"/"on"/
+     * "default" enables the defaults above with rate=0.001; otherwise
+     * a comma-separated key=value list (rate, burst, queue_cap,
+     * slo_cycles, ops_per_proc).
+     *
+     * @return "" on success, otherwise a descriptive error.
+     */
+    std::string parse(const std::string &spec);
+
+    /** Canonical key=value spec string (inverse of parse). */
+    std::string summary() const;
+};
+
+/**
+ * Read $DSM_OPENLOOP into an OpenLoopConfig. Unset, empty, or "0"
+ * leaves it disabled; a bad spec is a fatal user error.
+ */
+OpenLoopConfig openLoopConfigFromEnv();
 
 /**
  * Upper bound on FaultConfig::msg_jitter_max: keeps injected delays far
@@ -344,6 +411,7 @@ struct Config
     TraceConfig trace;
     TxnTraceConfig txn_trace;
     TelemetryConfig telemetry;
+    OpenLoopConfig openloop;
     FaultConfig faults;
     WatchdogConfig watchdog;
     McConfig mc;

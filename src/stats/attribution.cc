@@ -1,5 +1,8 @@
 #include "stats/attribution.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "sim/json.hh"
 #include "sim/logging.hh"
 
@@ -27,6 +30,8 @@ toString(TxnPhase ph)
         return "retry_wait";
     case TxnPhase::RECOVERY:
         return "recovery";
+    case TxnPhase::ADMIT:
+        return "admit";
     case TxnPhase::NUM_PHASES:
         break;
     }
@@ -52,6 +57,57 @@ PhaseAttribution::sample(AtomicOp op, const Tick phase_sum[NUM_TXN_PHASES],
     _fanout.add(static_cast<std::uint64_t>(fanout));
     _chain.add(static_cast<std::uint64_t>(chain));
     ++_completed;
+
+    if (_tail_cap != 0) {
+        if (_tail.size() < _tail_cap) {
+            TailRecord r;
+            r.total = total;
+            r.op = op;
+            for (int ph = 0; ph < NUM_TXN_PHASES; ++ph)
+                r.phase[ph] = phase_sum[ph];
+            _tail.push_back(r);
+        } else {
+            ++_tail_dropped;
+        }
+    }
+}
+
+void
+PhaseAttribution::configureTail(std::size_t capacity)
+{
+    _tail_cap = capacity;
+    _tail.clear();
+    _tail_dropped = 0;
+}
+
+PhaseAttribution::TailCut
+PhaseAttribution::tailCut(double q) const
+{
+    TailCut cut;
+    if (_tail.empty())
+        return cut;
+    std::vector<Tick> totals;
+    totals.reserve(_tail.size());
+    for (const TailRecord &r : _tail)
+        totals.push_back(r.total);
+    std::sort(totals.begin(), totals.end());
+    // Nearest-rank threshold, same convention as Histogram::percentile.
+    std::size_t n = totals.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(n)));
+    rank = std::min(std::max<std::size_t>(rank, 1), n);
+    cut.threshold = totals[rank - 1];
+    for (const TailRecord &r : _tail) {
+        if (r.total < cut.threshold)
+            continue;
+        ++cut.count;
+        cut.total.sample(r.total);
+        for (int ph = 0; ph < NUM_TXN_PHASES; ++ph) {
+            if (r.phase[ph] != 0)
+                cut.phase[ph].sample(r.phase[ph]);
+        }
+    }
+    return cut;
 }
 
 namespace {
@@ -70,6 +126,8 @@ writeStat(JsonWriter &w, const LatencyStat &s)
     w.value(static_cast<std::uint64_t>(s.p95()));
     w.key("p99");
     w.value(static_cast<std::uint64_t>(s.p99()));
+    w.key("p999");
+    w.value(static_cast<std::uint64_t>(s.p999()));
     w.key("max");
     w.value(static_cast<std::uint64_t>(s.max));
     w.endObject();
@@ -96,6 +154,40 @@ PhaseAttribution::phasesJson() const
                 continue;
             w.key(toString(static_cast<TxnPhase>(ph)));
             writeStat(w, _phase[op][ph]);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endObject();
+    return w.str();
+}
+
+std::string
+PhaseAttribution::tailJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("records", static_cast<std::uint64_t>(_tail.size()));
+    w.kv("dropped", _tail_dropped);
+    struct { const char *name; double q; } cuts[] = {
+        { "p90", 0.90 },
+        { "p99", 0.99 },
+    };
+    for (const auto &c : cuts) {
+        TailCut cut = tailCut(c.q);
+        w.key(c.name);
+        w.beginObject();
+        w.kv("threshold", static_cast<std::uint64_t>(cut.threshold));
+        w.kv("count", cut.count);
+        w.key("total");
+        writeStat(w, cut.total);
+        w.key("phases");
+        w.beginObject();
+        for (int ph = 0; ph < NUM_TXN_PHASES; ++ph) {
+            if (cut.phase[ph].count == 0)
+                continue;
+            w.key(toString(static_cast<TxnPhase>(ph)));
+            writeStat(w, cut.phase[ph]);
         }
         w.endObject();
         w.endObject();

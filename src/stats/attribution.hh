@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "stats/stat_set.hh"
 
@@ -36,6 +37,7 @@ enum class TxnPhase : std::uint8_t
     REPLY_TRANSIT, ///< reply (or ack tail) on the wire back
     RETRY_WAIT,    ///< backoff between a NACK and the retried request
     RECOVERY,      ///< waiting out a loss-recovery timeout (retransmit)
+    ADMIT,         ///< open-loop admission wait before the op issued
     NUM_PHASES
 };
 
@@ -84,6 +86,51 @@ class PhaseAttribution
     /** One-line aggregate summary of phase means, for bench output. */
     std::string summaryLine() const;
 
+    /** @name Tail-vs-median conditional attribution.
+     *
+     * When a tail capacity is configured, sample() also keeps one
+     * compact record per transaction (total + per-phase cycles), so a
+     * report can answer "which phase dominates above the p90/p99 cut"
+     * exactly: a TailCut aggregates only the transactions at or above
+     * the nearest-rank percentile of the recorded totals, and because
+     * each record's phases sum to its total, the conditional per-phase
+     * sums add up exactly to the tail transactions' end-to-end cycles.
+     * @{ */
+
+    /** Compact per-transaction copy kept for tail cuts. */
+    struct TailRecord
+    {
+        Tick total = 0;
+        Tick phase[NUM_TXN_PHASES] = {};
+        AtomicOp op{};
+    };
+
+    /** Conditional aggregates over transactions at/above a cut. */
+    struct TailCut
+    {
+        Tick threshold = 0;      ///< nearest-rank percentile of totals
+        std::uint64_t count = 0; ///< transactions at/above threshold
+        LatencyStat total;
+        LatencyStat phase[NUM_TXN_PHASES];
+    };
+
+    /** Bound the per-transaction tail records; 0 disables them. */
+    void configureTail(std::size_t capacity);
+
+    /** Build the conditional aggregates for quantile @p q (e.g. 0.99). */
+    TailCut tailCut(double q) const;
+
+    std::uint64_t tailRecords() const { return _tail.size(); }
+    std::uint64_t tailDropped() const { return _tail_dropped; }
+
+    /**
+     * Tail report as one JSON object:
+     * {"records","dropped","p90":{threshold,count,total,phases},"p99":...}.
+     */
+    std::string tailJson() const;
+
+    /** @} */
+
   private:
     LatencyStat _phase[NUM_ATOMIC_OPS][NUM_TXN_PHASES];
     LatencyStat _total[NUM_ATOMIC_OPS];
@@ -93,6 +140,9 @@ class PhaseAttribution
     Histogram _fanout;
     Histogram _chain;
     std::uint64_t _completed = 0;
+    std::vector<TailRecord> _tail;
+    std::size_t _tail_cap = 0;
+    std::uint64_t _tail_dropped = 0;
 };
 
 } // namespace dsm

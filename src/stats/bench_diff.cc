@@ -32,12 +32,23 @@ const MetricRule METRIC_RULES[] = {
     {"p50", true, 10.0, 16.0},
     {"p95", true, 10.0, 16.0},
     {"p99", true, 10.0, 32.0},
+    // Deep-tail percentiles wobble more than the body of the
+    // distribution: wider relative band, larger fixed slack.
+    {"p999", true, 15.0, 64.0},
     {"messages", true, 5.0, 64.0},
     {"flits", true, 5.0, 256.0},
     {"nacks", true, 10.0, 64.0},
     {"retries", true, 10.0, 64.0},
     {"ticks", true, 5.0, 256.0},
     {"avg_cycles_per_update", true, 5.0, 8.0},
+    // Open-loop serving metrics (openloop_sweep): losing throughput or
+    // growing the sojourn tail is the harmful direction; slo_frac is a
+    // ratio in [0, 1], so gate it on absolute movement only.
+    {"throughput", false, 5.0, 0.0},
+    {"slo_frac", true, 0.0, 0.02},
+    {"sojourn_p50", true, 10.0, 32.0},
+    {"sojourn_p99", true, 10.0, 64.0},
+    {"sojourn_p999", true, 15.0, 128.0},
 };
 
 const MetricRule *

@@ -25,6 +25,7 @@ collectRunMetrics(System &sys)
     m.p50 = total.p50();
     m.p95 = total.p95();
     m.p99 = total.p99();
+    m.p999 = total.p999();
     m.max_latency = total.max;
     const MeshStats &ms = sys.mesh().stats();
     m.messages = ms.messages;
@@ -110,6 +111,7 @@ BenchRow::metrics(const RunMetrics &m)
     set("p50", static_cast<std::uint64_t>(m.p50));
     set("p95", static_cast<std::uint64_t>(m.p95));
     set("p99", static_cast<std::uint64_t>(m.p99));
+    set("p999", static_cast<std::uint64_t>(m.p999));
     set("max_latency", static_cast<std::uint64_t>(m.max_latency));
     set("messages", m.messages);
     set("flits", m.flits);

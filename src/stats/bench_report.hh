@@ -33,6 +33,7 @@ struct RunMetrics
     Tick p50 = 0;
     Tick p95 = 0;
     Tick p99 = 0;
+    Tick p999 = 0;
     Tick max_latency = 0;
     std::uint64_t messages = 0;  ///< network messages
     std::uint64_t flits = 0;

@@ -45,6 +45,7 @@ class Histogram
     std::uint64_t p50() const { return percentile(0.50); }
     std::uint64_t p95() const { return percentile(0.95); }
     std::uint64_t p99() const { return percentile(0.99); }
+    std::uint64_t p999() const { return percentile(0.999); }
     /** @} */
 
     /** Fold another histogram's samples into this one. */

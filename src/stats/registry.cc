@@ -125,6 +125,7 @@ StatsRegistry::writeJson(JsonWriter &w) const
             w.kv("p50", e.hist->p50());
             w.kv("p95", e.hist->p95());
             w.kv("p99", e.hist->p99());
+            w.kv("p999", e.hist->p999());
             w.endObject();
         } else if (e.lat) {
             w.beginObject();
@@ -134,6 +135,7 @@ StatsRegistry::writeJson(JsonWriter &w) const
             w.kv("p50", static_cast<std::uint64_t>(e.lat->p50()));
             w.kv("p95", static_cast<std::uint64_t>(e.lat->p95()));
             w.kv("p99", static_cast<std::uint64_t>(e.lat->p99()));
+            w.kv("p999", static_cast<std::uint64_t>(e.lat->p999()));
             w.endObject();
         } else {
             w.value(e.getter());

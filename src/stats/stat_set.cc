@@ -50,13 +50,15 @@ SysStats::report() const
             continue;
         const LatencyStat &lat = op_latency[i];
         out += csprintf("%-18s n=%-10llu mean=%8.1f "
-                        "p50=%-6llu p95=%-6llu p99=%-6llu max=%llu\n",
+                        "p50=%-6llu p95=%-6llu p99=%-6llu p999=%-6llu "
+                        "max=%llu\n",
                         toString(static_cast<AtomicOp>(i)),
                         (unsigned long long)op_count[i],
                         lat.mean(),
                         (unsigned long long)lat.p50(),
                         (unsigned long long)lat.p95(),
                         (unsigned long long)lat.p99(),
+                        (unsigned long long)lat.p999(),
                         (unsigned long long)lat.max);
     }
     return out;
@@ -90,6 +92,7 @@ SysStats::writeJson(JsonWriter &w) const
         w.kv("p50", static_cast<std::uint64_t>(lat.p50()));
         w.kv("p95", static_cast<std::uint64_t>(lat.p95()));
         w.kv("p99", static_cast<std::uint64_t>(lat.p99()));
+        w.kv("p999", static_cast<std::uint64_t>(lat.p999()));
         w.kv("max_latency", static_cast<std::uint64_t>(lat.max));
         w.endObject();
     }

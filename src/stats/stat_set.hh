@@ -71,6 +71,7 @@ struct LatencyStat
     Tick p50() const { return percentile(0.50); }
     Tick p95() const { return percentile(0.95); }
     Tick p99() const { return percentile(0.99); }
+    Tick p999() const { return percentile(0.999); }
 
     /** Fold another accumulator's samples into this one. */
     void

@@ -61,6 +61,16 @@ const char *const HTML_HEAD = R"HTML(<!DOCTYPE html>
 <label>Sweep point: <select id="point"></select></label>
 <h2>Series</h2>
 <div class="grid" id="series"></div>
+<div id="tailpanel" style="display:none">
+<h2>Tail latency</h2>
+<div class="note">Conditional phase attribution of the slowest
+transactions (above the p90/p99 end-to-end latency thresholds) and the
+top-K slowest exemplars; from the transaction tracer.</div>
+<div id="tailserving" class="note"></div>
+<div id="tailattr"></div>
+<h2>Slowest transactions</h2>
+<div id="tailexemplars"></div>
+</div>
 <h2>Hot lines</h2>
 <div id="hotlines"></div>
 <h2>Mesh link utilization</h2>
@@ -121,6 +131,77 @@ function renderPoint(pt) {
         s.kind + ', ' + tot + ', ' + s.values.length + ' win @' +
         ts.window_cycles + 'cy'));
     grid.appendChild(cell);
+  }
+
+  const panel = document.getElementById('tailpanel');
+  panel.style.display = pt.tail ? '' : 'none';
+  if (pt.tail) {
+    const serving = document.getElementById('tailserving');
+    serving.textContent = '';
+    const ol = pt.tail.openloop;
+    if (ol) {
+      serving.textContent =
+          'open-loop serving: offered ' + ol.offered + ', admitted ' +
+          ol.admitted + ', shed ' + ol.rejected + ', completed ' +
+          ol.completed + '; SLO ' + ol.slo_cycles + 'cy, ' +
+          ol.slo_violations + ' violation(s); sojourn p50/p99/p999 ' +
+          ol.sojourn.p50 + '/' + ol.sojourn.p99 + '/' +
+          ol.sojourn.p999 + 'cy, max ' + ol.sojourn.max + 'cy';
+    }
+    const attr = document.getElementById('tailattr');
+    attr.textContent = '';
+    const a = pt.tail.attribution;
+    const cuts = ['p90', 'p99'].filter(c => a[c] && a[c].count > 0);
+    const phases = [];
+    for (const c of cuts)
+      for (const ph in a[c].phases)
+        if (!phases.includes(ph)) phases.push(ph);
+    const t = el('table');
+    const hr0 = el('tr');
+    hr0.appendChild(el('th', {}, 'cut'));
+    hr0.appendChild(el('th', {}, 'threshold'));
+    hr0.appendChild(el('th', {}, 'txns'));
+    hr0.appendChild(el('th', {}, 'mean total'));
+    for (const ph of phases) hr0.appendChild(el('th', {}, ph));
+    t.appendChild(hr0);
+    for (const c of cuts) {
+      const tr = el('tr');
+      tr.appendChild(el('td', {}, '≥' + c));
+      tr.appendChild(el('td', {}, a[c].threshold + 'cy'));
+      tr.appendChild(el('td', {}, String(a[c].count)));
+      tr.appendChild(el('td', {}, a[c].total.mean.toFixed(1)));
+      for (const ph of phases) {
+        const s = a[c].phases[ph];
+        tr.appendChild(el('td', {}, s ? s.mean.toFixed(1) : '—'));
+      }
+      t.appendChild(tr);
+    }
+    attr.appendChild(t);
+    attr.appendChild(el('div', {class: 'note'},
+        a.records + ' transactions recorded, ' + a.dropped +
+        ' dropped; cells are mean cycles per phase inside the cut'));
+
+    const ex = document.getElementById('tailexemplars');
+    ex.textContent = '';
+    const et = el('table');
+    const ehr = el('tr');
+    const ecols = ['id', 'op', 'proc', 'total', 'retries', 'messages',
+                   'phases'];
+    for (const c of ecols) ehr.appendChild(el('th', {}, c));
+    et.appendChild(ehr);
+    for (const e of pt.tail.exemplars || []) {
+      const tr = el('tr');
+      for (const c of ecols) {
+        let v = e[c];
+        if (c === 'phases')
+          v = Object.entries(e.phases || {})
+              .map(([k, n]) => k + '=' + n).join(' ');
+        tr.appendChild(el('td',
+            {class: c === 'phases' ? 'addr' : ''}, String(v)));
+      }
+      et.appendChild(tr);
+    }
+    ex.appendChild(et);
   }
 
   const hot = document.getElementById('hotlines');

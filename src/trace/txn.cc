@@ -1,5 +1,6 @@
 #include "trace/txn.hh"
 
+#include <algorithm>
 #include <fstream>
 
 #include "cache/cache.hh"
@@ -30,10 +31,13 @@ TxnTracer::configure(const TxnTraceConfig &cfg, int num_procs)
     _num_procs = num_procs;
     _active.clear();
     _records.clear();
+    _exemplars.clear();
     _divergence_msgs.clear();
+    _attr.configureTail(_enabled ? cfg.tail_capacity : 0);
     if (_enabled) {
         _active.resize(static_cast<std::size_t>(num_procs));
         _records.reserve(cfg.capacity < 4096 ? cfg.capacity : 4096);
+        _exemplars.reserve(cfg.exemplar_k);
     }
 }
 
@@ -55,6 +59,25 @@ TxnTracer::begin(NodeId proc, AtomicOp op, Addr addr, SyncPolicy pol,
     a.rec.loop_iter = a.pending_loop_iter;
     a.pending_loop_iter = 0;
     a.last_mark = now;
+    if (a.arrival_pending) {
+        // Open-loop op: rebase the lifetime to the admission-queue
+        // arrival and attribute the wait to ADMIT, so the total is the
+        // sojourn time and the phase sums still cover [issue, complete]
+        // exactly.
+        Tick arrival =
+            a.pending_arrival <= now ? a.pending_arrival : now;
+        a.arrival_pending = false;
+        a.rec.issue = arrival;
+        if (now > arrival) {
+            a.rec.phase_sum[static_cast<int>(TxnPhase::ADMIT)] =
+                now - arrival;
+            if (a.rec.spans.size() < _cfg.max_spans)
+                a.rec.spans.push_back(
+                    {TxnPhase::ADMIT, arrival, now, proc});
+            else
+                a.rec.spans_truncated = true;
+        }
+    }
     a.live = true;
     return id;
 }
@@ -74,6 +97,16 @@ TxnTracer::noteLoopIter(NodeId proc, int streak)
     if (!_enabled || proc < 0 || proc >= _num_procs)
         return;
     _active[static_cast<std::size_t>(proc)].pending_loop_iter = streak;
+}
+
+void
+TxnTracer::noteArrival(NodeId proc, Tick arrival)
+{
+    if (!_enabled || proc < 0 || proc >= _num_procs)
+        return;
+    Active &a = _active[static_cast<std::size_t>(proc)];
+    a.pending_arrival = arrival;
+    a.arrival_pending = true;
 }
 
 TxnTracer::Active *
@@ -224,11 +257,69 @@ TxnTracer::complete(std::uint64_t id, Tick now, int observed_chain,
 
     _attr.sample(r.op, r.phase_sum, now - r.issue, r.retries, r.fanout,
                  observed_chain);
+    if (_cfg.exemplar_k != 0)
+        noteExemplar(r);
     if (_records.size() < _cfg.capacity)
         _records.push_back(std::move(r));
     else
         ++_dropped;
     a->live = false;
+}
+
+void
+TxnTracer::noteExemplar(const TxnRecord &r)
+{
+    // Keep the reservoir sorted slowest-first; equal totals break ties
+    // toward the smaller (earlier) id, so the contents and order are
+    // deterministic for a given run.
+    auto slower = [](const TxnRecord &x, const TxnRecord &y) {
+        Tick tx = x.complete - x.issue;
+        Tick ty = y.complete - y.issue;
+        if (tx != ty)
+            return tx > ty;
+        return x.id < y.id;
+    };
+    if (_exemplars.size() == _cfg.exemplar_k &&
+        !slower(r, _exemplars.back()))
+        return;
+    auto pos =
+        std::lower_bound(_exemplars.begin(), _exemplars.end(), r, slower);
+    _exemplars.insert(pos, r);
+    if (_exemplars.size() > _cfg.exemplar_k)
+        _exemplars.pop_back();
+}
+
+std::string
+TxnTracer::exemplarsJson() const
+{
+    JsonWriter w;
+    w.beginArray();
+    for (const TxnRecord &r : _exemplars) {
+        w.beginObject();
+        w.kv("id", r.id);
+        w.kv("op", toString(r.op));
+        w.kv("proc", r.proc);
+        w.kv("addr", r.addr);
+        w.kv("total", static_cast<std::uint64_t>(r.complete - r.issue));
+        w.kv("issue", static_cast<std::uint64_t>(r.issue));
+        w.kv("complete", static_cast<std::uint64_t>(r.complete));
+        w.kv("retries", r.retries);
+        w.kv("loop_iter", r.loop_iter);
+        w.kv("fanout", r.fanout);
+        w.kv("messages", r.messages);
+        w.key("phases");
+        w.beginObject();
+        for (int ph = 0; ph < NUM_TXN_PHASES; ++ph) {
+            if (r.phase_sum[ph] == 0)
+                continue;
+            w.kv(toString(static_cast<TxnPhase>(ph)),
+                 static_cast<std::uint64_t>(r.phase_sum[ph]));
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    return w.str();
 }
 
 std::string
@@ -256,14 +347,35 @@ TxnTracer::chromeEventsJsonArray(int pid,
         w.endObject();
     };
 
+    // Exemplars whose full record was dropped from _records still get
+    // exported (that is the reservoir's purpose); ones that were kept
+    // are re-categorized, not duplicated.
+    std::vector<const TxnRecord *> extra_exemplars;
+    for (const TxnRecord &e : _exemplars) {
+        bool kept = std::any_of(
+            _records.begin(), _records.end(),
+            [&](const TxnRecord &r) { return r.id == e.id; });
+        if (!kept)
+            extra_exemplars.push_back(&e);
+    }
+
     metadata("process_name", 0, process_name);
     std::vector<bool> seen(static_cast<std::size_t>(_num_procs), false);
     for (const TxnRecord &r : _records)
         if (r.proc >= 0 && r.proc < _num_procs)
             seen[static_cast<std::size_t>(r.proc)] = true;
+    for (const TxnRecord *r : extra_exemplars)
+        if (r->proc >= 0 && r->proc < _num_procs)
+            seen[static_cast<std::size_t>(r->proc)] = true;
     for (int n = 0; n < _num_procs; ++n)
         if (seen[static_cast<std::size_t>(n)])
             metadata("thread_name", n, csprintf("node%d", n));
+
+    auto isExemplar = [&](std::uint64_t id) {
+        return std::any_of(
+            _exemplars.begin(), _exemplars.end(),
+            [&](const TxnRecord &e) { return e.id == id; });
+    };
 
     auto flowEvent = [&](const char *ph, std::uint64_t id, Tick ts,
                          NodeId tid, bool enclosing) {
@@ -289,12 +401,12 @@ TxnTracer::chromeEventsJsonArray(int pid,
         w.endObject();
     };
 
-    for (const TxnRecord &r : _records) {
+    auto emitRecord = [&](const TxnRecord &r, const char *cat) {
         w.beginObject();
         w.key("name");
         w.value(std::string("txn:") + toString(r.op));
         w.key("cat");
-        w.value("txn");
+        w.value(cat);
         w.key("ph");
         w.value("X");
         w.key("ts");
@@ -397,7 +509,12 @@ TxnTracer::chromeEventsJsonArray(int pid,
                       r.spans[static_cast<std::size_t>(last_reply)].start,
                       r.proc, true);
         }
-    }
+    };
+
+    for (const TxnRecord &r : _records)
+        emitRecord(r, isExemplar(r.id) ? "txn_exemplar" : "txn");
+    for (const TxnRecord *r : extra_exemplars)
+        emitRecord(*r, "txn_exemplar");
 
     w.endArray();
     return w.str();

@@ -120,6 +120,17 @@ class TxnTracer
     void noteLoopIter(NodeId proc, int streak);
 
     /**
+     * Note that the *next* transaction issued by @p proc serves an
+     * open-loop arrival that entered the admission queue at
+     * @p arrival. begin() consumes the note: it rebases the record's
+     * issue time to the arrival tick and attributes [arrival, begin)
+     * to TxnPhase::ADMIT, so the transaction's total becomes its
+     * sojourn time (admission wait + service) and the phase-sum
+     * invariant holds by construction.
+     */
+    void noteArrival(NodeId proc, Tick arrival);
+
+    /**
      * Attribute [last milestone, @p now] to @p ph and advance the
      * milestone. Marks at out-of-order ticks are dropped and counted.
      */
@@ -168,6 +179,22 @@ class TxnTracer
     /** Completed transactions whose full record was kept. */
     const std::vector<TxnRecord> &records() const { return _records; }
 
+    /**
+     * The exemplar reservoir: the cfg.exemplar_k slowest completed
+     * transactions (end-to-end latency descending, ids breaking ties
+     * ascending so the order is deterministic), with full span trees,
+     * kept independently of the record capacity.
+     */
+    const std::vector<TxnRecord> &exemplars() const { return _exemplars; }
+
+    /**
+     * Exemplars as a compact JSON array (id, op, proc, addr, total,
+     * issue/complete, retries, loop_iter, fanout, messages, and the
+     * nonzero per-phase cycle sums). Full span trees are exported via
+     * the Chrome/Perfetto array instead.
+     */
+    std::string exemplarsJson() const;
+
     std::uint64_t completed() const { return _attr.completed(); }
     std::uint64_t recordsDropped() const { return _dropped; }
     std::uint64_t phaseSumMismatches() const { return _mismatches; }
@@ -214,16 +241,20 @@ class TxnTracer
         TxnRecord rec;
         Tick last_mark = 0;
         int pending_loop_iter = 0;
+        Tick pending_arrival = 0;
+        bool arrival_pending = false;
         bool live = false;
     };
 
     Active *find(std::uint64_t id);
+    void noteExemplar(const TxnRecord &r);
 
     TxnTraceConfig _cfg;
     bool _enabled = false;
     int _num_procs = 0;
     std::vector<Active> _active;
     std::vector<TxnRecord> _records;
+    std::vector<TxnRecord> _exemplars;
     std::vector<std::string> _divergence_msgs;
     PhaseAttribution _attr;
     std::uint64_t _seq = 0;

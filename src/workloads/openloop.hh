@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Open-loop serving workload: a seeded Poisson (optionally bursty)
+ * arrival process offers counter updates to the bounded per-node
+ * admission queues (cpu/admission.hh); each node runs a server
+ * coroutine that drains its queue in FIFO order, performing one atomic
+ * update per admitted arrival with the configured universal primitive.
+ *
+ * Unlike the paper's closed-loop synthetic applications (a fixed set of
+ * processors re-issuing as soon as the previous op completes), the
+ * offered load here is independent of service times, so queueing delay
+ * and tail latency grow without bound past saturation — the regime the
+ * SLO/tail observability layer is built to measure. Arrivals use the
+ * simulation's own deterministic RNG and a portable log (no libm
+ * transcendentals), preserving the determinism contract: same seed +
+ * config => byte-identical results on any host, serial or --jobs N.
+ */
+
+#ifndef DSM_WORKLOADS_OPENLOOP_HH
+#define DSM_WORKLOADS_OPENLOOP_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace dsm {
+
+class System;
+
+/** Measured results of one open-loop serving run. */
+struct OpenLoopResult
+{
+    /** @name Serving counters (copied from the admission layer). @{ */
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t slo_violations = 0;
+    /** @} */
+
+    /** Completed updates per cycle, machine-wide. */
+    double throughput = 0.0;
+    Tick elapsed = 0;
+
+    /** @name Sojourn time (admission wait + service). @{ */
+    double sojourn_mean = 0.0;
+    Tick sojourn_p50 = 0;
+    Tick sojourn_p99 = 0;
+    Tick sojourn_p999 = 0;
+    Tick sojourn_max = 0;
+    /** @} */
+
+    double admission_wait_mean = 0.0;
+    /** Fraction of completed ops whose sojourn exceeded the SLO. */
+    double slo_frac = 0.0;
+
+    /** Final counter value matched the number of completed updates. */
+    bool correct = false;
+    bool completed_run = false;
+};
+
+/**
+ * Run one open-loop serving experiment on a fresh phase of @p sys,
+ * which must have been built with cfg.openloop.enabled. Generates
+ * OpenLoopConfig::ops_per_proc arrivals per node at rate_ppc
+ * arrivals/cycle/proc (in bursts of mean size OpenLoopConfig::burst),
+ * serves every admitted arrival with a counter update using @p prim,
+ * and returns after the generators finish and the queues drain.
+ */
+OpenLoopResult runOpenLoop(System &sys, Primitive prim);
+
+} // namespace dsm
+
+#endif // DSM_WORKLOADS_OPENLOOP_HH
