@@ -21,7 +21,9 @@
  *
  * DSM_OPENLOOP, when set, replaces the built-in load axis with the
  * given spec as a single level — the failure repro line uses exactly
- * this.
+ * this. The overload-protection serving layer runs with its defaults
+ * (combining + backpressure + priority + NACK backoff); DSM_SERVE
+ * overrides it, including "0" to measure the unprotected stack.
  */
 
 #include <algorithm>
@@ -117,6 +119,15 @@ main(int argc, char **argv)
     cfg0.machine.mesh_x = 4;
     cfg0.machine.mesh_y = 4;
     cfg0.machine.retry_jitter = 4;
+    // Serve the campaign through the overload-protection layer: home
+    // combining keeps hot-word fetch&adds O(1) in service slots and
+    // credit backpressure sheds at the admission edge, which is what
+    // lets the saturation gate below demand a flat curve instead of
+    // tolerating retry collapse. DSM_SERVE overrides (e.g. "0").
+    if (const char *sv = std::getenv("DSM_SERVE"); sv != nullptr)
+        cfg0.serve = serveConfigFromEnv();
+    else
+        cfg0.serve.enabled = true;
 
     Experiment ex("openloop_sweep", cfg0);
     ex.title(csprintf("Open-loop serving campaign: Poisson arrivals "
@@ -243,13 +254,15 @@ main(int argc, char **argv)
                 static_cast<std::uint64_t>(row.num("slo_violations"));
             total_completed +=
                 static_cast<std::uint64_t>(row.num("completed"));
-            // Saturation gate: the curve rises, flattens, and may sag
-            // past the knee (LLSC/CAS retry traffic legitimately eats
-            // 10-20% of peak under overload -- the paper's own story).
-            // What must never happen is a cliff: a lost wakeup or a
-            // wedged admission queue drops throughput toward zero, so
-            // flag any level that falls below half the running peak.
-            if (!custom && peak_tput > 0 && tput < peak_tput * 0.5) {
+            // Saturation gate: with combining and backpressure on,
+            // the curve must rise and then stay flat — goodput at
+            // every overload point within 10% of the running peak.
+            // Retry collapse past the knee is no longer tolerable:
+            // combining folds the retry storm's hot-word fetch&adds
+            // into O(1) service slots and the credit throttle sheds
+            // the excess at the edge, so any sag beyond 10% means a
+            // protection mechanism regressed.
+            if (!custom && peak_tput > 0 && tput < peak_tput * 0.9) {
                 gate_errors += csprintf(
                     "%s: throughput collapsed at load %s: peak %g -> %g\n",
                     impls[ii].label.c_str(),

@@ -22,12 +22,16 @@
 # --openloop appends the open-loop serving campaign (openloop_sweep) to
 # the bench list; --openloop=SPEC additionally exports DSM_OPENLOOP=SPEC
 # so the sweep replaces its built-in load axis with the given level.
+# --overload appends the overload/graceful-degradation campaign
+# (overload_sweep); --overload=SPEC additionally exports DSM_SERVE=SPEC
+# so the sweep replaces its mechanism axis with the given mode.
 set -eu
 
 jobs=
 trace_bench=
 ts_bench=
 openloop=
+overload=
 while :; do
     case "${1:-}" in
     --jobs)
@@ -74,6 +78,16 @@ while :; do
         export DSM_OPENLOOP
         shift
         ;;
+    --overload)
+        overload=1
+        shift
+        ;;
+    --overload=*)
+        overload=1
+        DSM_SERVE=${1#--overload=}
+        export DSM_SERVE
+        shift
+        ;;
     *)
         break
         ;;
@@ -114,6 +128,11 @@ simcore_microbench
 if [ -n "$openloop" ]; then
     benches="$benches
 openloop_sweep
+"
+fi
+if [ -n "$overload" ]; then
+    benches="$benches
+overload_sweep
 "
 fi
 

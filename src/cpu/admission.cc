@@ -9,6 +9,7 @@ AdmissionQueues::configure(const OpenLoopConfig &cfg, int num_procs)
 {
     _cfg = cfg;
     _q.assign(static_cast<std::size_t>(num_procs), {});
+    _throttle_until.assign(static_cast<std::size_t>(num_procs), 0);
     _st = OpenLoopStats{};
 }
 
@@ -18,6 +19,11 @@ AdmissionQueues::offer(NodeId n, Tick now)
     std::deque<Tick> &q = _q[static_cast<std::size_t>(n)];
     ++_st.offered;
     _st.depth_on_arrival.add(q.size());
+    if (now < _throttle_until[static_cast<std::size_t>(n)]) {
+        ++_st.rejected;
+        ++_st.rejected_throttled;
+        return false;
+    }
     if (q.size() >= static_cast<std::size_t>(_cfg.queue_cap)) {
         ++_st.rejected;
         return false;
@@ -36,6 +42,14 @@ AdmissionQueues::pop(NodeId n, Tick now)
     q.pop_front();
     _st.admission_wait.sample(now - arrival);
     return arrival;
+}
+
+void
+AdmissionQueues::setThrottledUntil(NodeId n, Tick until)
+{
+    Tick &t = _throttle_until[static_cast<std::size_t>(n)];
+    if (until > t)
+        t = until;
 }
 
 void

@@ -31,6 +31,14 @@ struct OpenLoopStats
     std::uint64_t offered = 0;        ///< arrivals generated
     std::uint64_t admitted = 0;       ///< arrivals enqueued
     std::uint64_t rejected = 0;       ///< arrivals shed (queue full)
+    /**
+     * Arrivals shed at the edge because the node was credit-throttled
+     * by its home (serve.backpressure); a subset of rejected. Shedding
+     * here converts queueing delay the home would impose anyway into
+     * an explicit early rejection — graceful degradation instead of
+     * unbounded sojourn growth.
+     */
+    std::uint64_t rejected_throttled = 0;
     std::uint64_t completed = 0;      ///< admitted ops fully served
     std::uint64_t slo_violations = 0; ///< sojourn > slo_cycles
     /** Queue depth observed by each arrival (before it joins). */
@@ -66,6 +74,12 @@ class AdmissionQueues
     /** Dequeue the oldest arrival of node @p n; samples admission wait. */
     Tick pop(NodeId n, Tick now);
 
+    /**
+     * Credit backpressure from node @p n's controller: shed arrivals to
+     * @p n (counting them rejected_throttled) until tick @p until.
+     */
+    void setThrottledUntil(NodeId n, Tick until);
+
     /** An op admitted at @p arrival finished at @p now. */
     void complete(Tick arrival, Tick now);
 
@@ -75,6 +89,8 @@ class AdmissionQueues
   private:
     OpenLoopConfig _cfg;
     std::vector<std::deque<Tick>> _q;
+    /** Per-node edge-shed horizon (serve.backpressure; 0 = open). */
+    std::vector<Tick> _throttle_until;
     OpenLoopStats _st;
 };
 

@@ -50,6 +50,11 @@ System::System(const Config &cfg)
         _admission.configure(_cfg.openloop, n);
         _admission_on = &_admission;
     }
+    if (_cfg.serve.enabled) {
+        _home_queues.reserve(n);
+        for (int i = 0; i < n; ++i)
+            _home_queues.emplace_back(_cfg.serve.age_limit);
+    }
     if (_cfg.telemetry.enabled) {
         _telemetry.configure(_cfg.telemetry);
         _telemetry_on = &_telemetry;
@@ -263,6 +268,11 @@ System::buildRegistry()
         _registry.addCounter("openloop.offered", &os.offered);
         _registry.addCounter("openloop.admitted", &os.admitted);
         _registry.addCounter("openloop.rejected", &os.rejected);
+        // Edge-shed attribution exists only when the serving layer can
+        // throttle; gate it so serve-off runs keep their JSON shape.
+        if (_cfg.serve.enabled)
+            _registry.addCounter("openloop.rejected_throttled",
+                                 &os.rejected_throttled);
         _registry.addCounter("openloop.completed", &os.completed);
         _registry.addCounter("openloop.slo_violations",
                              &os.slo_violations);
@@ -271,6 +281,24 @@ System::buildRegistry()
         _registry.addLatency("openloop.admission_wait",
                              &os.admission_wait);
         _registry.addLatency("openloop.sojourn", &os.sojourn);
+    }
+
+    // Overload-protection serving counters: registered only when the
+    // serving layer is on, so legacy runs keep their exact JSON shape.
+    if (_cfg.serve.enabled) {
+        _registry.addCounter("serve.slots", &_serve_stats.slots);
+        _registry.addCounter("serve.served", &_serve_stats.served);
+        _registry.addCounter("serve.hi_served", &_serve_stats.hi_served);
+        _registry.addCounter("serve.lo_served", &_serve_stats.lo_served);
+        _registry.addCounter("serve.aged", &_serve_stats.aged);
+        _registry.addCounter("serve.batches", &_serve_stats.batches);
+        _registry.addCounter("serve.coalesced", &_serve_stats.coalesced);
+        _registry.addCounter("serve.throttle_events",
+                             &_serve_stats.throttle_events);
+        _registry.addCounter("serve.throttle_cycles",
+                             &_serve_stats.throttle_cycles);
+        _registry.addCounter("serve.backoff_capped",
+                             &_serve_stats.backoff_capped);
     }
 
     // Telemetry accounting: registered only when telemetry is on, so

@@ -23,6 +23,7 @@
 #include "fault/watchdog.hh"
 #include "mem/backing_store.hh"
 #include "mem/directory.hh"
+#include "mem/home_queue.hh"
 #include "mem/mem_module.hh"
 #include "net/mesh.hh"
 #include "proto/controller.hh"
@@ -173,6 +174,25 @@ class System
     const AdmissionQueues &admissionState() const { return _admission; }
 
     /**
+     * Node @p n's explicit home service queue, or nullptr when the
+     * overload-protection serving layer is off — the usual null-pointer
+     * gate. When on, home-targeted requests buffer here (two service
+     * classes, combining window) instead of in the memory module's
+     * implicit FIFO.
+     */
+    HomeQueue *
+    homeQueue(NodeId n)
+    {
+        return _home_queues.empty()
+                   ? nullptr
+                   : &_home_queues[static_cast<std::size_t>(n)];
+    }
+
+    /** Machine-wide serving-layer counters (serve.enabled only). */
+    ServeStats &serveStats() { return _serve_stats; }
+    const ServeStats &serveStats() const { return _serve_stats; }
+
+    /**
      * The time-resolved telemetry sampler, or nullptr when telemetry
      * is off — the usual null-pointer gate. When on, the event queue
      * drives it at every TelemetryConfig::window boundary.
@@ -321,6 +341,9 @@ class System
     TimeSeries _telemetry;
     LineProfiler _line_prof;
     AdmissionQueues _admission;
+    /** Per-home service queues; sized only when serve.enabled. */
+    std::vector<HomeQueue> _home_queues;
+    ServeStats _serve_stats;
     /** Non-null only when the corresponding feature is enabled. */
     FaultPlan *_faults_on = nullptr;
     Watchdog *_watchdog_on = nullptr;

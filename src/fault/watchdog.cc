@@ -17,12 +17,23 @@ describeTxn(System &sys, NodeId n)
     std::string attempt;
     if (sys.cfg().faults.recoveryEnabled())
         attempt = csprintf(" attempt=%d", c.cpuAttempt());
+    // Overload-protection park state: a transaction waiting out a
+    // deliberate backoff or credit throttle is not stuck.
+    std::string park;
+    if (sys.now() < c.cpuParkedUntil())
+        park = csprintf(" (throttled: %s until %llu)",
+                        c.cpuParkKind() ==
+                                Controller::ParkKind::THROTTLED
+                            ? "credit"
+                            : "backoff",
+                        (unsigned long long)c.cpuParkedUntil());
     std::string s = csprintf(
-        "  node %d: %s addr=%#llx issued@%llu age=%llu retries=%d%s%s\n",
+        "  node %d: %s addr=%#llx issued@%llu age=%llu retries=%d%s%s%s\n",
         (int)n, toString(c.cpuOp()), (unsigned long long)c.cpuAddr(),
         (unsigned long long)c.cpuStart(),
         (unsigned long long)(sys.now() - c.cpuStart()), c.cpuRetries(),
-        attempt.c_str(), c.cpuWaiting() ? " (awaiting reply)" : "");
+        attempt.c_str(), c.cpuWaiting() ? " (awaiting reply)" : "",
+        park.c_str());
     s += sys.txns().describeActive(n);
     return s;
 }
@@ -51,6 +62,18 @@ Watchdog::scan(System &sys)
         if (!c.cpuBusy())
             continue;
         Tick age = sys.now() - c.cpuStart();
+        // A transaction parked in a contention backoff or a credit
+        // throttle (serve.*) is deliberately waiting with a scheduled
+        // wake-up, not livelocked — and the cycles past parks already
+        // cost it are equally deliberate. Charge only un-parked age
+        // against the bound; parks show up as `throttled` in
+        // blocked-transaction dumps.
+        if (sys.cfg().serve.enabled) {
+            if (sys.now() < c.cpuParkedUntil())
+                continue;
+            Tick parked = c.cpuParkedCycles();
+            age = age > parked ? age - parked : 0;
+        }
         if (age <= _cfg.max_txn_age)
             continue;
         trip(sys, csprintf("node %d %s addr=%#llx exceeded the age "

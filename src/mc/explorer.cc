@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "mem/home_queue.hh"
 #include "proto/checker.hh"
 #include "proto/transition.hh"
 #include "sim/logging.hh"
@@ -74,10 +75,26 @@ struct World
 /** A choice the scheduler can make in some state. */
 struct Transition
 {
-    enum Kind { ISSUE, DELIVER, RETRY, TIMEOUT, DROP } kind;
+    /**
+     * COMBINE (mc.combining only) models the serving layer's home-node
+     * batch: every combinable channel head addressed to the home is
+     * popped in src order and served in one tf::deliverCombined call.
+     * Partial batches are covered by DELIVER interleavings (deliver
+     * some heads singly, then combine the rest), so one maximal
+     * COMBINE per state spans the subset space without blow-up.
+     */
+    enum Kind { ISSUE, DELIVER, RETRY, TIMEOUT, DROP, COMBINE } kind;
     int a = 0; ///< node, or channel src
     int b = 0; ///< channel dst
 };
+
+/** True if @p m may lead a home combining batch (FAP requests only). */
+bool
+combineLeader(const Msg &m)
+{
+    return (m.type == MsgType::UNC_REQ || m.type == MsgType::UPD_REQ) &&
+           m.op == AtomicOp::FAA;
+}
 
 /**
  * The node whose recovery machinery owns a message: the requester
@@ -167,6 +184,9 @@ class Explorer : public tf::StepCtx
         _prim = user.mc.primitive;
         _max_states = user.mc.max_states;
         _budget = user.mc.loss_budget;
+        _combining = user.mc.combining;
+        _home = static_cast<NodeId>((MC_BLOCK / BLOCK_BYTES) %
+                                    static_cast<Addr>(_n));
     }
 
     Result run();
@@ -250,6 +270,9 @@ class Explorer : public tf::StepCtx
     Primitive _prim = Primitive::FAP;
     std::uint64_t _max_states = 0;
     int _budget = 0;
+    bool _combining = false;
+    /** Home node of the modeled block (block-interleaved). */
+    NodeId _home = 0;
 
     /** World the StepCtx callbacks read (set around each tf call). */
     const World *_cur = nullptr;
@@ -327,6 +350,27 @@ Explorer::enabled(const World &w) const
                     out.push_back({Transition::DROP, s, d});
             }
         }
+    }
+    if (_combining) {
+        const Msg *lead = nullptr;
+        int members = 0;
+        for (int s = 0; s < _n; ++s) {
+            const auto &c =
+                w.chan[static_cast<std::size_t>(s) * _n + _home];
+            if (c.empty())
+                continue;
+            const Msg &m = c.front();
+            if (lead == nullptr) {
+                if (combineLeader(m)) {
+                    lead = &m;
+                    members = 1;
+                }
+            } else if (HomeQueue::combinesWith(*lead, m)) {
+                ++members;
+            }
+        }
+        if (members >= 2)
+            out.push_back({Transition::COMBINE, 0, 0});
     }
     return out;
 }
@@ -519,6 +563,46 @@ Explorer::apply(World &w, const Transition &t)
         dsm_assert(owner >= 0 && owner < _n,
                    "mc: dropped message with no owner");
         w.lost[static_cast<std::size_t>(owner)] = true;
+        break;
+      }
+      case Transition::COMBINE: {
+        // Pop every combinable head in src order, run each member
+        // through the home's dedup exactly as the controller does, and
+        // serve the survivors in one combined batch.
+        std::vector<Msg> batch;
+        for (int s = 0; s < _n; ++s) {
+            auto &c = w.chan[static_cast<std::size_t>(s) * _n + _home];
+            if (c.empty())
+                continue;
+            const Msg &m = c.front();
+            bool take = batch.empty()
+                            ? combineLeader(m)
+                            : HomeQueue::combinesWith(batch.front(), m);
+            if (take) {
+                batch.push_back(m);
+                c.erase(c.begin());
+            }
+        }
+        dsm_assert(batch.size() >= 2,
+                   "mc: COMBINE enabled without a batch");
+        ++_result.combines;
+        tf::CtrlState &home = w.node[static_cast<std::size_t>(_home)];
+        std::vector<Msg> live;
+        for (const Msg &m : batch) {
+            if (!home.dedup.empty() && m.seq != 0) {
+                tf::Outcome o;
+                bool handled = tf::tryDedup(envFor(_home), home, m, o);
+                commit(w, _home, std::move(o));
+                if (handled)
+                    continue;
+            }
+            live.push_back(m);
+        }
+        if (live.size() >= 2)
+            commit(w, _home,
+                   tf::deliverCombined(envFor(_home), home, live));
+        else if (live.size() == 1)
+            commit(w, _home, tf::deliver(envFor(_home), home, live[0]));
         break;
       }
     }

@@ -58,6 +58,7 @@ struct Result
     std::uint64_t transitions = 0; ///< transitions executed
     std::uint64_t terminals = 0;   ///< quiescent all-done states
     std::uint64_t losses = 0;      ///< loss branches explored
+    std::uint64_t combines = 0;    ///< combined-batch branches explored
     std::uint64_t max_depth = 0;   ///< deepest DFS path
     std::vector<Violation> violations;
 

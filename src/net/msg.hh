@@ -193,6 +193,20 @@ struct Msg
     std::uint64_t seq = 0;
     /** Retransmission attempt number for this seq (1 = original). */
     int attempt = 1;
+    /**
+     * Service priority at the home queue (serve.priority): 0 =
+     * foreground, 1 = low (NACK retries and recovery retransmissions).
+     * Metadata only: excluded from sizeBytes(); conceptually a single
+     * header bit every message already pays for.
+     */
+    int prio = 0;
+    /**
+     * Home request-queue depth observed when a reply was sent, or -1
+     * when the home runs without a serve queue (serve.backpressure
+     * credit feedback). Metadata only: excluded from sizeBytes();
+     * conceptually a byte in the reply header.
+     */
+    int qdepth = -1;
 
     /** Payload size in bytes (excluding the per-message header). */
     unsigned sizeBytes() const;

@@ -14,10 +14,12 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "cpu/admission.hh"
 #include "cpu/system.hh"
 #include "fault/fault.hh"
 #include "fault/recovery.hh"
 #include "fault/watchdog.hh"
+#include "mem/home_queue.hh"
 #include "proto/hooks.hh"
 #include "proto/transition_impl.hh"
 #include "sim/logging.hh"
@@ -56,6 +58,13 @@ void
 Controller::send(Msg m)
 {
     m.src = _id;
+    // Credit-based backpressure: replies (and NACKs) from a serving
+    // home carry its request-queue depth so requesters can throttle
+    // before the mesh fills (serve.backpressure).
+    if (HomeQueue *hq = _sys.homeQueue(_id)) {
+        if (_sys.cfg().serve.backpressure && recoverableReply(m.type))
+            m.qdepth = static_cast<int>(hq->depth());
+    }
     _sys.mesh().send(m);
 }
 
@@ -208,6 +217,7 @@ Controller::cpuRequest(AtomicOp op, Addr addr, Word value, Word expected,
     }
     _done = std::move(done);
     _trace_flow = 0;
+    _parked_total = 0;
     Tracer &tr = _sys.tracer();
     if (tr.on(TraceCat::ATOMIC_START)) {
         _trace_flow = tr.nextFlowId();
@@ -310,14 +320,36 @@ Controller::driverRetry()
         rc->coverRequester(_id);
     }
     const MachineConfig &mc = _sys.cfg().machine;
+    const ServeConfig &sv = _sys.cfg().serve;
     // Capped exponential backoff on retries: under heavy contention a
     // fixed retry delay floods the home memory module with requests
-    // that will only be NACKed again.
-    int shift = _st.txn.retries < 5 ? _st.txn.retries - 1 : 4;
+    // that will only be NACKed again. serve.nack_backoff raises the
+    // cap from the built-in 4 doublings so retry pressure keeps
+    // halving deep into overload instead of plateauing.
+    int cap = sv.enabled && sv.nack_backoff ? sv.backoff_cap : 4;
+    int shift = _st.txn.retries - 1 < cap ? _st.txn.retries - 1 : cap;
     Tick delay = (mc.retry_delay << shift) *
                  _sys.rng().range(1, mc.retry_jitter);
+    if (sv.enabled) {
+        if (sv.nack_backoff && shift == cap && cap > 4)
+            ++_sys.serveStats().backoff_capped;
+        _park_kind = ParkKind::BACKOFF;
+        // A credit-throttled requester holds its retry until the
+        // throttle lapses: retrying into a backlogged home just burns
+        // a NACK round trip.
+        if (sv.backpressure && _throttled_until > now() + delay) {
+            delay = _throttled_until - now();
+            _park_kind = ParkKind::THROTTLED;
+        }
+        _park_until = now() + delay;
+        // The park is deliberate waiting with a scheduled wake-up, so
+        // it must not count toward the watchdog's livelock age.
+        _parked_total += delay;
+    }
     _sys.eq().scheduleIn(delay, [this] {
         dsm_assert(_st.txn.active, "retry fired without a transaction");
+        _park_kind = ParkKind::NONE;
+        _park_until = 0;
         if (_st.txn.txn_id != 0)
             _sys.txns().retry(_st.txn.txn_id, now());
         commit(tf::dispatch(env(), _st));
@@ -400,9 +432,37 @@ Controller::handleMsg(const Msg &m)
       // Everything else acts immediately at this node (responses to
       // the local requester, invalidations, updates, forwards).
       default:
+        if (m.qdepth >= 0 && _sys.cfg().serve.backpressure)
+            noteCredit(m.qdepth);
         commit(tf::deliver(env(), _st, m));
         break;
     }
+}
+
+void
+Controller::noteCredit(int qdepth)
+{
+    const ServeConfig &sv = _sys.cfg().serve;
+    if (qdepth <= sv.credit_threshold)
+        return;
+    // Deterministic throttle duration: the backlog beyond the credit
+    // threshold, in service times — roughly how long the home needs to
+    // drain back under it. No RNG, so feature-off runs draw nothing.
+    Tick dur = static_cast<Tick>(qdepth - sv.credit_threshold) *
+               _sys.cfg().machine.mem_service_time;
+    Tick until = now() + dur;
+    if (until <= _throttled_until)
+        return;
+    ServeStats &st = _sys.serveStats();
+    ++st.throttle_events;
+    st.throttle_cycles +=
+        until - (_throttled_until > now() ? _throttled_until : now());
+    _throttled_until = until;
+    // Propagate to the edge: the open-loop admission queue sheds
+    // arrivals outright while this node is throttled, so overload is
+    // rejected cheaply instead of queueing into the mesh.
+    if (AdmissionQueues *adm = _sys.admission())
+        adm->setThrottledUntil(_id, until);
 }
 
 void
@@ -412,11 +472,32 @@ Controller::homeEnqueue(const Msg &m)
                "%s for block %#llx delivered to non-home node %d",
                toString(m.type), static_cast<unsigned long long>(m.addr),
                _id);
+    if (HomeQueue *hq = _sys.homeQueue(_id)) {
+        // Overload-protection path (serve.enabled): buffer in the
+        // explicit two-level queue and pump one memory service slot at
+        // a time, so a slot can serve a whole combining batch and the
+        // scheduler can prefer foreground over retry traffic. Only
+        // retryable requests may ride low: write-backs, drop notices,
+        // and owner replies resolve directory busy states and must
+        // never wait behind foreground traffic.
+        bool low = m.prio == 1 && recoverableRequest(m.type);
+        hq->push(m, now(), low);
+        homePump();
+        return;
+    }
     Tick when = _sys.mem(_id).access(now());
-    // Telemetry: attribute this request and its full home cost (memory
-    // queueing plus service) to the block it targets.
+    noteHomeService(m, now(), when);
+    Msg copy = m;
+    _sys.eq().schedule(when, [this, copy] { homeService(copy); });
+}
+
+void
+Controller::noteHomeService(const Msg &m, Tick enq, Tick when)
+{
+    // Telemetry: attribute this request and its full home cost (queue
+    // wait plus service) to the block it targets.
     if (LineProfiler *lp = _sys.lineProfiler())
-        lp->noteService(m.addr, when - now());
+        lp->noteService(m.addr, when - enq);
     if (m.txn_id != 0) {
         // Owner replies re-enter the home queue: their transit leg
         // belongs to the reply path, not the request path.
@@ -426,12 +507,120 @@ Controller::homeEnqueue(const Msg &m)
                          m.type == MsgType::CAS_OWNER_FAIL_S ||
                          m.type == MsgType::FWD_NACK_RETRY ||
                          m.type == MsgType::FWD_NACK_WB;
-        _sys.txns().markService(m.txn_id, _id, now(),
+        _sys.txns().markService(m.txn_id, _id, enq,
                                 when - _sys.cfg().machine.mem_service_time,
                                 when, reply_leg);
     }
-    Msg copy = m;
-    _sys.eq().schedule(when, [this, copy] { homeService(copy); });
+}
+
+void
+Controller::homePump()
+{
+    HomeQueue *hq = _sys.homeQueue(_id);
+    if (_slot_scheduled || hq->empty())
+        return;
+    // Reserve the slot now (the bank is busy for it either way) but
+    // defer head selection and batch formation to the slot itself:
+    // requests arriving while the bank drains can still join a
+    // combining batch or overtake a lower class.
+    _slot_scheduled = true;
+    Tick when = _sys.mem(_id).access(now());
+    ++_sys.serveStats().slots;
+    _sys.eq().schedule(when, [this, when] { homeServiceSlot(when); });
+}
+
+void
+Controller::homeServiceSlot(Tick when)
+{
+    _slot_scheduled = false;
+    HomeQueue *hq = _sys.homeQueue(_id);
+    dsm_assert(hq != nullptr && !hq->empty(),
+               "home service slot fired with an empty queue");
+    ServeStats &sst = _sys.serveStats();
+    const ServeConfig &sv = _sys.cfg().serve;
+    HomeQueue::Entry lead = hq->pop(now(), sst);
+    noteHomeService(lead.msg, lead.enq, when);
+
+    // Recovery dedup and fault injection hit the leader exactly as on
+    // the legacy path; a consumed leader spends the slot.
+    if (!_st.dedup.empty() && recoverableRequest(lead.msg.type) &&
+        lead.msg.seq != 0) {
+        tf::Outcome o;
+        bool handled = tf::tryDedup(env(), _st, lead.msg, o);
+        commit(std::move(o));
+        if (handled) {
+            homePump();
+            return;
+        }
+    }
+    FaultPlan *fp = _sys.faults();
+    if (fp != nullptr && recoverableRequest(lead.msg.type) &&
+        fp->injectNack(lead.msg.src)) {
+        commit(tf::injectNack(env(), _st, lead.msg));
+        homePump();
+        return;
+    }
+
+    // Home-node combining: fold queued commutative requests to the
+    // same line into this slot. GET_S additionally needs the line
+    // quiet (a busy or exclusive entry forwards or NACKs instead).
+    if (sv.combining) {
+        bool lead_ok = false;
+        DirEntry e = dirEntry(lead.msg.addr);
+        switch (lead.msg.type) {
+          case MsgType::UNC_REQ:
+            lead_ok = lead.msg.op == AtomicOp::FAA && !e.busy &&
+                      e.state == DirState::UNCACHED;
+            break;
+          case MsgType::UPD_REQ:
+            lead_ok = lead.msg.op == AtomicOp::FAA && !e.busy &&
+                      e.state != DirState::EXCLUSIVE;
+            break;
+          case MsgType::GET_S:
+            lead_ok = !e.busy && e.state != DirState::EXCLUSIVE;
+            break;
+          default:
+            break;
+        }
+        if (lead_ok) {
+            std::vector<HomeQueue::Entry> followers =
+                hq->extractCombinable(lead.msg, sv.combine_limit - 1);
+            std::vector<Msg> batch;
+            batch.push_back(lead.msg);
+            for (const HomeQueue::Entry &f : followers) {
+                // Per-member dedup, exactly as if delivered alone; the
+                // replies captured by deliverCombined refresh each
+                // member's slot.
+                if (!_st.dedup.empty() && f.msg.seq != 0) {
+                    tf::Outcome o;
+                    bool handled = tf::tryDedup(env(), _st, f.msg, o);
+                    commit(std::move(o));
+                    if (handled)
+                        continue;
+                }
+                batch.push_back(f.msg);
+            }
+            if (batch.size() >= 2) {
+                sst.batches += 1;
+                sst.coalesced += batch.size() - 1;
+                sst.served += batch.size() - 1;
+                for (std::size_t i = 1; i < batch.size(); ++i) {
+                    if (batch[i].prio == 1)
+                        ++sst.lo_served;
+                    else
+                        ++sst.hi_served;
+                }
+                for (const HomeQueue::Entry &f : followers)
+                    noteHomeService(f.msg, f.enq, when);
+                commit(tf::deliverCombined(env(), _st, batch));
+                homePump();
+                return;
+            }
+        }
+    }
+
+    commit(tf::deliver(env(), _st, lead.msg));
+    homePump();
 }
 
 void

@@ -97,6 +97,17 @@ class Controller : private tf::StepCtx
         return _st.txn.active && _st.txn.waiting ? _st.txn.seq : 0;
     }
 
+    /** @name Overload-protection park state (serve.*). A transaction
+     *  deliberately waiting out a contention backoff or a credit
+     *  throttle is parked, not livelocked; the Watchdog classifies it
+     *  as `throttled` instead of tripping. @{ */
+    enum class ParkKind { NONE, BACKOFF, THROTTLED };
+    ParkKind cpuParkKind() const { return _park_kind; }
+    Tick cpuParkedUntil() const { return _park_until; }
+    /** Cycles this transaction has spent deliberately parked. */
+    Tick cpuParkedCycles() const { return _parked_total; }
+    /** @} */
+
     /** Network/local message delivery entry point. */
     void handleMsg(const Msg &m);
 
@@ -149,6 +160,17 @@ class Controller : private tf::StepCtx
     /** Home service after the memory access: dedup, faults, deliver. */
     void homeService(const Msg &m);
 
+    /** @name Overload-protection serving (serve.enabled). @{ */
+    /** Reserve the next memory service slot when work is queued. */
+    void homePump();
+    /** Slot body: pick a head, form a combining batch, serve it. */
+    void homeServiceSlot(Tick when);
+    /** Late service marks for a queued request served at @p when. */
+    void noteHomeService(const Msg &m, Tick enq, Tick when);
+    /** Credit feedback from a reply: enter/extend the throttle. */
+    void noteCredit(int qdepth);
+    /** @} */
+
     /** Stamp src and inject into the mesh. */
     void send(Msg m);
     Tick now() const;
@@ -161,6 +183,18 @@ class Controller : private tf::StepCtx
     DoneFn _done;
     /** Tracer flow id of the outstanding operation (driver-only). */
     std::uint32_t _trace_flow = 0;
+
+    /** @name Overload-protection driver state (serve.enabled only). @{ */
+    /** A memory service slot is reserved for this home's queue. */
+    bool _slot_scheduled = false;
+    /** This requester is credit-throttled until this tick. */
+    Tick _throttled_until = 0;
+    /** Park state of the active transaction (watchdog classification). */
+    Tick _park_until = 0;
+    ParkKind _park_kind = ParkKind::NONE;
+    /** Total parked cycles of the active transaction. */
+    Tick _parked_total = 0;
+    /** @} */
 };
 
 } // namespace dsm

@@ -294,6 +294,20 @@ Outcome dispatch(const Env &env, CtrlState &s);
 Outcome deliver(const Env &env, CtrlState &s, const Msg &m);
 
 /**
+ * Deliver a *combined batch* of commutative home requests in one
+ * memory service slot (serve.combining). All members must target this
+ * home, combine with batch[0] (HomeQueue::combinesWith: FAA fetch&adds
+ * to one word via UNC_REQ/UPD_REQ, or duplicate GET_S fills of one
+ * block), and carry distinct sources. Produces exactly one reply per
+ * member — fetch&adds observe consecutive prefix sums of a single
+ * read-modify-write pass, and a combined UPD batch sends one UPDATE
+ * fan-out (attributed to the leader) carrying the final value. The
+ * caller runs tryDedup() per member first, exactly as for deliver().
+ */
+Outcome deliverCombined(const Env &env, CtrlState &s,
+                        const std::vector<Msg> &batch);
+
+/**
  * Home-side recovery dedup, run before any directory action on a
  * recoverable request carrying a seq. Appends its effects/stat deltas
  * to @p o.

@@ -396,6 +396,12 @@ buildReq(const Env &env, const CtrlState &s, MsgType t)
     m.txn_id = s.txn.txn_id;
     m.seq = s.txn.seq;
     m.attempt = s.txn.attempt;
+    // Overload-protection priority: a NACK-retried or timeout-
+    // retransmitted request yields to first-attempt traffic at the
+    // home's two-level queue (serve.priority).
+    if (env.cfg->serve.enabled && env.cfg->serve.priority &&
+        (s.txn.retries > 0 || s.txn.attempt > 1))
+        m.prio = 1;
     return m;
 }
 

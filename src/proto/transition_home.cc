@@ -11,6 +11,7 @@
 
 #include "proto/transition_impl.hh"
 
+#include "mem/home_queue.hh"
 #include "sim/logging.hh"
 
 namespace dsm {
@@ -717,6 +718,143 @@ homeOwnerReply(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
 }
 
 } // namespace
+
+Outcome
+deliverCombined(const Env &env, CtrlState &s,
+                const std::vector<Msg> &batch)
+{
+    Outcome o;
+    dsm_assert(batch.size() >= 2,
+               "a combined batch needs at least two members");
+    const Msg &lead = batch.front();
+    dsm_assert(env.homeOf(lead.addr) == env.self,
+               "combined batch for block %#llx delivered to non-home "
+               "node %d",
+               static_cast<unsigned long long>(lead.addr), env.self);
+    for (std::size_t i = 1; i < batch.size(); ++i)
+        dsm_assert(HomeQueue::combinesWith(lead, batch[i]),
+                   "batch member %zu does not combine with the leader",
+                   i);
+
+    switch (lead.type) {
+      case MsgType::GET_S: {
+        // k duplicate fills of one block share the single block read;
+        // per-member facts/replies mirror sequential delivery exactly
+        // (the working entry accumulates sharers between members).
+        DirEntry e = env.ctx->dirEntry(lead.addr);
+        dsm_assert(!e.busy && e.state != DirState::EXCLUSIVE,
+                   "combined GET_S batch on a busy/exclusive line");
+        for (const Msg &m : batch) {
+            emitTxnService(o, m.txn_id,
+                           homeFacts(static_cast<std::uint8_t>(e.state),
+                                     e.numSharers(), 0));
+            setDirState(o, e, m.addr, DirState::SHARED);
+            e.addSharer(m.src);
+            emitLp(o, EffectKind::LP_SHARER_JOIN, m.addr);
+            Msg r;
+            r.type = MsgType::DATA_S;
+            r.data = env.ctx->memBlock(m.addr);
+            r.has_data = true;
+            reply(env, s, o, m, r);
+        }
+        dirWrite(o, lead.addr, e);
+        break;
+      }
+
+      case MsgType::UNC_REQ: {
+        // k fetch&adds, one read-modify-write pass: memoryOp reads
+        // through this outcome's pending writes (readWordAfter), so
+        // sequential calls hand each member its exact prefix sum.
+        DirEntry e = env.ctx->dirEntry(lead.addr);
+        dsm_assert(e.state == DirState::UNCACHED && !e.busy,
+                   "UNC access to a block with cached copies");
+        for (const Msg &m : batch) {
+            emitTxnService(o, m.txn_id,
+                           homeFacts(static_cast<std::uint8_t>(e.state),
+                                     0, 0));
+            MemOpOut out = memoryOp(env, e, o, m);
+            Msg r;
+            r.type = MsgType::UNC_RESP;
+            r.result = out.result;
+            r.success = out.success;
+            r.serial = out.serial;
+            reply(env, s, o, m, r);
+        }
+        dirWrite(o, lead.addr, e);
+        break;
+      }
+
+      case MsgType::UPD_REQ: {
+        DirEntry e = env.ctx->dirEntry(lead.addr);
+        dsm_assert(e.state != DirState::EXCLUSIVE && !e.busy,
+                   "UPD region block is exclusive");
+        std::uint8_t dir_before = static_cast<std::uint8_t>(e.state);
+        int sharers_before = e.numSharers();
+        Word before = readWordAfter(env, o, lead.word_addr);
+        std::vector<MemOpOut> outs;
+        outs.reserve(batch.size());
+        for (const Msg &m : batch)
+            outs.push_back(memoryOp(env, e, o, m));
+        Word newval = readWordAfter(env, o, lead.word_addr);
+
+        // One UPDATE fan-out for the whole batch, carrying the final
+        // value, attributed to the leader (its chain/seq/acks). Batch
+        // members are excluded: each gets the final block in its own
+        // UPD_RESP. FAA is always an effective write, so only the
+        // no-op case (adding zero) suppresses the fan-out.
+        std::uint64_t member_mask = 0;
+        for (const Msg &m : batch)
+            member_mask |= bit(m.src);
+        int nupdates = 0;
+        std::uint64_t upd_mask = 0;
+        if (newval != before) {
+            for (NodeId n = 0; n < env.numProcs(); ++n) {
+                if ((member_mask & bit(n)) != 0 || !e.isSharer(n))
+                    continue;
+                ++o.stats.updates;
+                ++nupdates;
+                upd_mask |= bit(n);
+                Msg u;
+                u.type = MsgType::UPDATE;
+                u.dst = n;
+                u.requester = lead.src;
+                u.addr = lead.addr;
+                u.word_addr = lead.word_addr;
+                u.result = newval;
+                u.chain = chainNext(lead.chain, env.self, n);
+                u.txn_id = lead.txn_id;
+                u.seq = lead.seq;
+                emitSend(o, u);
+            }
+        }
+
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const Msg &m = batch[i];
+            emitTxnService(o, m.txn_id,
+                           homeFacts(dir_before, sharers_before,
+                                     i == 0 ? upd_mask : 0));
+            setDirState(o, e, m.addr, DirState::SHARED);
+            e.addSharer(m.src);
+            emitLp(o, EffectKind::LP_SHARER_JOIN, m.addr);
+            Msg r;
+            r.type = MsgType::UPD_RESP;
+            r.result = outs[i].result;
+            r.success = outs[i].success;
+            r.serial = outs[i].serial;
+            r.ack_count = i == 0 ? nupdates : 0;
+            r.data = readBlockAfter(env, o, m.addr);
+            r.has_data = true;
+            reply(env, s, o, m, r);
+        }
+        dirWrite(o, lead.addr, e);
+        break;
+      }
+
+      default:
+        dsm_panic("deliverCombined on %s", toString(lead.type));
+    }
+    return o;
+}
 
 namespace detail {
 

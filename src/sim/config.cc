@@ -127,6 +127,86 @@ openLoopConfigFromEnv()
     return ol;
 }
 
+std::string
+ServeConfig::parse(const std::string &spec)
+{
+    if (spec == "1" || spec == "on" || spec == "default") {
+        *this = ServeConfig();
+        enabled = true;
+        return "";
+    }
+
+    ServeConfig out;
+    out.enabled = true;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        std::string item = spec.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (item.empty())
+            continue;
+        std::size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return csprintf("serve spec item '%s' is not key=value",
+                            item.c_str());
+        std::string key = item.substr(0, eq);
+        std::string val = item.substr(eq + 1);
+        char *end = nullptr;
+        double d = std::strtod(val.c_str(), &end);
+        if (end == val.c_str() || *end != '\0')
+            return csprintf("serve spec value '%s' for '%s' is not "
+                            "a number", val.c_str(), key.c_str());
+        if (key == "combining") {
+            out.combining = d != 0.0;
+        } else if (key == "combine_limit") {
+            out.combine_limit = static_cast<int>(d);
+        } else if (key == "backpressure") {
+            out.backpressure = d != 0.0;
+        } else if (key == "credit_threshold") {
+            out.credit_threshold = static_cast<int>(d);
+        } else if (key == "priority") {
+            out.priority = d != 0.0;
+        } else if (key == "age_limit") {
+            out.age_limit = static_cast<Tick>(d);
+        } else if (key == "nack_backoff") {
+            out.nack_backoff = d != 0.0;
+        } else if (key == "backoff_cap") {
+            out.backoff_cap = static_cast<int>(d);
+        } else {
+            return csprintf("unknown serve spec key '%s'", key.c_str());
+        }
+    }
+    *this = out;
+    return "";
+}
+
+std::string
+ServeConfig::summary() const
+{
+    return csprintf("combining=%d,combine_limit=%d,backpressure=%d,"
+                    "credit_threshold=%d,priority=%d,age_limit=%llu,"
+                    "nack_backoff=%d,backoff_cap=%d",
+                    combining ? 1 : 0, combine_limit,
+                    backpressure ? 1 : 0, credit_threshold,
+                    priority ? 1 : 0, (unsigned long long)age_limit,
+                    nack_backoff ? 1 : 0, backoff_cap);
+}
+
+ServeConfig
+serveConfigFromEnv()
+{
+    ServeConfig sv;
+    const char *spec = std::getenv("DSM_SERVE");
+    if (spec == nullptr || *spec == '\0' || std::string(spec) == "0")
+        return sv;
+    std::string err = sv.parse(spec);
+    if (!err.empty())
+        dsm_fatal("DSM_SERVE: %s", err.c_str());
+    return sv;
+}
+
 void
 MachineConfig::validate() const
 {
@@ -204,6 +284,27 @@ Config::validate() const
         if (ol.ops_per_proc < 1)
             return csprintf("openloop.ops_per_proc must be >= 1, got %d",
                             ol.ops_per_proc);
+    }
+
+    const ServeConfig &sv = serve;
+    if (sv.enabled) {
+        if (sv.combine_limit < 2)
+            return csprintf("serve.combine_limit must be >= 2 (a batch "
+                            "of one is not combining), got %d",
+                            sv.combine_limit);
+        if (sv.credit_threshold < 1)
+            return csprintf("serve.credit_threshold must be >= 1, "
+                            "got %d", sv.credit_threshold);
+        if (sv.priority && sv.age_limit == 0)
+            return "serve.age_limit must be nonzero when "
+                   "serve.priority is enabled (it is the starvation "
+                   "bound, not an off switch)";
+        if (sv.nack_backoff &&
+            (sv.backoff_cap < 4 || sv.backoff_cap > 20))
+            return csprintf("serve.backoff_cap must be in [4, 20] "
+                            "(below 4 would weaken the built-in "
+                            "backoff; above 20 overflows the shift), "
+                            "got %d", sv.backoff_cap);
     }
 
     const FaultConfig &f = faults;
@@ -286,6 +387,10 @@ Config::validate() const
     if (mcc.max_states == 0)
         return "mc.max_states must be nonzero (it is the exploration "
                "fuse, not an off switch)";
+    if (mcc.combining && mcc.primitive != Primitive::FAP)
+        return csprintf("mc.combining requires mc.primitive FAP (only "
+                        "fetch&add home requests commute), got %s",
+                        toString(mcc.primitive));
     return "";
 }
 

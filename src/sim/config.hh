@@ -245,6 +245,76 @@ struct OpenLoopConfig
 OpenLoopConfig openLoopConfigFromEnv();
 
 /**
+ * Overload-protection configuration (mem/home_queue.hh and the serving
+ * hooks in proto/controller.cc). Off by default and free when off: no
+ * home queues are built, no stats registered, and the stats JSON keeps
+ * its exact shape. When enabled, each of the four mechanisms is
+ * independently toggleable for ablation:
+ *
+ *  - combining: at the home-directory service point, coalesce queued
+ *    commutative requests to the same line (fetch&add increments, and
+ *    duplicate read-shared fills) into one memory service slot with an
+ *    exact per-requester reply fan-out, so a combining home serves k
+ *    contended fetch&adds in O(1) slots instead of k.
+ *  - backpressure: replies from a home carry its request-queue depth;
+ *    a requester seeing depth over credit_threshold enters a throttled
+ *    state for a deterministic duration and propagates it to the
+ *    open-loop admission queues so shedding happens at the edge.
+ *  - priority: requests retried after a NACK (or retransmitted by the
+ *    recovery layer) are marked low priority; the home serves a
+ *    two-level queue, foreground first, with an aging bound that
+ *    promotes any low request waiting >= age_limit cycles (starvation
+ *    freedom: a low head is overtaken for at most age_limit cycles).
+ *  - nack_backoff: raises the NACK-retry exponential backoff cap from
+ *    the built-in 4 doublings to backoff_cap, ending retry livelock at
+ *    high processor counts.
+ *
+ * Determinism contract holds throughout: throttle durations are pure
+ * functions of the observed queue depth (no RNG), and the NACK backoff
+ * keeps using the machine's seeded stream.
+ */
+struct ServeConfig
+{
+    bool enabled = false;
+    /** Coalesce commutative same-line requests at the home. */
+    bool combining = true;
+    /** Largest number of requests folded into one service slot. */
+    int combine_limit = 8;
+    /** Queue-depth feedback on replies + edge throttling. */
+    bool backpressure = true;
+    /** Home-queue depth beyond which requesters throttle. */
+    int credit_threshold = 8;
+    /** Two-level home scheduling: foreground over retry traffic. */
+    bool priority = true;
+    /** Cycles a low-priority request may wait before promotion. */
+    Tick age_limit = 2000;
+    /** Capped-exponential contention backoff for NACK retries. */
+    bool nack_backoff = true;
+    /** Maximum doublings of machine.retry_delay (>= the built-in 4). */
+    int backoff_cap = 10;
+
+    /**
+     * Parse a DSM_SERVE-style spec into this config. "1"/"on"/
+     * "default" enables all four mechanisms with the defaults above;
+     * otherwise a comma-separated key=value list (combining,
+     * combine_limit, backpressure, credit_threshold, priority,
+     * age_limit, nack_backoff, backoff_cap).
+     *
+     * @return "" on success, otherwise a descriptive error.
+     */
+    std::string parse(const std::string &spec);
+
+    /** Canonical key=value spec string (inverse of parse). */
+    std::string summary() const;
+};
+
+/**
+ * Read $DSM_SERVE into a ServeConfig. Unset, empty, or "0" leaves it
+ * disabled; a bad spec is a fatal user error.
+ */
+ServeConfig serveConfigFromEnv();
+
+/**
  * Upper bound on FaultConfig::msg_jitter_max: keeps injected delays far
  * below any plausible run deadline so jitter can never masquerade as a
  * hang (the watchdogs must stay able to tell slow from stuck).
@@ -401,6 +471,15 @@ struct McConfig
      * states (a state-space-explosion fuse, not a correctness knob).
      */
     std::uint64_t max_states = 5'000'000;
+    /**
+     * Model home-node combining: add a COMBINE transition that folds
+     * the combinable heads of the home's request channels into one
+     * atomic delivery (tf::deliverCombined), proving no reply is lost
+     * or duplicated when a combined batch interleaves with the rest of
+     * the protocol. FAP only (the only primitive whose home requests
+     * commute).
+     */
+    bool combining = false;
 };
 
 /** Complete simulation configuration. */
@@ -412,6 +491,7 @@ struct Config
     TxnTraceConfig txn_trace;
     TelemetryConfig telemetry;
     OpenLoopConfig openloop;
+    ServeConfig serve;
     FaultConfig faults;
     WatchdogConfig watchdog;
     McConfig mc;

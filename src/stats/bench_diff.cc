@@ -46,6 +46,11 @@ const MetricRule METRIC_RULES[] = {
     // ratio in [0, 1], so gate it on absolute movement only.
     {"throughput", false, 5.0, 0.0},
     {"slo_frac", true, 0.0, 0.02},
+    // Overload campaign (overload_sweep): goodput falling or shedding
+    // growing is the harmful direction; shed_frac, like slo_frac, is a
+    // ratio in [0, 1] and gates on absolute movement only.
+    {"goodput", false, 5.0, 0.0},
+    {"shed_frac", true, 0.0, 0.02},
     {"sojourn_p50", true, 10.0, 32.0},
     {"sojourn_p99", true, 10.0, 64.0},
     {"sojourn_p999", true, 15.0, 128.0},

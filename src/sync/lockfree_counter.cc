@@ -2,8 +2,31 @@
 
 #include "cpu/system.hh"
 #include "sim/logging.hh"
+#include "sync/backoff.hh"
 
 namespace dsm {
+
+namespace {
+
+/**
+ * Contention backoff for failed CAS/SC attempts, armed with the
+ * serving layer (serve.nack_backoff): a failed attempt means another
+ * processor won the word, so pausing before the retry sheds the
+ * concurrency that made it fail — the same capped-exponential rule
+ * the NACK retry path uses, with serve.backoff_cap doublings of
+ * machine.retry_delay.
+ */
+Backoff
+contentionBackoff(const Config &cfg)
+{
+    const ServeConfig &sv = cfg.serve;
+    if (!sv.enabled || !sv.nack_backoff)
+        return Backoff(0, 0); // currentBound() == 0: backoff off
+    Tick base = cfg.machine.retry_delay;
+    return Backoff(base, base << sv.backoff_cap);
+}
+
+} // namespace
 
 LockFreeCounter::LockFreeCounter(System &sys, Primitive prim)
     : _sys(sys), _prim(prim), _addr(sys.allocSync())
@@ -35,6 +58,7 @@ LockFreeCounter::fetchAdd(Proc &p, Word delta)
         break;
       }
       case Primitive::CAS: {
+        Backoff backoff = contentionBackoff(_sys.cfg());
         for (;;) {
             OpResult r = sc.use_load_exclusive
                              ? co_await p.loadExclusive(_addr)
@@ -45,10 +69,13 @@ LockFreeCounter::fetchAdd(Proc &p, Word delta)
                 break;
             }
             ++_failed_attempts;
+            if (backoff.currentBound() > 0)
+                co_await p.compute(backoff.next(_sys.rng()));
         }
         break;
       }
       case Primitive::LLSC: {
+        Backoff backoff = contentionBackoff(_sys.cfg());
         for (;;) {
             OpResult r = co_await p.ll(_addr);
             OpResult s = co_await p.sc(_addr, r.value + delta);
@@ -57,6 +84,8 @@ LockFreeCounter::fetchAdd(Proc &p, Word delta)
                 break;
             }
             ++_failed_attempts;
+            if (backoff.currentBound() > 0)
+                co_await p.compute(backoff.next(_sys.rng()));
         }
         break;
       }

@@ -86,6 +86,51 @@ TEST(McExplore, LossBudgetRecovery)
     }
 }
 
+TEST(McExplore, CombiningBatchesAreClean)
+{
+    // The serving layer's home-node combining as an explicit COMBINE
+    // transition: whenever >= 2 combinable fetch&add requests head the
+    // home's channels, one branch serves them as a single batch. Every
+    // interleaving of the batch with in-flight coherence traffic (the
+    // UPD policy's update fan-out in particular) must still deliver
+    // exactly one reply per member, produce the serial history, and
+    // pass every coherence invariant — no reply lost or duplicated.
+    for (SyncPolicy pol : {SyncPolicy::UNC, SyncPolicy::UPD}) {
+        SCOPED_TRACE(toString(pol));
+        Config cfg = mcConfig(pol, Primitive::FAP, 2, 2);
+        cfg.mc.combining = true;
+        mc::Result res = mc::explore(cfg);
+        EXPECT_TRUE(res.completed);
+        EXPECT_TRUE(res.violations.empty())
+            << res.violations.size() << " violations, first: "
+            << (res.violations.empty()
+                    ? ""
+                    : res.violations[0].kind + ": " +
+                          res.violations[0].detail);
+        EXPECT_GT(res.combines, 0u)
+            << "combining armed but no COMBINE transition ever fired";
+    }
+}
+
+TEST(McExplore, CombiningSurvivesMessageLoss)
+{
+    // A combined batch member may be a retransmission whose original
+    // was dropped (or the original of a duplicate still queued). The
+    // per-member dedup in the COMBINE transition must keep the ledger
+    // closed: no double-applied fetch&add in any interleaving.
+    Config cfg = mcConfig(SyncPolicy::UNC, Primitive::FAP, 2, 1, 1);
+    cfg.mc.combining = true;
+    mc::Result res = mc::explore(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(res.violations.empty())
+        << (res.violations.empty()
+                ? ""
+                : res.violations[0].kind + ": " +
+                      res.violations[0].detail);
+    EXPECT_GT(res.losses, 0u);
+    EXPECT_GT(res.combines, 0u);
+}
+
 TEST(McExplore, FuseReportsIncomplete)
 {
     Config cfg = mcConfig(SyncPolicy::UPD, Primitive::LLSC, 3, 1);
@@ -119,6 +164,12 @@ TEST(McConfig, ValidationRejectsOutOfBounds)
           "mc.loss_budget" },
         { "zero fuse", [](Config &c) { c.mc.max_states = 0; },
           "mc.max_states" },
+        { "combining non-FAP",
+          [](Config &c) {
+              c.mc.combining = true;
+              c.mc.primitive = Primitive::CAS;
+          },
+          "mc.combining" },
     };
     for (const BadCase &bc : cases) {
         SCOPED_TRACE(bc.what);
