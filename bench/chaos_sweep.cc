@@ -1,26 +1,25 @@
 /**
  * @file
- * Message-loss recovery campaign: the Figure 6 implementation matrix
- * (INV/UPD/UNC x FAP/LL-SC/CAS) under increasing message-loss rates,
- * with at least one level adding seeded whole-link flaky episodes and
- * link quarantine. Every point runs the lock-free counter under
- * contention while the mesh drops requests and replies, then asserts
- * the end-to-end recovery promise: the run completes, the counter's
- * final value is exact, checkCoherence() finds no violation,
- * checkFaultAccounting() reconciles the drop ledger (every loss
- * covered by a retransmission or a link quarantine), and the
- * transaction tracer's phase sums still partition every latency
- * (txn.phase_sum_mismatches == 0).
+ * Faulty-channel chaos campaign: the Figure 6 implementation matrix
+ * (INV/UPD/UNC x FAP/LL-SC/CAS) under all six channel fault axes at
+ * once — delivery jitter, random message loss, flaky-link episodes,
+ * bounded-skew reordering, delayed duplication, and payload corruption
+ * — at escalating intensities. Every point runs the lock-free counter
+ * under contention, then asserts the end-to-end hardening promise: the
+ * run completes (no watchdog trip), the counter's final value is
+ * exact, checkCoherence() finds no violation, checkFaultAccounting()
+ * reconciles the extended ledger (every drop covered, every corruption
+ * detected, every duplicate absorbed, every reorder delivered), and
+ * the transaction tracer's phase sums still partition every latency.
  *
- * Usage: recovery_sweep [--seeds K] [--seed BASE] [--jobs N]
+ * Usage: chaos_sweep [--seeds K] [--seed BASE] [--jobs N]
  *
- * DSM_FAULTS, when set, replaces the built-in loss axis with the given
- * spec as a single level — the failure repro line uses exactly this.
- * On failure a WATCHDOG_recovery_sweep_<point-index>_<impl>_<level>_
- * <seed>.txt diagnosis dump is written next to
- * BENCH_recovery_sweep.json (the point index keeps dumps
- * collision-free under --jobs N and repeated impl/level/seed
- * combinations).
+ * DSM_FAULTS, when set, replaces the built-in chaos axis with the
+ * given spec as a single level — the failure repro line uses exactly
+ * this. On failure a WATCHDOG_chaos_sweep_<point-index>_<impl>_
+ * <level>_<seed>.txt diagnosis dump is written next to
+ * BENCH_chaos_sweep.json (the point index keeps dumps collision-free
+ * under --jobs N).
  */
 
 #include <atomic>
@@ -76,23 +75,24 @@ fileLabel(const std::string &s)
     return out;
 }
 
-/** One loss level: a label and a DSM_FAULTS-style spec. */
-struct LossLevel
+/** One chaos level: a label and a DSM_FAULTS-style spec. */
+struct ChaosLevel
 {
     std::string label;
     FaultConfig cfg;
     std::string spec;
 };
 
-LossLevel
+ChaosLevel
 makeLevel(std::string label, std::string spec)
 {
-    LossLevel lv;
+    ChaosLevel lv;
     lv.label = std::move(label);
     lv.spec = std::move(spec);
     std::string err = lv.cfg.parse(lv.spec);
     if (!err.empty())
-        dsm_fatal("loss level '%s': %s", lv.label.c_str(), err.c_str());
+        dsm_fatal("chaos level '%s': %s", lv.label.c_str(),
+                  err.c_str());
     return lv;
 }
 
@@ -112,39 +112,48 @@ int
 main(int argc, char **argv)
 {
     int jobs = parseJobsFlag(argc, argv);
-    int nseeds = parseSeedsFlag(argc, argv, 5);
+    int nseeds = parseSeedsFlag(argc, argv, 8);
     std::uint64_t base = parseSeedFlag(argc, argv);
     if (base == 0)
         base = seedFromEnv();
     if (base == 0)
         base = 1;
     // Seeds and fault plans are assigned per point; consume the global
-    // overrides so Experiment::run() does not flatten them again
-    // (DSM_FAULTS stays visible to it, but then it re-applies the same
-    // single level everywhere, which is exactly what a repro wants).
+    // overrides so Experiment::run() does not flatten them again.
     unsetenv("DSM_SEED");
 
-    // The loss axis: pure random loss at two rates, then the same loss
-    // plus seeded flaky-link episodes with quarantine armed. DSM_FAULTS
+    // The chaos axis: every channel fault armed at once, escalating.
+    // "mild" keeps each axis rare, "moderate" raises every rate, and
+    // "heavy+flaky" adds a guaranteed whole-link flaky episode with
+    // quarantine plus the LL reservation age bound. DSM_FAULTS
     // replaces the axis with a single custom level.
-    std::vector<LossLevel> levels;
+    std::vector<ChaosLevel> levels;
     FaultConfig env = faultConfigFromEnv();
     if (env.enabled) {
-        LossLevel lv;
+        ChaosLevel lv;
         lv.label = "custom";
         lv.cfg = env;
         lv.spec = env.summary();
         levels.push_back(std::move(lv));
     } else {
         levels.push_back(makeLevel(
-            "2e-4", "drop_prob=0.0002,req_timeout=2000"));
+            "mild",
+            "jitter_prob=0.001,jitter_max=8,drop_prob=0.0002,"
+            "reorder_prob=0.0005,reorder_max=16,dup_prob=0.0005,"
+            "dup_delay=32,corrupt_prob=0.0002,req_timeout=2000"));
         levels.push_back(makeLevel(
-            "1e-3", "drop_prob=0.001,req_timeout=2000"));
+            "moderate",
+            "jitter_prob=0.002,jitter_max=16,drop_prob=0.0005,"
+            "reorder_prob=0.001,reorder_max=32,dup_prob=0.001,"
+            "dup_delay=64,corrupt_prob=0.0005,req_timeout=2000"));
         levels.push_back(makeLevel(
-            "1e-3+flaky",
-            "drop_prob=0.001,flaky_links=1,flaky_window=50000,"
-            "flaky_duration=50000,flaky_drop_prob=1,req_timeout=2000,"
-            "quarantine_k=2,quarantine_window=1000000000"));
+            "heavy+flaky",
+            "jitter_prob=0.005,jitter_max=32,drop_prob=0.001,"
+            "flaky_links=1,flaky_window=50000,flaky_duration=50000,"
+            "flaky_drop_prob=1,quarantine_k=2,"
+            "quarantine_window=1000000000,reorder_prob=0.002,"
+            "reorder_max=64,dup_prob=0.002,dup_delay=128,"
+            "corrupt_prob=0.001,resv_max_age=200000,req_timeout=2000"));
     }
 
     Config cfg0;
@@ -153,8 +162,8 @@ main(int argc, char **argv)
     cfg0.machine.mesh_y = 4;
     cfg0.machine.retry_jitter = 4;
 
-    Experiment ex("recovery_sweep", cfg0);
-    ex.title(csprintf("Message-loss recovery campaign: lock-free "
+    Experiment ex("chaos_sweep", cfg0);
+    ex.title(csprintf("Faulty-channel chaos campaign: lock-free "
                       "counter, p=16, c=8, %zu level(s), %d seed(s) "
                       "from %llu",
                       levels.size(), nseeds, (unsigned long long)base))
@@ -162,19 +171,21 @@ main(int argc, char **argv)
         .meta("seeds", nseeds)
         .meta("levels", static_cast<int>(levels.size()))
         .rowKey("impl")
-        .colKey("loss")
+        .colKey("chaos")
         .table(false);
 
     std::mutex fail_mutex;
     std::vector<Failure> failures;
     std::atomic<std::uint64_t> total_drops{0};
     std::atomic<std::uint64_t> total_retransmits{0};
-    std::atomic<std::uint64_t> total_replayed{0};
-    std::atomic<std::uint64_t> total_quarantined{0};
+    std::atomic<std::uint64_t> total_reorders{0};
+    std::atomic<std::uint64_t> total_dups{0};
+    std::atomic<std::uint64_t> total_corruptions{0};
+    std::atomic<std::uint64_t> total_watchdog_trips{0};
 
     std::size_t index = 0;
     for (const ImplCase &impl : applicationMatrix()) {
-        for (const LossLevel &lv : levels) {
+        for (const ChaosLevel &lv : levels) {
             for (int k = 0; k < nseeds; ++k, ++index) {
                 Config cfg = ex.configFor(impl);
                 cfg.machine.seed =
@@ -182,9 +193,9 @@ main(int argc, char **argv)
                 cfg.faults = lv.cfg;
                 // Phase-sum validation rides along on every point.
                 cfg.txn_trace.enabled = true;
-                // Forward-progress bounds: loss stretches transactions
-                // by recovery timeouts, so the age bound is generous,
-                // but a trip still means livelock, not slowness.
+                // Forward-progress bounds: chaos stretches transactions
+                // by recovery timeouts and skew, so the age bound is
+                // generous, but a trip still means livelock.
                 cfg.watchdog.enabled = true;
                 cfg.watchdog.max_retries = 100000;
                 cfg.watchdog.max_txn_age = 5'000'000;
@@ -202,9 +213,8 @@ main(int argc, char **argv)
                         CounterAppConfig app;
                         app.kind = CounterKind::LOCK_FREE;
                         app.prim = impl.prim;
-                        // Loss rates are per message: the run must be
-                        // long enough that every level expects many
-                        // drops (tens of thousands of messages).
+                        // Rates are per message: the run must be long
+                        // enough that every axis expects many events.
                         app.contention = 8;
                         app.phases = 64;
                         CounterAppResult r = runCounterApp(sys, app);
@@ -212,6 +222,8 @@ main(int argc, char **argv)
                         std::vector<std::string> problems;
                         if (!r.completed) {
                             const Watchdog &wd = sys.watchdogState();
+                            if (wd.tripped())
+                                ++total_watchdog_trips;
                             problems.push_back(
                                 wd.tripped()
                                     ? wd.diagnosis()
@@ -241,8 +253,9 @@ main(int argc, char **argv)
                             sys.recoveryState().counters();
                         total_drops += rctr.drops;
                         total_retransmits += rctr.retransmits;
-                        total_replayed += rctr.dup_replayed;
-                        total_quarantined += rctr.links_quarantined;
+                        total_reorders += fctr.msg_reorders;
+                        total_dups += fctr.msg_dups;
+                        total_corruptions += fctr.msg_corruptions;
 
                         PointResult res;
                         res.value = r.avg_cycles_per_update;
@@ -256,25 +269,28 @@ main(int argc, char **argv)
                             .set("nacks", agg.nacks)
                             .set("msg_drops", fctr.msg_drops)
                             .set("flaky_drops", fctr.flaky_drops)
+                            .set("msg_reorders", fctr.msg_reorders)
+                            .set("msg_dups", fctr.msg_dups)
+                            .set("msg_corruptions",
+                                 fctr.msg_corruptions)
                             .set("drops", rctr.drops)
-                            .set("req_drops", rctr.req_drops)
-                            .set("reply_drops", rctr.reply_drops)
                             .set("retransmits", rctr.retransmits)
                             .set("retransmit_covered",
                                  rctr.retransmit_covered)
                             .set("quarantine_covered",
                                  rctr.quarantine_covered)
-                            .set("dup_replayed", rctr.dup_replayed)
-                            .set("dup_reprocessed",
-                                 rctr.dup_reprocessed)
+                            .set("corrupt_detected",
+                                 rctr.corrupt_detected)
+                            .set("dups_absorbed", rctr.dups_absorbed)
+                            .set("reorders_delivered",
+                                 rctr.reorders_delivered)
                             .set("links_quarantined",
                                  rctr.links_quarantined)
-                            .set("nacks_lost", rctr.nacks_lost)
                             .set("stale_replies", rctr.stale_replies);
 
                         if (!problems.empty()) {
                             std::string report = csprintf(
-                                "recovery_sweep failure: impl=%s "
+                                "chaos_sweep failure: impl=%s "
                                 "level=%s seed=%llu\n"
                                 "fault spec: %s\n",
                                 impl.label.c_str(), level.c_str(),
@@ -299,7 +315,7 @@ main(int argc, char **argv)
     std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
     for (const Failure &f : failures) {
         std::string path = csprintf(
-            "%s/WATCHDOG_recovery_sweep_%zu_%s_%s_%llu.txt", d.c_str(),
+            "%s/WATCHDOG_chaos_sweep_%zu_%s_%s_%llu.txt", d.c_str(),
             f.index, fileLabel(f.impl).c_str(),
             fileLabel(f.level).c_str(), (unsigned long long)f.seed);
         std::ofstream out(path, std::ios::binary);
@@ -311,26 +327,51 @@ main(int argc, char **argv)
     }
 
     std::printf("campaign: %zu points (9 impls x %zu levels x %d "
-                "seeds), %llu drops, %llu retransmits, %llu replays, "
-                "%llu quarantines, %zu failure(s)\n",
+                "seeds), %llu drops, %llu retransmits, %llu reorders, "
+                "%llu dups, %llu corruptions, %llu watchdog trip(s), "
+                "%zu failure(s)\n",
                 ex.numPoints(), levels.size(), nseeds,
                 (unsigned long long)total_drops.load(),
                 (unsigned long long)total_retransmits.load(),
-                (unsigned long long)total_replayed.load(),
-                (unsigned long long)total_quarantined.load(),
+                (unsigned long long)total_reorders.load(),
+                (unsigned long long)total_dups.load(),
+                (unsigned long long)total_corruptions.load(),
+                (unsigned long long)total_watchdog_trips.load(),
                 failures.size());
-    // The campaign must actually exercise the machinery it certifies:
-    // a silently loss-free "pass" would prove nothing.
-    if (total_drops.load() == 0 || total_retransmits.load() == 0) {
-        std::printf("campaign error: no drops/retransmits were "
-                    "exercised; the loss axis is miswired\n");
+    // The campaign must actually exercise every axis it certifies: a
+    // silently fault-free "pass" would prove nothing. Only axes some
+    // level actually arms are asserted — a single-axis DSM_FAULTS
+    // repro must not fail on the axes it deliberately left off.
+    bool arm_loss = false, arm_reorder = false, arm_dup = false,
+         arm_corrupt = false;
+    for (const ChaosLevel &lv : levels) {
+        arm_loss |= lv.cfg.msg_drop_prob > 0.0 || lv.cfg.flaky_links > 0;
+        arm_reorder |= lv.cfg.reorder_prob > 0.0;
+        arm_dup |= lv.cfg.dup_prob > 0.0;
+        arm_corrupt |= lv.cfg.corrupt_prob > 0.0;
+    }
+    bool drops_expected = arm_loss || arm_corrupt;
+    if ((drops_expected &&
+         (total_drops.load() == 0 || total_retransmits.load() == 0)) ||
+        (arm_reorder && total_reorders.load() == 0) ||
+        (arm_dup && total_dups.load() == 0) ||
+        (arm_corrupt && total_corruptions.load() == 0)) {
+        std::printf("campaign error: some chaos axis injected nothing "
+                    "(drops %llu, retransmits %llu, reorders %llu, "
+                    "dups %llu, corruptions %llu); the axis is "
+                    "miswired\n",
+                    (unsigned long long)total_drops.load(),
+                    (unsigned long long)total_retransmits.load(),
+                    (unsigned long long)total_reorders.load(),
+                    (unsigned long long)total_dups.load(),
+                    (unsigned long long)total_corruptions.load());
         return 1;
     }
     if (!failures.empty()) {
         // The fault spec is part of the point's identity: repeat it
         // verbatim so the repro rebuilds the exact fault stream.
         const Failure &f = failures.front();
-        std::printf("reproduce with: DSM_FAULTS='%s' recovery_sweep "
+        std::printf("reproduce with: DSM_FAULTS='%s' chaos_sweep "
                     "--seeds 1 --seed %llu\n",
                     f.spec.c_str(), (unsigned long long)f.seed);
         return 1;

@@ -14,8 +14,10 @@
  * The campaign uses machine seeds BASE..BASE+K-1; the fault stream of
  * each point derives from its machine seed, so every point exercises a
  * different schedule and any failure reproduces from its row's "seed"
- * field alone. On failure a WATCHDOG_fault_sweep_<impl>_<seed>.txt
- * diagnosis dump is written next to BENCH_fault_sweep.json.
+ * field alone. On failure a WATCHDOG_fault_sweep_<point-index>_
+ * <impl>_<seed>.txt diagnosis dump is written next to
+ * BENCH_fault_sweep.json (the point index keeps dumps collision-free
+ * under --jobs N and repeated impl/seed combinations).
  */
 
 #include <atomic>
@@ -72,6 +74,7 @@ fileLabel(const std::string &s)
 
 struct Failure
 {
+    std::size_t index;
     std::string impl;
     std::uint64_t seed;
     std::string report;
@@ -122,8 +125,9 @@ main(int argc, char **argv)
     std::vector<Failure> failures;
     std::atomic<std::uint64_t> total_injected{0};
 
+    std::size_t index = 0;
     for (const ImplCase &impl : applicationMatrix()) {
-        for (int k = 0; k < nseeds; ++k) {
+        for (int k = 0; k < nseeds; ++k, ++index) {
             Config cfg = ex.configFor(impl);
             cfg.machine.seed = base + static_cast<std::uint64_t>(k);
             cfg.watchdog.enabled = true;
@@ -131,10 +135,11 @@ main(int argc, char **argv)
             cfg.watchdog.max_txn_age = 5'000'000;
             cfg.watchdog.scan_period = 50'000;
             std::uint64_t seed = cfg.machine.seed;
+            std::size_t idx = index;
             ex.point(
                 impl.label, csprintf("%llu", (unsigned long long)seed),
                 cfg,
-                [&, impl, seed](System &sys) {
+                [&, impl, seed, idx](System &sys) {
                     CounterAppConfig app;
                     app.kind = CounterKind::LOCK_FREE;
                     app.prim = impl.prim;
@@ -194,7 +199,7 @@ main(int argc, char **argv)
                             report += p + "\n";
                         std::lock_guard<std::mutex> g(fail_mutex);
                         failures.push_back(
-                            Failure{impl.label, seed, report});
+                            Failure{idx, impl.label, seed, report});
                     }
                     return res;
                 });
@@ -207,8 +212,8 @@ main(int argc, char **argv)
     std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
     for (const Failure &f : failures) {
         std::string path =
-            csprintf("%s/WATCHDOG_fault_sweep_%s_%llu.txt", d.c_str(),
-                     fileLabel(f.impl).c_str(),
+            csprintf("%s/WATCHDOG_fault_sweep_%zu_%s_%llu.txt",
+                     d.c_str(), f.index, fileLabel(f.impl).c_str(),
                      (unsigned long long)f.seed);
         std::ofstream out(path, std::ios::binary);
         if (out)

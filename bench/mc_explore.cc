@@ -11,6 +11,14 @@
  *   - 2 nodes, 2 ops/proc, no loss   (the CI smoke configuration)
  *   - 3 nodes, 1 op/proc,  no loss
  *   - 2 nodes, 1 op/proc,  loss budget 1 (recovery layer exercised)
+ *   - 2 nodes, 1 op/proc,  reorder budget 1 (bounded-skew delivery)
+ *   - 2 nodes, 1 op/proc,  duplication budget 1 (replayed copies)
+ *   - 2 nodes, 1 op/proc,  all three faulty-channel budgets combined
+ *
+ * Beyond the 3x3 application matrix, the INVd (CAS-deny) and INVs
+ * (CAS-share) directory variants run the same points: their distinct
+ * failed-CAS reply paths (CAS_FAIL vs CAS_FAIL_S) carry their own
+ * dedup/replay rules.
  */
 
 #include <cstdio>
@@ -31,6 +39,8 @@ struct McPoint
     int nodes;
     int ops;
     int loss;
+    int reorder;
+    int dup;
 };
 
 std::string
@@ -65,9 +75,12 @@ int
 main()
 {
     const McPoint points[] = {
-        { "2n2op", 2, 2, 0 },
-        { "3n1op", 3, 1, 0 },
-        { "2n1op+loss", 2, 1, 1 },
+        { "2n2op", 2, 2, 0, 0, 0 },
+        { "3n1op", 3, 1, 0, 0, 0 },
+        { "2n1op+loss", 2, 1, 1, 0, 0 },
+        { "2n1op+reorder", 2, 1, 0, 1, 0 },
+        { "2n1op+dup", 2, 1, 0, 0, 1 },
+        { "2n1op+chaos", 2, 1, 1, 1, 1 },
     };
 
     BenchReport report("mc_explore");
@@ -75,8 +88,21 @@ main()
                 "exhaustive small-config exploration of the pure "
                 "transition functions");
 
+    // The 3x3 application matrix plus the CAS directory variants: INVd
+    // denies sharing on failed CAS, INVs grants a shared copy — each
+    // has its own reply class and dedup-replay rules to model-check.
+    std::vector<ImplCase> impls = applicationMatrix();
+    {
+        SyncConfig sc;
+        sc.policy = SyncPolicy::INV;
+        sc.cas_variant = CasVariant::DENY;
+        impls.push_back({"INVd CAS", Primitive::CAS, sc});
+        sc.cas_variant = CasVariant::SHARE;
+        impls.push_back({"INVs CAS", Primitive::CAS, sc});
+    }
+
     bool ok = true;
-    for (const ImplCase &impl : applicationMatrix()) {
+    for (const ImplCase &impl : impls) {
         for (const McPoint &pt : points) {
             Config cfg;
             cfg.sync = impl.sync;
@@ -84,6 +110,8 @@ main()
             cfg.mc.nodes = pt.nodes;
             cfg.mc.ops_per_proc = pt.ops;
             cfg.mc.loss_budget = pt.loss;
+            cfg.mc.reorder_budget = pt.reorder;
+            cfg.mc.dup_budget = pt.dup;
 
             mc::Result res = mc::explore(cfg);
 
@@ -105,10 +133,14 @@ main()
                 .set("nodes", pt.nodes)
                 .set("ops_per_proc", pt.ops)
                 .set("loss_budget", pt.loss)
+                .set("reorder_budget", pt.reorder)
+                .set("dup_budget", pt.dup)
                 .set("states", (std::uint64_t)res.states)
                 .set("transitions", (std::uint64_t)res.transitions)
                 .set("terminals", (std::uint64_t)res.terminals)
                 .set("losses", (std::uint64_t)res.losses)
+                .set("reorders", (std::uint64_t)res.reorders)
+                .set("dups", (std::uint64_t)res.dups)
                 .set("max_depth", (std::uint64_t)res.max_depth)
                 .set("violations", (std::uint64_t)res.violations.size())
                 .set("completed", res.completed ? 1 : 0);

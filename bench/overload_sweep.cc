@@ -21,7 +21,8 @@
  * DSM_SERVE, when set, replaces the mechanism axis with the given spec
  * as a single mode; DSM_OPENLOOP likewise replaces the load axis. The
  * failure repro line uses exactly these. On failure a
- * WATCHDOG_overload_sweep_<impl>_<mode>_<load>.txt diagnosis dump is
+ * WATCHDOG_overload_sweep_<point-index>_<impl>_<mode>_<load>.txt
+ * (collision-free under --jobs N) diagnosis dump is
  * written next to BENCH_overload_sweep.json.
  */
 
@@ -101,6 +102,7 @@ fileLabel(const std::string &s)
 
 struct Failure
 {
+    std::size_t index;
     std::string impl;
     std::string mode;
     std::string level;
@@ -206,9 +208,11 @@ main(int argc, char **argv)
     std::mutex fail_mutex;
     std::vector<Failure> failures;
 
+    std::size_t index = 0;
     for (const ImplCase &impl : impls) {
         for (const ServeMode &mode : modes) {
             for (const LoadLevel &lv : levels) {
+                ++index;
                 Config cfg = ex.configFor(impl);
                 cfg.machine.seed = seed;
                 cfg.openloop = lv.cfg;
@@ -230,10 +234,11 @@ main(int argc, char **argv)
                 std::string load_spec = lv.spec;
                 std::string level = lv.label;
                 std::string mlabel = mode.label;
+                std::size_t idx = index - 1;
                 ex.point(
                     row, level, cfg,
                     [&, impl, mlabel, level, serve_spec,
-                     load_spec](System &sys) {
+                     load_spec, idx](System &sys) {
                         OpenLoopResult r = runOpenLoop(sys, impl.prim);
 
                         std::vector<std::string> problems;
@@ -324,8 +329,9 @@ main(int argc, char **argv)
                                 report += p + "\n";
                             std::lock_guard<std::mutex> g(fail_mutex);
                             failures.push_back(Failure{
-                                impl.label, mlabel, level, serve_spec,
-                                load_spec, std::move(report)});
+                                idx, impl.label, mlabel, level,
+                                serve_spec, load_spec,
+                                std::move(report)});
                         }
                         return res;
                     });
@@ -465,9 +471,9 @@ main(int argc, char **argv)
     std::string d = dir != nullptr && dir[0] != '\0' ? dir : ".";
     for (const Failure &f : failures) {
         std::string path = csprintf(
-            "%s/WATCHDOG_overload_sweep_%s_%s_%s.txt", d.c_str(),
-            fileLabel(f.impl).c_str(), fileLabel(f.mode).c_str(),
-            fileLabel(f.level).c_str());
+            "%s/WATCHDOG_overload_sweep_%zu_%s_%s_%s.txt", d.c_str(),
+            f.index, fileLabel(f.impl).c_str(),
+            fileLabel(f.mode).c_str(), fileLabel(f.level).c_str());
         std::ofstream out(path, std::ios::binary);
         if (out)
             out << f.report;

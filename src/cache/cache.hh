@@ -117,12 +117,15 @@ class Cache
     /** @name Load-linked reservation (one per cache). @{ */
     bool reservationValid() const { return _resv_valid; }
     Addr reservationAddr() const { return _resv_addr; }
+    /** Tick the reservation was set at (faults.resv_max_age aging). */
+    Tick reservationTick() const { return _resv_tick; }
 
     void
-    setReservation(Addr a)
+    setReservation(Addr a, Tick now = 0)
     {
         _resv_valid = true;
         _resv_addr = blockBase(a);
+        _resv_tick = now;
     }
 
     void clearReservation() { _resv_valid = false; }
@@ -152,6 +155,7 @@ class Cache
 
     bool _resv_valid = false;
     Addr _resv_addr = 0;
+    Tick _resv_tick = 0;
 
     CacheStats _stats;
 };

@@ -55,14 +55,24 @@ System::System(const Config &cfg)
         for (int i = 0; i < n; ++i)
             _home_queues.emplace_back(_cfg.serve.age_limit);
     }
+    _credit_threshold = _cfg.serve.credit_threshold;
     if (_cfg.telemetry.enabled) {
         _telemetry.configure(_cfg.telemetry);
         _telemetry_on = &_telemetry;
         _line_prof_on = &_line_prof;
         _mesh.enableLinkCounters();
         registerTelemetrySeries();
-        _eq.setSampler(_cfg.telemetry.window,
-                       [this](Tick t) { _telemetry.sample(t); });
+        if (_cfg.serve.credit_auto) {
+            // serve.credit_threshold=auto: re-derive the backpressure
+            // threshold from the depth series at each window boundary.
+            _eq.setSampler(_cfg.telemetry.window, [this](Tick t) {
+                _telemetry.sample(t);
+                updateCreditThreshold();
+            });
+        } else {
+            _eq.setSampler(_cfg.telemetry.window,
+                           [this](Tick t) { _telemetry.sample(t); });
+        }
     }
     buildRegistry();
     if (_cfg.machine.spurious_resv_period > 0)
@@ -136,6 +146,17 @@ System::registerTelemetrySeries()
         _telemetry.addDelta("recovery_retransmits",
                             [&rc] { return rc.retransmits; });
     }
+    if (_cfg.serve.credit_auto) {
+        // Home-queue depth series feeding the adaptive credit threshold.
+        // Registered only under credit_threshold=auto so fixed-threshold
+        // serve runs keep their exact telemetry shape.
+        _telemetry.addGauge("serve_queue_depth", [this] {
+            std::uint64_t v = 0;
+            for (const HomeQueue &q : _home_queues)
+                v += q.depth();
+            return v;
+        });
+    }
     if (_cfg.openloop.enabled) {
         const OpenLoopStats &os = _admission.stats();
         _telemetry.addDelta("openloop_admitted",
@@ -151,6 +172,24 @@ System::registerTelemetrySeries()
             return v;
         });
     }
+}
+
+void
+System::updateCreditThreshold()
+{
+    std::vector<std::uint64_t> v =
+        _telemetry.seriesValues("serve_queue_depth");
+    if (v.empty())
+        return;
+    std::uint64_t sum = 0;
+    for (std::uint64_t x : v)
+        sum += x;
+    std::uint64_t mean_ceil =
+        (sum + v.size() - 1) / static_cast<std::uint64_t>(v.size());
+    std::uint64_t threshold = 2 * mean_ceil;
+    if (threshold < 2)
+        threshold = 2;
+    _credit_threshold = static_cast<int>(threshold);
 }
 
 void
@@ -229,6 +268,14 @@ System::buildRegistry()
             _registry.addCounter("fault.msg_drops", &fc.msg_drops);
             _registry.addCounter("fault.flaky_drops", &fc.flaky_drops);
         }
+        // Chaos counters only when a chaos axis is armed, so loss-only
+        // fault runs keep their exact JSON shape.
+        if (_cfg.faults.chaosEnabled()) {
+            _registry.addCounter("fault.msg_reorders", &fc.msg_reorders);
+            _registry.addCounter("fault.msg_dups", &fc.msg_dups);
+            _registry.addCounter("fault.msg_corruptions",
+                                 &fc.msg_corruptions);
+        }
     }
     if (_cfg.faults.recoveryEnabled()) {
         const Recovery::Counters &rc = _recovery.counters();
@@ -256,6 +303,16 @@ System::buildRegistry()
         _registry.addCounter("recovery.dup_stale", &rc.dup_stale);
         _registry.addCounter("recovery.links_quarantined",
                              &rc.links_quarantined);
+        // Faulty-channel ledger: registered only when a chaos axis is
+        // armed, so loss-only recovery runs keep their exact JSON shape.
+        if (_cfg.faults.chaosEnabled()) {
+            _registry.addCounter("recovery.corrupt_detected",
+                                 &rc.corrupt_detected);
+            _registry.addCounter("recovery.dups_absorbed",
+                                 &rc.dups_absorbed);
+            _registry.addCounter("recovery.reorders_delivered",
+                                 &rc.reorders_delivered);
+        }
     }
     if (_cfg.watchdog.enabled)
         _registry.addCounter("fault.watchdog_trips",

@@ -193,6 +193,17 @@ class System
     const ServeStats &serveStats() const { return _serve_stats; }
 
     /**
+     * Current credit-backpressure threshold under
+     * serve.credit_threshold=auto: recomputed at every telemetry window
+     * boundary as twice the mean of the recent per-window home-queue
+     * depth samples, floored at 2 — a queue riding at its recent normal
+     * is left alone, one spiking past twice normal throttles. Before
+     * the first window (or with auto off) it is the configured
+     * credit_threshold.
+     */
+    int adaptiveCreditThreshold() const { return _credit_threshold; }
+
+    /**
      * The time-resolved telemetry sampler, or nullptr when telemetry
      * is off — the usual null-pointer gate. When on, the event queue
      * drives it at every TelemetryConfig::window boundary.
@@ -322,6 +333,15 @@ class System
     /** Register the machine-wide telemetry series (telemetry on only). */
     void registerTelemetrySeries();
 
+    /**
+     * Re-derive the adaptive credit threshold from the retained
+     * serve_queue_depth gauge windows (credit_threshold=auto only).
+     * Called at every telemetry window boundary, after sampling, so the
+     * just-closed window participates: threshold = max(2, 2 * ceil(mean
+     * of retained per-window machine-wide depths)).
+     */
+    void updateCreditThreshold();
+
     Config _cfg;
     EventQueue _eq;
     Mesh _mesh;
@@ -344,6 +364,8 @@ class System
     /** Per-home service queues; sized only when serve.enabled. */
     std::vector<HomeQueue> _home_queues;
     ServeStats _serve_stats;
+    /** Live credit threshold (serve.credit_threshold=auto). */
+    int _credit_threshold = 0;
     /** Non-null only when the corresponding feature is enabled. */
     FaultPlan *_faults_on = nullptr;
     Watchdog *_watchdog_on = nullptr;

@@ -43,6 +43,9 @@ FaultPlan::configure(const FaultConfig &cfg, std::uint64_t machine_seed,
     _nack_ppm = toPpm(cfg.nack_prob);
     _drop_ppm = toPpm(cfg.msg_drop_prob);
     _flaky_ppm = toPpm(cfg.flaky_drop_prob);
+    _reorder_ppm = toPpm(cfg.reorder_prob);
+    _dup_ppm = toPpm(cfg.dup_prob);
+    _corrupt_ppm = toPpm(cfg.corrupt_prob);
     _nack_streak.assign(static_cast<std::size_t>(mc.num_procs), 0);
     _ctr = Counters();
 
@@ -174,6 +177,57 @@ FaultPlan::dropMessage(Tick now, const NodeId *path, int nodes,
     return false;
 }
 
+Tick
+FaultPlan::reorderSkew()
+{
+    if (_reorder_ppm == 0 || !drawChance(_reorder_ppm))
+        return 0;
+    ++_draws;
+    Tick skew = _rng.range(1, _cfg.reorder_max);
+    ++_ctr.msg_reorders;
+    return skew;
+}
+
+Tick
+FaultPlan::duplicateDelay()
+{
+    if (_dup_ppm == 0 || !drawChance(_dup_ppm))
+        return 0;
+    ++_draws;
+    Tick delay = _rng.range(1, _cfg.dup_delay);
+    ++_ctr.msg_dups;
+    return delay;
+}
+
+bool
+FaultPlan::corruptMessage(Msg &m)
+{
+    if (_corrupt_ppm == 0 || !drawChance(_corrupt_ppm))
+        return false;
+    // Flip one seeded bit in one seeded protocol-visible word. Every
+    // corrupted field is covered by Msg::computeChecksum, so the flip
+    // is always detected at ejection. Fixed two draws per hit. The
+    // checksum only covers the data block when the message carries
+    // one, so payload-less messages redirect the data draw to the
+    // value word — a flip must never land outside the checksummed
+    // footprint or the ledger would count an undetectable hit.
+    std::uint64_t field = draw(4);
+    if (field == 3 && !m.has_data)
+        field = 0;
+    std::uint64_t bit = draw(64);
+    std::uint64_t mask = 1ULL << bit;
+    switch (field) {
+      case 0: m.value ^= mask; break;
+      case 1: m.result ^= mask; break;
+      case 2: m.addr ^= mask; break;
+      default:
+        m.data[static_cast<std::size_t>(bit % BLOCK_WORDS)] ^= mask;
+        break;
+    }
+    ++_ctr.msg_corruptions;
+    return true;
+}
+
 std::string
 FaultConfig::parse(const std::string &spec)
 {
@@ -242,6 +296,18 @@ FaultConfig::parse(const std::string &spec)
             out.quarantine_k = static_cast<int>(d);
         } else if (key == "quarantine_window") {
             out.quarantine_window = static_cast<Tick>(d);
+        } else if (key == "reorder_prob") {
+            out.reorder_prob = d;
+        } else if (key == "reorder_max") {
+            out.reorder_max = static_cast<Tick>(d);
+        } else if (key == "dup_prob") {
+            out.dup_prob = d;
+        } else if (key == "dup_delay") {
+            out.dup_delay = static_cast<Tick>(d);
+        } else if (key == "corrupt_prob") {
+            out.corrupt_prob = d;
+        } else if (key == "resv_max_age") {
+            out.resv_max_age = static_cast<Tick>(d);
         } else {
             return csprintf("unknown fault spec key '%s'", key.c_str());
         }
@@ -274,6 +340,18 @@ FaultConfig::summary() const
                       quarantine_k,
                       (unsigned long long)quarantine_window);
     }
+    // Faulty-channel keys likewise appear only when a chaos axis is
+    // armed, keeping pre-existing summaries byte-identical.
+    if (chaosEnabled()) {
+        s += csprintf(",reorder_prob=%g,reorder_max=%llu,dup_prob=%g,"
+                      "dup_delay=%llu,corrupt_prob=%g",
+                      reorder_prob, (unsigned long long)reorder_max,
+                      dup_prob, (unsigned long long)dup_delay,
+                      corrupt_prob);
+    }
+    if (resv_max_age != 0)
+        s += csprintf(",resv_max_age=%llu",
+                      (unsigned long long)resv_max_age);
     return s;
 }
 

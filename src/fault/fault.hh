@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "net/msg.hh"
 #include "sim/config.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
@@ -46,6 +47,14 @@ namespace dsm {
  *    recovery layer covers — requests to the home and replies back —
  *    and require FaultConfig::req_timeout, so every loss is recoverable
  *    by retransmission (fault/recovery.hh keeps the ledger).
+ *  - Reordering and duplication are confined to the sequence-guarded
+ *    message classes (net/msg.hh sequenceGuarded): the epoch/sequence
+ *    guards absorb a stale or replayed delivery without re-executing
+ *    it, and every other class keeps per-link FIFO reliable delivery.
+ *  - Payload corruption is confined to the droppable legs and always
+ *    detected: the mesh stamps a checksum at send and verifies it at
+ *    ejection, converting a corruption into a detected drop that the
+ *    retransmission ledger already covers.
  */
 class FaultPlan
 {
@@ -62,6 +71,12 @@ class FaultPlan
         std::uint64_t msg_drops = 0;
         /** Messages dropped by an active flaky-link episode. */
         std::uint64_t flaky_drops = 0;
+        /** Deliveries injected out of per-dst FIFO order. */
+        std::uint64_t msg_reorders = 0;
+        /** Injected duplicate (replayed) deliveries. */
+        std::uint64_t msg_dups = 0;
+        /** Messages whose payload was bit-flipped in flight. */
+        std::uint64_t msg_corruptions = 0;
     };
 
     /** One seeded whole-link loss episode (directed mesh link). */
@@ -108,6 +123,39 @@ class FaultPlan
         return _drop_ppm != 0 || !_episodes.empty();
     }
 
+    /** True when a faulty-channel axis (reorder/dup/corrupt) is armed. */
+    bool chaosArmed() const
+    {
+        return _reorder_ppm != 0 || _dup_ppm != 0 || _corrupt_ppm != 0;
+    }
+    bool reorderArmed() const { return _reorder_ppm != 0; }
+    bool dupArmed() const { return _dup_ppm != 0; }
+    bool corruptArmed() const { return _corrupt_ppm != 0; }
+
+    /**
+     * Deliver this guarded message out of FIFO order? Returns the
+     * bounded extra skew to add past the per-dst ejection reservation
+     * (1..reorder_max), or 0 for an in-order delivery. Draws from the
+     * stream only when the reorder axis is armed, so pre-existing
+     * configs see an unchanged fault stream.
+     */
+    Tick reorderSkew();
+
+    /**
+     * Replay this guarded message after delivery? Returns the seeded
+     * replay delay (1..dup_delay), or 0 for no duplicate. Draws only
+     * when the duplication axis is armed.
+     */
+    Tick duplicateDelay();
+
+    /**
+     * Corrupt this droppable message in flight? On a hit, flips one
+     * seeded bit in one seeded protocol-visible field of @p m (so the
+     * stamped checksum no longer verifies) and returns true. Draws only
+     * when the corruption axis is armed.
+     */
+    bool corruptMessage(Msg &m);
+
     /**
      * Drop this droppable message? @p path holds the nodes visited in
      * route order (path[0] = src). Flaky-link episodes are consulted
@@ -143,6 +191,9 @@ class FaultPlan
     std::uint64_t _nack_ppm = 0;
     std::uint64_t _drop_ppm = 0;
     std::uint64_t _flaky_ppm = 0;
+    std::uint64_t _reorder_ppm = 0;
+    std::uint64_t _dup_ppm = 0;
+    std::uint64_t _corrupt_ppm = 0;
     std::vector<FlakyEpisode> _episodes;
     /** Consecutive injected NACKs per requester, for the cap. */
     std::vector<int> _nack_streak;

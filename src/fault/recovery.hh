@@ -70,6 +70,18 @@ class Recovery
 
         /** Mesh links quarantined (never un-quarantined within a run). */
         std::uint64_t links_quarantined = 0;
+
+        /** @name Faulty-channel ledger (reorder/dup/corrupt axes). @{ */
+        /** Injected corruptions caught by the ejection checksum verify
+         *  (quiesced: == fault.msg_corruptions — zero escaped). */
+        std::uint64_t corrupt_detected = 0;
+        /** Injected duplicate deliveries absorbed by an epoch/sequence
+         *  guard without re-execution (quiesced: == fault.msg_dups). */
+        std::uint64_t dups_absorbed = 0;
+        /** Out-of-FIFO deliveries that reached their destination
+         *  (quiesced: == fault.msg_reorders — none were lost). */
+        std::uint64_t reorders_delivered = 0;
+        /** @} */
     };
 
     /**

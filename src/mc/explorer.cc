@@ -68,6 +68,8 @@ struct World
     /** A message owned by node i was lost; its timeout has not fired. */
     std::vector<bool> lost;
     int loss_left = 0;
+    int reorder_left = 0;
+    int dup_left = 0;
     /** Table 1 facts for each node's in-flight operation. */
     std::vector<ChainFact> fact;
 };
@@ -83,9 +85,20 @@ struct Transition
      * some heads singly, then combine the rest), so one maximal
      * COMBINE per state spans the subset space without blow-up.
      */
-    enum Kind { ISSUE, DELIVER, RETRY, TIMEOUT, DROP, COMBINE } kind;
+    /**
+     * REORDER (mc.reorder_budget) delivers a sequence-guarded message
+     * sitting *behind* the head of its channel, modeling the mesh's
+     * bounded-skew fault that bypasses the FIFO ejection reservation.
+     * DUPLICATE (mc.dup_budget) delivers a replayed-flagged copy of a
+     * sequence-guarded channel head while the original stays queued —
+     * the epoch/sequence guards must absorb the copy regardless of
+     * which of the two is processed first.
+     */
+    enum Kind { ISSUE, DELIVER, RETRY, TIMEOUT, DROP, COMBINE,
+                REORDER, DUPLICATE } kind;
     int a = 0; ///< node, or channel src
     int b = 0; ///< channel dst
+    int c = 0; ///< in-channel index (REORDER only)
 };
 
 /** True if @p m may lead a home combining batch (FAP requests only). */
@@ -175,15 +188,28 @@ class Explorer : public tf::StepCtx
         _cfg.machine.cache_ways = 1;
         _cfg.txn_trace.enabled = true;
         _cfg.faults = FaultConfig{};
-        if (user.mc.loss_budget > 0) {
+        if (user.mc.loss_budget > 0 || user.mc.reorder_budget > 0 ||
+            user.mc.dup_budget > 0) {
+            // Reordering and duplication are only observable on
+            // sequence-stamped messages, so every faulty-channel budget
+            // arms the recovery layer (sequence guards + dedup tables).
             _cfg.faults.enabled = true;
             _cfg.faults.req_timeout = 100;
+        }
+        if (user.mc.reorder_budget > 0) {
+            // Arms FaultConfig::reorderPossible() so the pure
+            // transitions track fill races exactly as a chaos run does
+            // (no FaultPlan is built here — the probability itself is
+            // never drawn).
+            _cfg.faults.reorder_prob = 1.0;
         }
         _n = _cfg.machine.num_procs;
         _ops = user.mc.ops_per_proc;
         _prim = user.mc.primitive;
         _max_states = user.mc.max_states;
         _budget = user.mc.loss_budget;
+        _reorder_budget = user.mc.reorder_budget;
+        _dup_budget = user.mc.dup_budget;
         _combining = user.mc.combining;
         _home = static_cast<NodeId>((MC_BLOCK / BLOCK_BYTES) %
                                     static_cast<Addr>(_n));
@@ -270,6 +296,8 @@ class Explorer : public tf::StepCtx
     Primitive _prim = Primitive::FAP;
     std::uint64_t _max_states = 0;
     int _budget = 0;
+    int _reorder_budget = 0;
+    int _dup_budget = 0;
     bool _combining = false;
     /** Home node of the modeled block (block-interleaved). */
     NodeId _home = 0;
@@ -295,6 +323,8 @@ Explorer::initialWorld() const
     w.retry_token.assign(static_cast<std::size_t>(_n), false);
     w.lost.assign(static_cast<std::size_t>(_n), false);
     w.loss_left = _budget;
+    w.reorder_left = _reorder_budget;
+    w.dup_left = _dup_budget;
     w.fact.resize(static_cast<std::size_t>(_n));
     return w;
 }
@@ -348,6 +378,29 @@ Explorer::enabled(const World &w) const
                 if (recoverableRequest(m.type) ||
                     recoverableReply(m.type))
                     out.push_back({Transition::DROP, s, d});
+            }
+        }
+    }
+    if (w.reorder_left > 0) {
+        for (int s = 0; s < _n; ++s) {
+            for (int d = 0; d < _n; ++d) {
+                const auto &c =
+                    w.chan[static_cast<std::size_t>(s) * _n + d];
+                for (std::size_t i = 1; i < c.size(); ++i)
+                    if (sequenceGuarded(c[i].type) && c[i].seq != 0)
+                        out.push_back({Transition::REORDER, s, d,
+                                       static_cast<int>(i)});
+            }
+        }
+    }
+    if (w.dup_left > 0) {
+        for (int s = 0; s < _n; ++s) {
+            for (int d = 0; d < _n; ++d) {
+                const auto &c =
+                    w.chan[static_cast<std::size_t>(s) * _n + d];
+                if (!c.empty() && sequenceGuarded(c.front().type) &&
+                    c.front().seq != 0)
+                    out.push_back({Transition::DUPLICATE, s, d});
             }
         }
     }
@@ -565,6 +618,36 @@ Explorer::apply(World &w, const Transition &t)
         w.lost[static_cast<std::size_t>(owner)] = true;
         break;
       }
+      case Transition::REORDER: {
+        // Deliver a message from behind the channel head: the mesh's
+        // bounded-skew fault lets it bypass the FIFO ejection
+        // reservation of everything queued ahead of it.
+        auto &c = w.chan[static_cast<std::size_t>(t.a) * _n + t.b];
+        Msg m = c[static_cast<std::size_t>(t.c)];
+        m.reordered = true;
+        c.erase(c.begin() + t.c);
+        --w.reorder_left;
+        ++_result.reorders;
+        tf::StepResult r = tf::step(envFor(t.b), w.node[t.b], m);
+        w.node[t.b] = std::move(r.next);
+        commit(w, t.b, std::move(r.out));
+        break;
+      }
+      case Transition::DUPLICATE: {
+        // Deliver a replayed-flagged copy of the head while the
+        // original stays queued: the sequence guards must absorb the
+        // copy without re-driving the protocol, in either order.
+        const auto &c = w.chan[static_cast<std::size_t>(t.a) * _n + t.b];
+        Msg dup = c.front();
+        dup.replayed = true;
+        dup.reordered = false;
+        --w.dup_left;
+        ++_result.dups;
+        tf::StepResult r = tf::step(envFor(t.b), w.node[t.b], dup);
+        w.node[t.b] = std::move(r.next);
+        commit(w, t.b, std::move(r.out));
+        break;
+      }
       case Transition::COMBINE: {
         // Pop every combinable head in src order, run each member
         // through the home's dedup exactly as the controller does, and
@@ -688,6 +771,7 @@ Explorer::canonical(const World &w) const
             encU(k, t.resp_success ? 1 : 0);
             encU(k, t.resp_serial);
             encU(k, static_cast<std::uint64_t>(t.max_chain));
+            encU(k, static_cast<std::uint64_t>(t.fill_raced));
             if (t.waiting) {
                 encU(k, rankOf(ranks, i, t.seq));
                 encU(k, static_cast<std::uint64_t>(t.attempt));
@@ -746,6 +830,8 @@ Explorer::canonical(const World &w) const
             encMsg(k, m, ranks);
     }
     encU(k, static_cast<std::uint64_t>(w.loss_left));
+    encU(k, static_cast<std::uint64_t>(w.reorder_left));
+    encU(k, static_cast<std::uint64_t>(w.dup_left));
     return k;
 }
 

@@ -10,7 +10,11 @@
  * FIFO, matching the mesh's in-order delivery; only channel heads are
  * deliverable). Optionally it also branches on losing any single
  * droppable message (loss budget 1), with the recovery layer's timeout
- * retransmissions modeled as always-eventually firing.
+ * retransmissions modeled as always-eventually firing; on delivering
+ * any single sequence-guarded message ahead of its channel (reorder
+ * budget 1, modeling the mesh's bounded-skew fault); and on delivering
+ * a replayed-flagged copy of any single sequence-guarded message while
+ * the original stays queued (duplication budget 1).
  *
  * In every reachable state it checks:
  *  - coherence safety: at most one exclusive copy, no exclusive copy
@@ -58,6 +62,8 @@ struct Result
     std::uint64_t transitions = 0; ///< transitions executed
     std::uint64_t terminals = 0;   ///< quiescent all-done states
     std::uint64_t losses = 0;      ///< loss branches explored
+    std::uint64_t reorders = 0;    ///< out-of-order delivery branches
+    std::uint64_t dups = 0;        ///< duplicate delivery branches
     std::uint64_t combines = 0;    ///< combined-batch branches explored
     std::uint64_t max_depth = 0;   ///< deepest DFS path
     std::vector<Violation> violations;

@@ -156,8 +156,8 @@ Mesh::send(const Msg &msg)
     dsm_assert(msg.src >= 0 && msg.src < _cfg.num_procs &&
                msg.dst >= 0 && msg.dst < _cfg.num_procs,
                "bad endpoints %d -> %d", msg.src, msg.dst);
-    Handler &h = _handlers[msg.dst];
-    dsm_assert(h != nullptr, "no handler at node %d", msg.dst);
+    dsm_assert(_handlers[msg.dst] != nullptr, "no handler at node %d",
+               msg.dst);
 
     Tick now = _eq.now();
     Msg m = msg;
@@ -178,26 +178,32 @@ Mesh::send(const Msg &msg)
     if (m.txn_id != 0 && _txns != nullptr)
         _txns->noteSend(m.txn_id);
 
-    // When the lambda runs, _eq.now() is the delivery tick.
-    auto deliver_fn = [this, &h, tr, m] {
-        if (tr != nullptr && tr->on(TraceCat::MSG_RECV)) {
-            TraceEvent ev;
-            ev.tick = _eq.now();
-            ev.cat = TraceCat::MSG_RECV;
-            ev.node = static_cast<std::int16_t>(m.dst);
-            ev.peer = static_cast<std::int16_t>(m.src);
-            ev.op = static_cast<std::uint8_t>(m.type);
-            ev.addr = m.addr;
-            ev.flow = m.trace_id;
-            tr->record(ev);
-        }
-        h(m);
+    // When the scheduled lambda runs, _eq.now() is the delivery tick.
+    // Injected duplicate replays reuse this path with the replayed
+    // flag set; a reordered delivery is counted here so the ledger's
+    // reorders_delivered reconciles against the injector's draw count.
+    auto schedule_delivery = [this, tr](Tick at, const Msg &dm) {
+        _eq.schedule(at, [this, tr, dm] {
+            if (tr != nullptr && tr->on(TraceCat::MSG_RECV)) {
+                TraceEvent ev;
+                ev.tick = _eq.now();
+                ev.cat = TraceCat::MSG_RECV;
+                ev.node = static_cast<std::int16_t>(dm.dst);
+                ev.peer = static_cast<std::int16_t>(dm.src);
+                ev.op = static_cast<std::uint8_t>(dm.type);
+                ev.addr = dm.addr;
+                ev.flow = dm.trace_id;
+                tr->record(ev);
+            }
+            if (dm.reordered && _recovery != nullptr)
+                ++_recovery->counters().reorders_delivered;
+            _handlers[dm.dst](dm);
+        });
     };
 
     if (m.src == m.dst) {
         ++_stats.local;
-        Tick at = now + _cfg.local_latency;
-        _eq.schedule(at, std::move(deliver_fn));
+        schedule_delivery(now + _cfg.local_latency, m);
         return;
     }
 
@@ -211,14 +217,19 @@ Mesh::send(const Msg &msg)
     // In-flight time: head latency over the dimension-order path.
     int nhops = hops(m.src, m.dst);
 
-    // Only a consumer — armed message loss, or per-link telemetry —
+    // Only a consumer — armed message loss, corruption (which needs a
+    // link to attribute the detected drop to), or per-link telemetry —
     // makes us materialize the path: XY dimension order, falling back
     // to YX (identical hop count, so timing-neutral) when XY would
     // cross a quarantined link.
     bool loss_armed = _faults != nullptr && _faults->lossArmed();
+    bool corrupt_armed = _faults != nullptr && _faults->corruptArmed();
+    bool droppable = _recovery != nullptr && m.seq != 0 &&
+                     (recoverableRequest(m.type) ||
+                      recoverableReply(m.type));
     NodeId path[MAX_PATH_NODES];
     int nnodes = 0;
-    if (loss_armed || !_link_flits.empty()) {
+    if (loss_armed || corrupt_armed || !_link_flits.empty()) {
         nnodes = buildPath(m.src, m.dst, false, path);
         if (_have_quarantine && pathQuarantined(path, nnodes)) {
             NodeId alt[MAX_PATH_NODES];
@@ -241,9 +252,6 @@ Mesh::send(const Msg &msg)
     // injection slot — only the delivery (and the ejection port) never
     // happens.
     if (loss_armed) {
-        bool droppable = _recovery != nullptr && m.seq != 0 &&
-                         (recoverableRequest(m.type) ||
-                          recoverableReply(m.type));
         NodeId lf = INVALID_NODE, lt = INVALID_NODE;
         if (droppable &&
             _faults->dropMessage(now, path, nnodes, lf, lt)) {
@@ -269,6 +277,42 @@ Mesh::send(const Msg &msg)
         }
     }
 
+    // Payload corruption: stamp the checksum the ejection port will
+    // verify, then let the injector flip a protocol-visible bit. A
+    // mismatch at verify turns the corruption into a detected drop —
+    // the message never reaches the protocol, and the retransmission
+    // machinery recovers it like any other loss. Corruption is payload
+    // damage, not a link failure, so it does not feed the quarantine
+    // windows. (If a flip ever eluded the checksum, the corrupted
+    // message would be delivered and the coherence checker would flag
+    // the damage — the ledger's corrupt_detected count is how runs
+    // prove that never happened.)
+    if (corrupt_armed && droppable) {
+        m.checksum = m.computeChecksum();
+        if (_faults->corruptMessage(m) &&
+            m.computeChecksum() != m.checksum) {
+            ++_stats.messages;
+            _stats.flits += flits;
+            _stats.hop_sum += static_cast<std::uint64_t>(nhops);
+            ++_inj_msgs[m.src];
+            _inj_flits[m.src] += flits;
+            ++_recovery->counters().corrupt_detected;
+            _recovery->noteDrop(m, path[0], path[1]);
+            if (tr != nullptr && tr->on(TraceCat::LINK_FAULT)) {
+                TraceEvent ev;
+                ev.tick = now;
+                ev.cat = TraceCat::LINK_FAULT;
+                ev.node = static_cast<std::int16_t>(path[0]);
+                ev.peer = static_cast<std::int16_t>(path[1]);
+                ev.op = static_cast<std::uint8_t>(m.type);
+                ev.addr = m.addr;
+                ev.flow = m.trace_id;
+                tr->record(ev);
+            }
+            return;
+        }
+    }
+
     Tick head_arrive = depart + static_cast<Tick>(nhops) * _cfg.hop_latency;
 
     // Fault injection: bounded arrival jitter, applied before the
@@ -277,10 +321,27 @@ Mesh::send(const Msg &msg)
     if (_faults != nullptr)
         head_arrive += _faults->messageJitter();
 
-    // Ejection port: serialized among messages entering the destination.
-    Tick start = std::max(head_arrive, _ej_free[m.dst]);
-    Tick deliver = start + ser;
-    _ej_free[m.dst] = deliver;
+    // Reordering: a sequence-guarded message may bypass the ejection
+    // port's FIFO reservation with a bounded seeded skew — it neither
+    // waits for the port backlog nor extends the reservation, so
+    // messages sent later can overtake it (and it can overtake the
+    // backlog). Confined to the guarded classes the epoch/sequence
+    // guards absorb; every other class keeps FIFO delivery.
+    bool guarded = _faults != nullptr && _recovery != nullptr &&
+                   m.seq != 0 && sequenceGuarded(m.type);
+    Tick deliver;
+    Tick skew = guarded && _faults->reorderArmed()
+                    ? _faults->reorderSkew() : 0;
+    if (skew != 0) {
+        m.reordered = true;
+        deliver = head_arrive + ser + skew;
+    } else {
+        // Ejection port: serialized among messages entering the
+        // destination.
+        Tick start = std::max(head_arrive, _ej_free[m.dst]);
+        deliver = start + ser;
+        _ej_free[m.dst] = deliver;
+    }
 
     ++_stats.messages;
     _stats.flits += flits;
@@ -289,7 +350,23 @@ Mesh::send(const Msg &msg)
     ++_ej_msgs[m.dst];
     _inj_flits[m.src] += flits;
 
-    _eq.schedule(deliver, std::move(deliver_fn));
+    // Duplication: replay a guarded message a seeded delay after its
+    // original delivery. The replay is scheduled directly — it cannot
+    // itself be dropped, corrupted, or reordered, and the original is
+    // always delivered strictly first (dup_delay >= 1). The replayed
+    // flag lets the guards attribute the absorbed duplicate to the
+    // injection ledger; mesh traffic stats count only the original.
+    if (guarded && _faults->dupArmed()) {
+        Tick delay = _faults->duplicateDelay();
+        if (delay != 0) {
+            Msg dup = m;
+            dup.replayed = true;
+            dup.reordered = false;
+            schedule_delivery(deliver + delay, dup);
+        }
+    }
+
+    schedule_delivery(deliver, m);
 }
 
 } // namespace dsm

@@ -81,6 +81,13 @@ class Mesh
      * bounded arrival jitter. Jitter lands before the ejection-port
      * FIFO reservation, so per-destination delivery order — which the
      * protocol relies on — is preserved. Local messages are exempt.
+     *
+     * With the faulty-channel axes armed the mesh additionally may
+     * reorder (bypass the ejection reservation with bounded skew),
+     * duplicate (replay a delivered message after a seeded delay), or
+     * corrupt (bit-flip, detected by checksum verify and converted
+     * into a drop) — each confined to the sequence-guarded message
+     * classes the protocol's epoch/sequence guards absorb.
      */
     void setFaults(FaultPlan *f) { _faults = f; }
 

@@ -98,4 +98,41 @@ Msg::sizeBytes() const
     return base;
 }
 
+std::uint32_t
+Msg::computeChecksum() const
+{
+    // FNV-1a over the protocol-visible fields. Strong enough to detect
+    // the injected single-bit flips deterministically; the metadata
+    // fields (trace/txn ids, seq, attempt, prio, qdepth, fault flags)
+    // ride outside the checksummed payload by design.
+    std::uint32_t h = 2166136261u;
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= static_cast<std::uint32_t>(v & 0xffu);
+            h *= 16777619u;
+            v >>= 8;
+        }
+    };
+    mix(static_cast<std::uint64_t>(type));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+    mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(requester)));
+    mix(addr);
+    mix(word_addr);
+    mix(static_cast<std::uint64_t>(op));
+    mix(value);
+    mix(expected);
+    mix(result);
+    mix(success ? 1 : 0);
+    mix(serial);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(
+        ack_count)));
+    mix(has_data ? 1 : 0);
+    if (has_data)
+        for (Word w : data)
+            mix(w);
+    return h;
+}
+
 } // namespace dsm

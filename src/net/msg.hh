@@ -207,10 +207,56 @@ struct Msg
      * conceptually a byte in the reply header.
      */
     int qdepth = -1;
+    /**
+     * Checksum over the protocol-visible fields, stamped by Mesh::send
+     * and verified at ejection when corruption faults are armed
+     * (faults.corrupt_prob). A corrupted message fails verification and
+     * is dropped — detected, never delivered — turning corruption into
+     * a loss the retransmission ledger already covers. Metadata only:
+     * excluded from sizeBytes(); conceptually the CRC field real link
+     * headers already carry.
+     */
+    std::uint32_t checksum = 0;
+    /**
+     * Fault-injection provenance flags (faults.dup_prob /
+     * faults.reorder_prob): replayed marks an injected duplicate
+     * delivery, reordered a delivery that bypassed the per-dst FIFO
+     * order. The protocol guards use replayed to attribute an absorbed
+     * duplicate to the injection ledger (Recovery::Counters::
+     * dups_absorbed) instead of the organic stale counters; the mesh
+     * counts reordered deliveries for conservation. Metadata only:
+     * excluded from sizeBytes() and from the checksum.
+     */
+    bool replayed = false;
+    bool reordered = false;
 
     /** Payload size in bytes (excluding the per-message header). */
     unsigned sizeBytes() const;
+
+    /**
+     * Checksum of the protocol-visible fields (everything a corruption
+     * fault may flip: type, routing, address, operands, payload).
+     * Excludes the metadata fields, which conceptually ride in header
+     * bytes outside the checksummed payload.
+     */
+    std::uint32_t computeChecksum() const;
 };
+
+/**
+ * True for the message classes covered by the epoch/sequence guards:
+ * the recoverable requests/replies plus the invalidation and update
+ * acknowledgements a requester collects. Reordering and duplication
+ * fault injection is scoped to exactly these classes — every other
+ * class keeps per-link FIFO, reliable delivery (the model checker's
+ * REORDER/DUPLICATE transitions cover the guarded classes
+ * exhaustively).
+ */
+constexpr bool
+sequenceGuarded(MsgType t)
+{
+    return recoverableRequest(t) || recoverableReply(t) ||
+           t == MsgType::INV_ACK || t == MsgType::UPDATE_ACK;
+}
 
 } // namespace dsm
 

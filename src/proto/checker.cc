@@ -218,7 +218,8 @@ checkFaultAccounting(System &sys)
         std::uint64_t sum = fc.jitter_applied + fc.jitter_cycles +
                             fc.resv_drops + fc.forced_evictions +
                             fc.nacks_injected + fc.msg_drops +
-                            fc.flaky_drops;
+                            fc.flaky_drops + fc.msg_reorders +
+                            fc.msg_dups + fc.msg_corruptions;
         if (sum != 0)
             out.push_back(csprintf("fault injection is disabled but "
                                    "fault counters are nonzero "
@@ -226,7 +227,8 @@ checkFaultAccounting(System &sys)
                                    (unsigned long long)sum));
         std::uint64_t rsum = rc.drops + rc.retransmits +
                              rc.stale_replies + rc.dup_requests +
-                             rc.links_quarantined;
+                             rc.links_quarantined + rc.corrupt_detected +
+                             rc.dups_absorbed + rc.reorders_delivered;
         if (rsum != 0)
             out.push_back(csprintf("fault injection is disabled but "
                                    "recovery counters are nonzero "
@@ -274,11 +276,13 @@ checkFaultAccounting(System &sys)
     // on a quiesced system every drop is covered — by a retransmission
     // or by the quarantine of its link. An uncovered drop would be a
     // silently-lost message.
-    if (fc.msg_drops + fc.flaky_drops != rc.drops)
-        out.push_back(csprintf("injector drops (%llu msg + %llu flaky) "
-                               "!= recovery ledger drops (%llu)",
+    if (fc.msg_drops + fc.flaky_drops + fc.msg_corruptions != rc.drops)
+        out.push_back(csprintf("injector drops (%llu msg + %llu flaky + "
+                               "%llu corrupt) != recovery ledger drops "
+                               "(%llu)",
                                (unsigned long long)fc.msg_drops,
                                (unsigned long long)fc.flaky_drops,
+                               (unsigned long long)fc.msg_corruptions,
                                (unsigned long long)rc.drops));
     if (rc.req_drops + rc.reply_drops != rc.drops)
         out.push_back(csprintf("drop split (%llu req + %llu reply) != "
@@ -300,6 +304,32 @@ checkFaultAccounting(System &sys)
                 (unsigned long long)rc.drops,
                 (unsigned long long)rc.retransmit_covered,
                 (unsigned long long)rc.quarantine_covered));
+    }
+
+    // Faulty-channel ledger. Every corruption must be caught at the
+    // ejection checksum verify — a gap here is an undetected corruption
+    // that delivered a mangled payload. Detection is synchronous with
+    // injection, so this holds even mid-run.
+    if (rc.corrupt_detected != fc.msg_corruptions)
+        out.push_back(csprintf("undetected payload corruptions: "
+                               "injected %llu, detected %llu",
+                               (unsigned long long)fc.msg_corruptions,
+                               (unsigned long long)rc.corrupt_detected));
+    if (quiesced) {
+        // Replays and skewed deliveries are deferred, so they reconcile
+        // only once the event queue has drained: every injected
+        // duplicate was absorbed by a sequence guard and every skewed
+        // message was eventually delivered.
+        if (rc.dups_absorbed != fc.msg_dups)
+            out.push_back(csprintf("quiesced but duplicates absorbed "
+                                   "(%llu) != duplicates injected (%llu)",
+                                   (unsigned long long)rc.dups_absorbed,
+                                   (unsigned long long)fc.msg_dups));
+        if (rc.reorders_delivered != fc.msg_reorders)
+            out.push_back(csprintf("quiesced but reorders delivered "
+                                   "(%llu) != reorders injected (%llu)",
+                                   (unsigned long long)rc.reorders_delivered,
+                                   (unsigned long long)fc.msg_reorders));
     }
     return out;
 }

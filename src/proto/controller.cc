@@ -443,12 +443,17 @@ void
 Controller::noteCredit(int qdepth)
 {
     const ServeConfig &sv = _sys.cfg().serve;
-    if (qdepth <= sv.credit_threshold)
+    // serve.credit_threshold=auto: track the threshold the telemetry
+    // layer derives from recent home-queue depth windows instead of the
+    // static configured value.
+    int threshold = sv.credit_auto ? _sys.adaptiveCreditThreshold()
+                                   : sv.credit_threshold;
+    if (qdepth <= threshold)
         return;
     // Deterministic throttle duration: the backlog beyond the credit
     // threshold, in service times — roughly how long the home needs to
     // drain back under it. No RNG, so feature-off runs draw nothing.
-    Tick dur = static_cast<Tick>(qdepth - sv.credit_threshold) *
+    Tick dur = static_cast<Tick>(qdepth - threshold) *
                _sys.cfg().machine.mem_service_time;
     Tick until = now() + dur;
     if (until <= _throttled_until)
@@ -498,7 +503,11 @@ Controller::noteHomeService(const Msg &m, Tick enq, Tick when)
     // wait plus service) to the block it targets.
     if (LineProfiler *lp = _sys.lineProfiler())
         lp->noteService(m.addr, when - enq);
-    if (m.txn_id != 0) {
+    // An injected duplicate replay still burns the bank slot (hence
+    // the line-profiler attribution above), but its transaction has
+    // already been serviced by the original delivery — a second
+    // SERVICE mark would break the tracer's phase partition.
+    if (m.txn_id != 0 && !m.replayed) {
         // Owner replies re-enter the home queue: their transit leg
         // belongs to the reply path, not the request path.
         bool reply_leg = m.type == MsgType::OWNER_DATA_S ||

@@ -39,6 +39,7 @@ ProtoHooks::applyStats(const tf::StatDelta &d) const
         c.nacks_replayed += d.nacks_replayed;
         c.nacks_stale += d.nacks_stale;
         c.stale_replies += d.stale_replies;
+        c.dups_absorbed += d.dups_absorbed;
     }
 }
 

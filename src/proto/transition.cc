@@ -295,6 +295,18 @@ using namespace detail;
 bool
 tryDedup(const Env &env, CtrlState &s, const Msg &m, Outcome &o)
 {
+    if (m.replayed) {
+        // Injection-flagged duplicate delivery. The mesh replays
+        // strictly after the original, so the original has already
+        // been delivered and (re)claimed the dedup slot — whatever
+        // branch this copy would take, the requester is answered by
+        // the original's reply or by the retransmission machinery.
+        // Absorb silently, attributed to the injection ledger rather
+        // than the organic dup counters so the NACK-balance invariant
+        // survives duplication faults.
+        ++o.stats.dups_absorbed;
+        return true;
+    }
     DedupEntry &de = s.dedup[static_cast<std::size_t>(m.src)];
     if (m.seq > de.seq) {
         // New request: the requester is done with every older seq, so
@@ -445,6 +457,7 @@ step(const Env &env, const CtrlState &s, const Msg &m)
     b.nacks_replayed += a.nacks_replayed;
     b.nacks_stale += a.nacks_stale;
     b.stale_replies += a.stale_replies;
+    b.dups_absorbed += a.dups_absorbed;
     for (auto &ef : d.effects)
         r.out.effects.push_back(ef);
     return r;
@@ -480,6 +493,10 @@ debugString(const Msg &m)
            static_cast<unsigned long long>(m.result), m.success ? 1 : 0,
            static_cast<unsigned long long>(m.serial), m.ack_count,
            m.chain, static_cast<unsigned long long>(m.seq), m.attempt);
+    if (m.replayed)
+        out += " replayed";
+    if (m.reordered)
+        out += " reordered";
     if (m.has_data) {
         out += " data=[";
         for (std::size_t i = 0; i < m.data.size(); ++i)
@@ -497,7 +514,8 @@ debugString(const CtrlState &s)
     const TxnState &t = s.txn;
     append(out, "txn{active=%d op=%s addr=%#llx val=%llu exp=%llu "
                 "wait=%d resp=%d acks=%d/%d rv=%llu rs=%d rser=%llu "
-                "chain=%d retries=%d seq=%llu att=%d req=%s}\n",
+                "chain=%d retries=%d seq=%llu att=%d req=%s "
+                "amask=%#llx}\n",
            t.active ? 1 : 0, toString(t.op),
            static_cast<unsigned long long>(t.addr),
            static_cast<unsigned long long>(t.value),
@@ -507,7 +525,8 @@ debugString(const CtrlState &s)
            t.resp_success ? 1 : 0,
            static_cast<unsigned long long>(t.resp_serial), t.max_chain,
            t.retries, static_cast<unsigned long long>(t.seq), t.attempt,
-           toString(t.req_type));
+           toString(t.req_type),
+           static_cast<unsigned long long>(t.acks_mask));
     for (const CacheLine &l : s.cache.lines()) {
         if (!l.valid())
             continue;
@@ -573,12 +592,13 @@ debugString(const Outcome &o)
     }
     const StatDelta &d = o.stats;
     append(out, "stats{nacks=%u retries=%u inv=%u upd=%u wb=%u drop=%u "
-                "sclf=%u dup=%u/%u/%u/%u/%u nrep=%u nstale=%u stale=%u}\n",
+                "sclf=%u dup=%u/%u/%u/%u/%u nrep=%u nstale=%u stale=%u "
+                "dabs=%u}\n",
            d.nacks, d.retries, d.invalidations, d.updates, d.writebacks,
            d.drop_notifies, d.sc_local_failures, d.dup_requests,
            d.dup_stale, d.dup_in_progress, d.dup_reprocessed,
            d.dup_replayed, d.nacks_replayed, d.nacks_stale,
-           d.stale_replies);
+           d.stale_replies, d.dups_absorbed);
     for (const Effect &ef : o.effects) {
         append(out, "effect{kind=%d delay=%llu addr=%#llx node=%d "
                     "a=%u b=%u id=%llu val=%llu ok=%d serial=%llu",

@@ -77,6 +77,23 @@ struct TxnState
     std::uint64_t seq = 0;   ///< seq of the outstanding request
     int attempt = 1;         ///< retransmission attempt for seq
     MsgType req_type = MsgType::NACK; ///< outstanding request type
+    /**
+     * Bitmask of sharer nodes whose INV_ACK/UPDATE_ACK for the current
+     * seq was already counted, so a duplicated or reordered ack is
+     * absorbed instead of double-counted (num_procs <= 64 by the mesh
+     * geometry). Cleared with each new request.
+     */
+    std::uint64_t acks_mask = 0;
+    /**
+     * Fill-race marker (armed only when reordering can break the
+     * per-destination FIFO, see FaultConfig::reorderPossible): a
+     * third-party INV or UPDATE for the block this node's outstanding
+     * fill targets arrived before the fill itself. The install must
+     * then complete the operation with the granted data but silently
+     * drop the copy — the directory's view of it has already moved
+     * past the grant. 0 = no race; reset with each new request.
+     */
+    std::uint8_t fill_raced = 0;
     /** @} */
 };
 
@@ -227,6 +244,10 @@ struct StatDelta
     std::uint32_t nacks_replayed = 0;
     std::uint32_t nacks_stale = 0;
     std::uint32_t stale_replies = 0;
+    /** Injection-flagged (replayed) duplicates absorbed by a guard —
+     *  counted here instead of the organic stale counters so the
+     *  NACK-balance invariant survives duplication faults. */
+    std::uint32_t dups_absorbed = 0;
     /** @} */
 };
 

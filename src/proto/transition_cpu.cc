@@ -32,11 +32,42 @@ sendReq(const Env &env, CtrlState &s, Outcome &o, MsgType t)
         s.txn.seq = ++s.next_seq;
         s.txn.attempt = 1;
         s.txn.req_type = t;
+        s.txn.acks_mask = 0;
     }
+    s.txn.fill_raced = 0;
     s.txn.waiting = true;
     emitSend(o, buildReq(env, s, t));
     if (env.recoveryOn())
         emitArmTimer(o);
+}
+
+/**
+ * Resolve a fill race recorded by handleInv/handleUpdate (see
+ * TxnState::fill_raced): the just-installed copy predates a
+ * third-party invalidation or update that was delivered first
+ * (reordering skew), so the operation completes with the granted data
+ * — the read is ordered before the racing write — but the copy is not
+ * retained. The drop is deliberately silent in both flavours: after
+ * an INV the home already removed this node, and after an UPDATE a
+ * stale sharer entry is harmless (a spurious UPDATE to an absent line
+ * is acked and ignored — the same tolerance silent evictions require)
+ * whereas announcing it with DROP_NOTIFY would race the node's own
+ * next sequence-guarded request, which reordering can deliver first,
+ * making the home un-track a freshly granted copy. Returns true when
+ * a race was resolved (the caller must then skip anything that
+ * assumes the line stayed resident, e.g. setting an LL reservation).
+ */
+bool
+dropRacedFill(const Env &env, CtrlState &s, Outcome &o, Addr base)
+{
+    (void)env;
+    if (s.txn.fill_raced == 0)
+        return false;
+    s.txn.fill_raced = 0;
+    s.cache.clearReservationIfCovers(base);
+    s.cache.invalidate(base);
+    emitTraceLine(o, base, LineState::SHARED, LineState::INVALID);
+    return true;
 }
 
 void
@@ -49,6 +80,7 @@ retryTxn(CtrlState &s, Outcome &o)
     s.txn.resp_seen = false;
     s.txn.acks_needed = 0;
     s.txn.acks_got = 0;
+    s.txn.acks_mask = 0;
     s.txn.max_chain = 0;
     emitRetry(o);
 }
@@ -76,7 +108,7 @@ beginInv(const Env &env, CtrlState &s, Outcome &o)
         // would invite livelock (Section 4.3.2).
         if (line != nullptr) {
             ++s.cache.stats().hits;
-            s.cache.setReservation(a);
+            s.cache.setReservation(a, s.txn.start);
             emitTraceResv(o, blockBase(a), false);
             emitComplete(o, hit, line->readWord(a), true);
         } else {
@@ -145,6 +177,17 @@ beginInv(const Env &env, CtrlState &s, Outcome &o)
       case AtomicOp::SC: {
         bool reserved = s.cache.reservationValid() &&
                         s.cache.reservationAddr() == blockBase(a);
+        // Age-bounded reservations (faults.resv_max_age): a reservation
+        // older than the bound — measured from the load_linked's issue
+        // tick — is treated as lost, so the store_conditional fails
+        // locally instead of trusting arbitrarily stale linkage.
+        Tick age_limit = env.cfg->faults.resv_max_age;
+        if (reserved && age_limit != 0 &&
+            s.txn.start - s.cache.reservationTick() > age_limit) {
+            reserved = false;
+            s.cache.clearReservation();
+            emitTraceResv(o, blockBase(a), true);
+        }
         if (!reserved) {
             // Fails locally without causing any network traffic.
             ++o.stats.sc_local_failures;
@@ -367,6 +410,11 @@ maybeComplete(const Env &env, CtrlState &s, Outcome &o)
 {
     if (!s.txn.resp_seen || s.txn.acks_got < s.txn.acks_needed)
         return;
+    // The network request is answered: clear waiting so a duplicated
+    // or reordered late copy of the reply hits the stale guard instead
+    // of re-executing the completion (and so cpuAwaitedSeq()/the
+    // retransmission timer see a finished transaction).
+    s.txn.waiting = false;
     if (env.policyOf(s.txn.addr) == SyncPolicy::UPD)
         completeUpd(s, o);
     else
@@ -408,11 +456,21 @@ buildReq(const Env &env, const CtrlState &s, MsgType t)
 void
 cpuResponse(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
 {
+    if (m.replayed) {
+        // Injection-flagged duplicate: the original copy answers (or
+        // already answered) the transaction, so the replay is absorbed
+        // unconditionally — never re-driving the state machine even if
+        // a scheduler delivers it first. Attributed to the injection
+        // ledger, not the organic stale counters, so the NACK-balance
+        // invariant survives duplication faults.
+        ++o.stats.dups_absorbed;
+        return;
+    }
     if (env.recoveryOn()) {
         // Replies to a retired or retransmitted seq are duplicates the
         // recovery machinery manufactured; drop them at the door. A
         // primary reply after resp_seen is the same thing (the original
-        // and a replayed copy both arrived).
+        // and a retransmission-induced copy both arrived).
         bool is_ack = m.type == MsgType::INV_ACK ||
                       m.type == MsgType::UPDATE_ACK;
         bool current = s.txn.active && s.txn.waiting &&
@@ -452,11 +510,19 @@ cpuResponse(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
       case MsgType::DATA_S: {
         CacheLine *line =
             installLine(env, s, o, m.addr, LineState::SHARED, m.data);
-        if (s.txn.op == AtomicOp::LL) {
-            s.cache.setReservation(s.txn.addr);
+        Word w = line->readWord(s.txn.addr);
+        if (!dropRacedFill(env, s, o, m.addr) &&
+            s.txn.op == AtomicOp::LL) {
+            // The reservation's age is measured from the load_linked's
+            // issue tick (the miss latency counts against the bound).
+            // A raced fill keeps neither the copy nor a reservation:
+            // the matching store_conditional fails locally and the
+            // retry refetches a tracked copy.
+            s.cache.setReservation(s.txn.addr, s.txn.start);
             emitTraceResv(o, m.addr, false);
         }
-        emitComplete(o, 0, line->readWord(s.txn.addr), true);
+        s.txn.waiting = false;
+        emitComplete(o, 0, w, true);
         break;
       }
 
@@ -484,6 +550,7 @@ cpuResponse(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
         if (!m.success) {
             s.cache.clearReservation();
             emitTraceResv(o, m.addr, true);
+            s.txn.waiting = false;
             emitComplete(o, 0, 0, false);
         } else {
             CacheLine *line = s.cache.lookup(s.txn.addr);
@@ -500,22 +567,27 @@ cpuResponse(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
         break;
 
       case MsgType::CAS_FAIL:
+        s.txn.waiting = false;
         emitComplete(o, 0, m.result, false);
         break;
 
       case MsgType::CAS_FAIL_S:
         installLine(env, s, o, m.addr, LineState::SHARED, m.data);
+        dropRacedFill(env, s, o, m.addr);
+        s.txn.waiting = false;
         emitComplete(o, 0, m.result, false);
         break;
 
       case MsgType::UNC_RESP:
         noteReservationVerdict(s, m);
+        s.txn.waiting = false;
         emitComplete(o, 0, m.result, m.success, m.serial);
         break;
 
       case MsgType::UPD_RESP:
         noteReservationVerdict(s, m);
         installLine(env, s, o, m.addr, LineState::SHARED, m.data);
+        dropRacedFill(env, s, o, m.addr);
         s.txn.resp_seen = true;
         s.txn.acks_needed = m.ack_count;
         s.txn.resp_value = m.result;
@@ -526,6 +598,17 @@ cpuResponse(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
 
       case MsgType::INV_ACK:
       case MsgType::UPDATE_ACK:
+        if (env.recoveryOn()) {
+            // Per-sharer dedup: a duplicated or reordered second copy
+            // of the same node's acknowledgement for this seq must not
+            // double-count toward acks_needed.
+            std::uint64_t bit = 1ULL << static_cast<unsigned>(m.src);
+            if ((s.txn.acks_mask & bit) != 0) {
+                ++o.stats.stale_replies;
+                break;
+            }
+            s.txn.acks_mask |= bit;
+        }
         ++s.txn.acks_got;
         maybeComplete(env, s, o);
         break;

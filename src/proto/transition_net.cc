@@ -31,6 +31,16 @@ handleInv(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
         ++s.cache.stats().invalidations_received;
         s.cache.invalidate(m.addr);
         emitTraceLine(o, m.addr, LineState::SHARED, LineState::INVALID);
+    } else if (env.cfg->faults.reorderPossible() && s.txn.active &&
+               s.txn.waiting && blockBase(s.txn.addr) == m.addr) {
+        // The copy is absent but a fill for this very block is in
+        // flight. Under FIFO delivery the grant would have arrived
+        // first; with reordering armed, this invalidation may have
+        // overtaken it — remember the race so the install does not
+        // resurrect a copy the directory no longer tracks (an INV
+        // supersedes any earlier UPDATE race: the directory has
+        // dropped this node from the sharer list either way).
+        s.txn.fill_raced = 1;
     }
 
     Msg ack;
@@ -55,6 +65,14 @@ handleUpdate(const Env &env, CtrlState &s, Outcome &o, const Msg &m)
         dsm_assert(line->state == LineState::SHARED,
                    "update hit a non-shared line at node %d", env.self);
         line->writeWord(m.word_addr, m.result);
+    } else if (env.cfg->faults.reorderPossible() && s.txn.active &&
+               s.txn.waiting && blockBase(s.txn.addr) == m.addr) {
+        // Same fill race as handleInv, UPD flavour: the in-flight
+        // grant's data predates this word update, so the install must
+        // not keep the copy — it would hold a stale word the directory
+        // believes is current. The drop at install time stays silent;
+        // the node simply refetches on its next access.
+        s.txn.fill_raced = 1;
     }
 
     Msg ack;

@@ -153,6 +153,10 @@ ServeConfig::parse(const std::string &spec)
                             item.c_str());
         std::string key = item.substr(0, eq);
         std::string val = item.substr(eq + 1);
+        if (key == "credit_threshold" && val == "auto") {
+            out.credit_auto = true;
+            continue;
+        }
         char *end = nullptr;
         double d = std::strtod(val.c_str(), &end);
         if (end == val.c_str() || *end != '\0')
@@ -185,11 +189,14 @@ ServeConfig::parse(const std::string &spec)
 std::string
 ServeConfig::summary() const
 {
+    std::string threshold = credit_auto
+                                ? "auto"
+                                : csprintf("%d", credit_threshold);
     return csprintf("combining=%d,combine_limit=%d,backpressure=%d,"
-                    "credit_threshold=%d,priority=%d,age_limit=%llu,"
+                    "credit_threshold=%s,priority=%d,age_limit=%llu,"
                     "nack_backoff=%d,backoff_cap=%d",
                     combining ? 1 : 0, combine_limit,
-                    backpressure ? 1 : 0, credit_threshold,
+                    backpressure ? 1 : 0, threshold.c_str(),
                     priority ? 1 : 0, (unsigned long long)age_limit,
                     nack_backoff ? 1 : 0, backoff_cap);
 }
@@ -305,6 +312,14 @@ Config::validate() const
                             "(below 4 would weaken the built-in "
                             "backoff; above 20 overflows the shift), "
                             "got %d", sv.backoff_cap);
+        if (sv.credit_auto && !sv.backpressure)
+            return "serve.credit_threshold=auto requires "
+                   "serve.backpressure (there is no threshold to adapt "
+                   "otherwise)";
+        if (sv.credit_auto && !telemetry.enabled)
+            return "serve.credit_threshold=auto requires "
+                   "telemetry.enabled (the adaptive threshold is "
+                   "derived from the sampled queue-depth series)";
     }
 
     const FaultConfig &f = faults;
@@ -352,6 +367,37 @@ Config::validate() const
     if (f.quarantine_k > 0 && f.quarantine_window == 0)
         return "faults.quarantine_window must be nonzero when "
                "faults.quarantine_k > 0";
+    struct { const char *name; double v; } chaos_probs[] = {
+        { "faults.reorder_prob", f.reorder_prob },
+        { "faults.dup_prob", f.dup_prob },
+        { "faults.corrupt_prob", f.corrupt_prob },
+    };
+    for (const auto &p : chaos_probs) {
+        if (p.v < 0.0 || p.v > 1.0)
+            return csprintf("%s must be in [0, 1], got %g", p.name, p.v);
+    }
+    if (f.enabled && f.reorder_prob > 0.0 && f.reorder_max == 0)
+        return "faults.reorder_max must be nonzero when "
+               "faults.reorder_prob > 0";
+    if (f.reorder_max > FAULT_JITTER_HORIZON)
+        return csprintf("faults.reorder_max must be <= %llu (the "
+                        "event-queue jitter horizon), got %llu",
+                        (unsigned long long)FAULT_JITTER_HORIZON,
+                        (unsigned long long)f.reorder_max);
+    if (f.enabled && f.dup_prob > 0.0 && f.dup_delay == 0)
+        return "faults.dup_delay must be nonzero when "
+               "faults.dup_prob > 0 (a replay needs a delay to race "
+               "its original)";
+    if (f.dup_delay > FAULT_JITTER_HORIZON)
+        return csprintf("faults.dup_delay must be <= %llu (the "
+                        "event-queue jitter horizon), got %llu",
+                        (unsigned long long)FAULT_JITTER_HORIZON,
+                        (unsigned long long)f.dup_delay);
+    if (f.chaosEnabled() && f.req_timeout == 0)
+        return "faults.req_timeout must be nonzero when a "
+               "faulty-channel axis (reorder_prob / dup_prob / "
+               "corrupt_prob) is enabled; the sequence guards and the "
+               "corruption-as-loss path live in the recovery layer";
 
     const WatchdogConfig &w = watchdog;
     if (w.max_retries < 0)
@@ -384,6 +430,14 @@ Config::validate() const
         return csprintf("mc.loss_budget must be 0 or 1 (at most one "
                         "message loss per run is explored), got %d",
                         mcc.loss_budget);
+    if (mcc.reorder_budget != 0 && mcc.reorder_budget != 1)
+        return csprintf("mc.reorder_budget must be 0 or 1 (at most one "
+                        "reordered delivery per run is explored), "
+                        "got %d", mcc.reorder_budget);
+    if (mcc.dup_budget != 0 && mcc.dup_budget != 1)
+        return csprintf("mc.dup_budget must be 0 or 1 (at most one "
+                        "duplicated delivery per run is explored), "
+                        "got %d", mcc.dup_budget);
     if (mcc.max_states == 0)
         return "mc.max_states must be nonzero (it is the exploration "
                "fuse, not an off switch)";

@@ -284,6 +284,17 @@ struct ServeConfig
     bool backpressure = true;
     /** Home-queue depth beyond which requesters throttle. */
     int credit_threshold = 8;
+    /**
+     * Adaptive credit threshold ("credit_threshold=auto"): derive the
+     * throttling threshold from the telemetry layer's home-queue-depth
+     * series instead of the static value above — the threshold tracks
+     * twice the recent per-window mean depth (floored at 2), so
+     * sustained load moves the operating point while deviations above
+     * the recent norm still throttle. Requires telemetry.enabled;
+     * credit_threshold then only names the startup value used before
+     * the first sampled window.
+     */
+    bool credit_auto = false;
     /** Two-level home scheduling: foreground over retry traffic. */
     bool priority = true;
     /** Cycles a low-priority request may wait before promotion. */
@@ -397,14 +408,63 @@ struct FaultConfig
 
     /** @} */
 
+    /** @name Faulty-channel faults: reordering, duplication, corruption.
+     *
+     * The full faulty-channel model on top of the lossy-FIFO model
+     * above. All three axes apply only to the sequence-guarded message
+     * classes (droppable requests/replies plus invalidation and update
+     * acknowledgements) and all three require the recovery layer
+     * (req_timeout > 0): reordered and duplicated deliveries are
+     * absorbed by the epoch/sequence guards, and a corrupted message is
+     * detected by its checksum at ejection and becomes a loss, closing
+     * through the retransmission ledger.
+     * @{ */
+
+    /** Probability a guarded message bypasses the per-dst FIFO order. */
+    double reorder_prob = 0.0;
+    /** Maximum ejection skew, in cycles, of a reordered message. */
+    Tick reorder_max = 0;
+    /** Probability a delivered guarded message is replayed later. */
+    double dup_prob = 0.0;
+    /** Maximum delay, in cycles, before the replayed copy arrives. */
+    Tick dup_delay = 64;
+    /** Probability a droppable message is corrupted in flight. */
+    double corrupt_prob = 0.0;
+    /**
+     * Age bound on load_linked reservations, in cycles (0 = unbounded):
+     * a store_conditional finding its reservation older than this fails
+     * locally, so a reordered stale reply can never resurrect a dead
+     * reservation.
+     */
+    Tick resv_max_age = 0;
+
+    /** @} */
+
     /** True when any message-loss knob is armed (recovery required). */
     bool lossEnabled() const
     {
         return enabled && (msg_drop_prob > 0.0 || flaky_links > 0);
     }
 
+    /** True when any faulty-channel axis is armed (recovery required). */
+    bool chaosEnabled() const
+    {
+        return enabled && (reorder_prob > 0.0 || dup_prob > 0.0 ||
+                           corrupt_prob > 0.0);
+    }
+
     /** True when the end-to-end recovery layer is armed. */
     bool recoveryEnabled() const { return enabled && req_timeout > 0; }
+
+    /**
+     * True when reordering can break the per-destination FIFO delivery
+     * the directory's INV/UPDATE-before-fill ordering otherwise relies
+     * on; arms the requester-side fill-race tracking (TxnState::
+     * fill_raced). The model checker sets reorder_prob to 1 when its
+     * reorder budget is nonzero so the pure transitions see the same
+     * predicate.
+     */
+    bool reorderPossible() const { return enabled && reorder_prob > 0.0; }
 
     /**
      * Parse a DSM_FAULTS-style spec into this config. "1"/"on"/
@@ -412,7 +472,8 @@ struct FaultConfig
      * key=value list (jitter_prob, jitter_max, resv_drop_prob,
      * evict_prob, nack_prob, max_extra_nacks, seed, drop_prob,
      * flaky_links, flaky_window, flaky_duration, flaky_drop_prob,
-     * req_timeout, quarantine_k, quarantine_window).
+     * req_timeout, quarantine_k, quarantine_window, reorder_prob,
+     * reorder_max, dup_prob, dup_delay, corrupt_prob, resv_max_age).
      *
      * @return "" on success, otherwise a descriptive error.
      */
@@ -466,6 +527,20 @@ struct McConfig
      * droppable message once (exercising dedup + retransmission).
      */
     int loss_budget = 0;
+    /**
+     * How many guarded messages one exploration may deliver out of
+     * per-channel FIFO order (a REORDER transition delivers a
+     * non-head channel message). Arms the recovery layer like
+     * loss_budget.
+     */
+    int reorder_budget = 0;
+    /**
+     * How many guarded messages one exploration may duplicate (a
+     * DUPLICATE transition delivers a replay-flagged copy of a channel
+     * head without consuming it). Arms the recovery layer like
+     * loss_budget.
+     */
+    int dup_budget = 0;
     /**
      * Abort an exploration that exceeds this many distinct canonical
      * states (a state-space-explosion fuse, not a correctness knob).
